@@ -1,0 +1,46 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out.
+//!
+//! Each bench runs one CORP variant on the standard 200-job cluster
+//! workload; comparing their runtimes (and, via `corp-exp ablations`,
+//! their metric outcomes) isolates the cost and benefit of every pipeline
+//! stage: the HMM fluctuation correction, the confidence-interval lower
+//! bound, complementary packing, and Eq. 22 volume placement.
+
+use corp_bench::{historical_histories, Environment};
+use corp_core::{CorpConfig, CorpProvisioner};
+use corp_sim::{Simulation, SimulationOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_variant(tweak: impl Fn(&mut CorpConfig)) -> corp_sim::SimulationReport {
+    let mut config = CorpConfig::fast();
+    tweak(&mut config);
+    let mut corp = CorpProvisioner::new(config);
+    corp.pretrain(&historical_histories(Environment::Cluster, 40));
+    let mut sim = Simulation::new(
+        Environment::Cluster.cluster(),
+        Environment::Cluster.workload(200, 207),
+        SimulationOptions { measure_decision_time: false, ..Default::default() },
+    );
+    sim.run(&mut corp)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("full_corp", |b| b.iter(|| run_variant(|_| {})));
+    group.bench_function("no_hmm_correction", |b| {
+        b.iter(|| run_variant(|c| c.use_hmm_correction = false))
+    });
+    group.bench_function("no_confidence_interval", |b| {
+        b.iter(|| run_variant(|c| c.use_confidence_interval = false))
+    });
+    group.bench_function("no_packing", |b| b.iter(|| run_variant(|c| c.use_packing = false)));
+    group.bench_function("random_placement", |b| {
+        b.iter(|| run_variant(|c| c.use_volume_placement = false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

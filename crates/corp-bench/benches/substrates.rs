@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the substrates CORP is built on: DNN passes, HMM
+//! recursions, the FFT, packing, placement, and raw engine throughput.
+//! These bound the per-decision costs that aggregate into the Fig. 10/14
+//! overhead numbers.
+
+use corp_core::{deviation_score, most_matched_vm, pack_complementary, PackableJob};
+use corp_dnn::{Network, TrainConfig, UnusedResourcePredictor, WindowPredictorConfig};
+use corp_hmm::{baum_welch, forward_scaled, viterbi, Hmm};
+use corp_sim::{
+    Cluster, EnvironmentProfile, ResourceVector, Simulation, SimulationOptions,
+    StaticPeakProvisioner,
+};
+use corp_stats::{dominant_period, normal_quantile};
+use corp_trace::{WorkloadConfig, WorkloadGenerator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_dnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnn");
+    // The paper's architecture: 4 hidden layers of 50 units.
+    let mut net = Network::paper_architecture(6, 50, 1, 1);
+    let input = [0.4, 0.5, 0.45, 0.55, 0.5, 0.48];
+    group.bench_function("forward_4x50", |b| b.iter(|| net.forward(black_box(&input))[0]));
+    let mut net2 = Network::paper_architecture(6, 50, 1, 2);
+    group.bench_function("sgd_step_4x50", |b| {
+        b.iter(|| net2.train_on(black_box(&input), &[0.5], 0.05, 0.5))
+    });
+
+    let histories: Vec<Vec<f64>> =
+        (0..16).map(|j| (0..40).map(|t| 2.0 + ((t + j) % 5) as f64 * 0.1).collect()).collect();
+    group.bench_function("fit_predictor_small", |b| {
+        b.iter(|| {
+            let mut p = UnusedResourcePredictor::new(WindowPredictorConfig {
+                window: 6,
+                horizon: 6,
+                units: 12,
+                hidden_layers: 2,
+                train: TrainConfig { max_epochs: 10, ..TrainConfig::default() },
+                seed: 1,
+            });
+            p.fit(black_box(&histories))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmm");
+    let hmm = Hmm::paper_default();
+    let obs: Vec<usize> = (0..256).map(|t| (t / 7) % 3).collect();
+    group.bench_function("forward_256", |b| b.iter(|| forward_scaled(&hmm, black_box(&obs))));
+    group.bench_function("viterbi_256", |b| b.iter(|| viterbi(&hmm, black_box(&obs))));
+    group.bench_function("baum_welch_10_iters", |b| {
+        b.iter(|| {
+            let mut m = Hmm::near_uniform(3, 3, 5);
+            baum_welch(&mut m, black_box(&obs), 10, 1e-9)
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let signal: Vec<f64> =
+        (0..128).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin()).collect();
+    group.bench_function("dominant_period_128", |b| {
+        b.iter(|| dominant_period(black_box(&signal), 0.35))
+    });
+    group.bench_function("normal_quantile", |b| b.iter(|| normal_quantile(black_box(0.975))));
+    group.finish();
+}
+
+fn bench_packing_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    let reference = ResourceVector::new([4.0, 16.0, 180.0]);
+    let jobs: Vec<PackableJob> = (0..64)
+        .map(|i| PackableJob {
+            id: i,
+            demand: match i % 3 {
+                0 => ResourceVector::new([2.0, 1.0, 10.0]),
+                1 => ResourceVector::new([0.5, 6.0, 10.0]),
+                _ => ResourceVector::new([0.5, 1.0, 70.0]),
+            },
+        })
+        .collect();
+    group.bench_function("pack_complementary_64", |b| {
+        b.iter(|| pack_complementary(black_box(&jobs), &reference))
+    });
+    group.bench_function("deviation_score", |b| {
+        b.iter(|| deviation_score(black_box(&jobs[0].demand), black_box(&jobs[1].demand)))
+    });
+    let pools: Vec<ResourceVector> =
+        (0..200).map(|i| ResourceVector::splat(1.0 + (i % 7) as f64)).collect();
+    let demand = ResourceVector::splat(3.0);
+    group.bench_function("most_matched_vm_200", |b| {
+        b.iter(|| most_matched_vm(black_box(&pools), &demand, &reference))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("static_peak_100_jobs", |b| {
+        b.iter(|| {
+            let cluster = Cluster::from_profile(EnvironmentProfile::palmetto_cluster());
+            let jobs = WorkloadGenerator::new(
+                WorkloadConfig { num_jobs: 100, ..WorkloadConfig::default() },
+                9,
+            )
+            .generate();
+            let mut sim = Simulation::new(
+                cluster,
+                jobs,
+                SimulationOptions { measure_decision_time: false, ..Default::default() },
+            );
+            sim.run(&mut StaticPeakProvisioner)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dnn, bench_hmm, bench_stats, bench_packing_placement, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! `corp-exp` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! corp-exp all            # every artifact (slow: trains the paper DNN)
+//! corp-exp fig6 fig7      # specific figures
+//! corp-exp --fast all     # small DNN, quick smoke pass
+//! ```
+
+use corp_bench::experiments;
+use corp_bench::FigureTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+
+    type Runner = Box<dyn Fn(bool) -> FigureTable>;
+    let runners: Vec<(&str, Runner)> = vec![
+        ("table2", Box::new(|_| experiments::table2())),
+        ("fig6", Box::new(experiments::fig6)),
+        ("fig7", Box::new(experiments::fig7)),
+        ("fig8", Box::new(experiments::fig8)),
+        ("fig9", Box::new(experiments::fig9)),
+        ("fig10", Box::new(experiments::fig10)),
+        ("fig11", Box::new(experiments::fig11)),
+        ("fig12", Box::new(experiments::fig12)),
+        ("fig13", Box::new(experiments::fig13)),
+        ("fig14", Box::new(experiments::fig14)),
+        ("ablations", Box::new(experiments::ablations)),
+    ];
+
+    let mut matched = false;
+    for (name, run) in &runners {
+        if all || wanted.contains(name) {
+            matched = true;
+            let started = std::time::Instant::now();
+            let figure = run(fast);
+            println!("{figure}");
+            eprintln!("[{name} regenerated in {:.1}s]", started.elapsed().as_secs_f64());
+        }
+    }
+    if !matched {
+        eprintln!(
+            "unknown experiment(s) {:?}; available: {}",
+            wanted,
+            runners.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,151 @@
+//! VM selection.
+//!
+//! [`most_matched_vm`] implements the paper's Eq. 22 best-fit: among VMs
+//! whose available pool satisfies the entity's demand, pick the one with
+//! the smallest *unused resource volume* `sum_k pool_k / C'_k` — the "most
+//! matched" VM, leaving large pools intact for future large entities.
+//!
+//! [`random_fitting_vm`] is the placement rule all three baselines share
+//! ("we randomly chose a VM that can satisfy the resource demands").
+
+use corp_sim::ResourceVector;
+use rand::Rng;
+
+/// Returns the index (into `pools`) of the fitting VM with the smallest
+/// unused-resource volume relative to `reference` (`C'` of Eq. 22), or
+/// `None` if no pool fits `demand`. Ties break toward the lower index,
+/// making placement deterministic.
+pub fn most_matched_vm(
+    pools: &[ResourceVector],
+    demand: &ResourceVector,
+    reference: &ResourceVector,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, pool) in pools.iter().enumerate() {
+        if !demand.fits_within(pool) {
+            continue;
+        }
+        let vol = pool.volume(reference);
+        if best.map(|(_, v)| vol < v).unwrap_or(true) {
+            best = Some((i, vol));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Returns a uniformly random index of a pool that fits `demand`, or
+/// `None` if none does.
+pub fn random_fitting_vm<R: Rng>(
+    pools: &[ResourceVector],
+    demand: &ResourceVector,
+    rng: &mut R,
+) -> Option<usize> {
+    let fitting: Vec<usize> = pools
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| demand.fits_within(p))
+        .map(|(i, _)| i)
+        .collect();
+    if fitting.is_empty() {
+        None
+    } else {
+        Some(fitting[rng.gen_range(0..fitting.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reproduces_paper_fig5_first_entity() {
+        // C' = <25, 2, 30>; pools of VMs 1-4; entity (job 3, job 4) demands
+        // <12, 1, 28>... the paper says VM1 and VM4 cannot satisfy it, and
+        // VM2 (volume 1.233) wins over VM3 (2.8).
+        let reference = ResourceVector::new([25.0, 2.0, 30.0]);
+        let pools = [
+            ResourceVector::new([5.0, 0.0, 20.0]),  // VM1: 0.867
+            ResourceVector::new([10.0, 1.0, 10.0]), // VM2: 1.233
+            ResourceVector::new([20.0, 2.0, 30.0]), // VM3: 2.8
+            ResourceVector::new([10.0, 1.0, 8.5]),  // VM4: 1.183
+        ];
+        // A demand VM1/VM4 can't fit but VM2/VM3 can.
+        let demand = ResourceVector::new([8.0, 1.0, 10.0]);
+        assert_eq!(most_matched_vm(&pools, &demand, &reference), Some(1), "VM2 wins");
+    }
+
+    #[test]
+    fn reproduces_paper_fig5_second_entity() {
+        // Entity (job 5, job 6): VM1 cannot satisfy; among VM2/VM3/VM4 the
+        // smallest volume 1.183 (VM4) wins.
+        let reference = ResourceVector::new([25.0, 2.0, 30.0]);
+        let pools = [
+            ResourceVector::new([5.0, 0.0, 20.0]),
+            ResourceVector::new([10.0, 1.0, 10.0]),
+            ResourceVector::new([20.0, 2.0, 30.0]),
+            ResourceVector::new([10.0, 1.0, 8.5]),
+        ];
+        let demand = ResourceVector::new([9.0, 0.5, 8.0]);
+        assert_eq!(most_matched_vm(&pools, &demand, &reference), Some(3), "VM4 wins");
+    }
+
+    #[test]
+    fn returns_none_when_nothing_fits() {
+        let reference = ResourceVector::splat(10.0);
+        let pools = [ResourceVector::splat(1.0)];
+        let demand = ResourceVector::splat(5.0);
+        assert_eq!(most_matched_vm(&pools, &demand, &reference), None);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_fitting_vm(&pools, &demand, &mut rng), None);
+    }
+
+    #[test]
+    fn random_choice_only_picks_fitting_pools() {
+        let pools = [
+            ResourceVector::splat(1.0),
+            ResourceVector::splat(10.0),
+            ResourceVector::splat(0.5),
+            ResourceVector::splat(10.0),
+        ];
+        let demand = ResourceVector::splat(5.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let pick = random_fitting_vm(&pools, &demand, &mut rng).unwrap();
+            assert!(pick == 1 || pick == 3);
+        }
+    }
+
+    #[test]
+    fn random_choice_covers_all_fitting_pools() {
+        let pools = [ResourceVector::splat(10.0), ResourceVector::splat(10.0)];
+        let demand = ResourceVector::splat(1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[random_fitting_vm(&pools, &demand, &mut rng).unwrap()] = true;
+        }
+        assert!(seen[0] && seen[1], "both fitting VMs should be chosen eventually");
+    }
+
+    #[test]
+    fn best_fit_prefers_snuggest_pool() {
+        let reference = ResourceVector::splat(10.0);
+        let pools = [
+            ResourceVector::splat(9.0),
+            ResourceVector::splat(3.0), // snug but fits
+            ResourceVector::splat(6.0),
+        ];
+        let demand = ResourceVector::splat(2.0);
+        assert_eq!(most_matched_vm(&pools, &demand, &reference), Some(1));
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_index() {
+        let reference = ResourceVector::splat(10.0);
+        let pools = [ResourceVector::splat(5.0), ResourceVector::splat(5.0)];
+        let demand = ResourceVector::splat(1.0);
+        assert_eq!(most_matched_vm(&pools, &demand, &reference), Some(0));
+    }
+}

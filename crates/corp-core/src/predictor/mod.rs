@@ -1,0 +1,20 @@
+//! Unused-resource predictors: CORP's DNN+HMM pipeline and the three
+//! baseline forecasters.
+//!
+//! All VM-level predictors ([`rccr`], [`cloudscale`], [`dra`]) share the
+//! same incremental shape: `observe` one slot of a VM's total unused vector
+//! and `predict` the vector one window ahead. CORP's predictor
+//! ([`corp`]) works per *job* instead, as the paper specifies ("each input
+//! data contains CPU utilization of a job at each slot in last `Delta`
+//! slots"), and layers the HMM fluctuation correction and the
+//! confidence-interval lower bound on top.
+
+pub mod cloudscale;
+pub mod corp;
+pub mod dra;
+pub mod rccr;
+
+pub use cloudscale::CloudScalePredictor;
+pub use corp::CorpJobPredictor;
+pub use dra::DraPredictor;
+pub use rccr::RccrPredictor;

@@ -1,0 +1,124 @@
+//! Autoencoder mode.
+//!
+//! Section III-A's training sketch is autoencoder-shaped: "it first computes
+//! the hidden activation. Next, it computes the reconstructed output from
+//! the hidden activation ... For testing, the algorithm autoencodes the
+//! input and generates the output." [`Autoencoder`] wraps a symmetric
+//! [`Network`] whose target equals its input, provides reconstruction-error
+//! scoring, and can donate its encoder as pre-trained features.
+
+use crate::activation::Activation;
+use crate::network::Network;
+use crate::train::{TrainConfig, TrainReport, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// A tied-shape (not tied-weight) autoencoder: `input -> hidden -> input`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Autoencoder {
+    net: Network,
+    input_len: usize,
+}
+
+impl Autoencoder {
+    /// Builds an autoencoder with one hidden (code) layer of `hidden`
+    /// units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(input_len: usize, hidden: usize, seed: u64) -> Self {
+        let net = Network::new(
+            &[input_len, hidden, input_len],
+            Activation::Sigmoid,
+            Activation::Identity,
+            seed,
+        );
+        Autoencoder { net, input_len }
+    }
+
+    /// Input (and output) dimension.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Trains the autoencoder to reconstruct `inputs` (targets are the
+    /// inputs themselves).
+    pub fn train(&mut self, inputs: &[Vec<f64>], config: TrainConfig) -> TrainReport {
+        let targets: Vec<Vec<f64>> = inputs.to_vec();
+        Trainer::new(config).train(&mut self.net, inputs, &targets)
+    }
+
+    /// Reconstructs one input.
+    pub fn reconstruct(&mut self, input: &[f64]) -> Vec<f64> {
+        self.net.forward(input).to_vec()
+    }
+
+    /// Mean squared reconstruction error of one input — an anomaly score:
+    /// inputs unlike the training distribution reconstruct poorly.
+    pub fn reconstruction_error(&mut self, input: &[f64]) -> f64 {
+        let out = self.net.forward(input);
+        let se: f64 = out.iter().zip(input).map(|(a, b)| (a - b) * (a - b)).sum();
+        se / input.len() as f64
+    }
+
+    /// Borrow of the underlying network (e.g. to inspect the code layer).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structured_inputs(n: usize) -> Vec<Vec<f64>> {
+        // Points on a 1-D manifold inside 4-D space: reconstructable with a
+        // small code layer.
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                vec![t, 1.0 - t, 0.5 * t + 0.2, 0.3]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_to_reconstruct_structured_data() {
+        let inputs = structured_inputs(60);
+        let mut ae = Autoencoder::new(4, 3, 1);
+        let report = ae.train(
+            &inputs,
+            TrainConfig { max_epochs: 400, learning_rate: 0.1, ..TrainConfig::default() },
+        );
+        assert!(
+            report.final_validation_mse < 0.02,
+            "reconstruction MSE {}",
+            report.final_validation_mse
+        );
+        let err = ae.reconstruction_error(&inputs[10]);
+        assert!(err < 0.05, "in-distribution error {err}");
+    }
+
+    #[test]
+    fn anomalies_score_higher_than_in_distribution() {
+        let inputs = structured_inputs(60);
+        let mut ae = Autoencoder::new(4, 3, 2);
+        ae.train(
+            &inputs,
+            TrainConfig { max_epochs: 400, learning_rate: 0.1, ..TrainConfig::default() },
+        );
+        let typical = ae.reconstruction_error(&inputs[30]);
+        let anomaly = ae.reconstruction_error(&[5.0, -3.0, 9.0, -7.0]);
+        assert!(
+            anomaly > typical * 10.0,
+            "anomaly {anomaly} should dwarf typical {typical}"
+        );
+    }
+
+    #[test]
+    fn reconstruct_shape_matches_input() {
+        let mut ae = Autoencoder::new(5, 2, 3);
+        assert_eq!(ae.reconstruct(&[0.0; 5]).len(), 5);
+        assert_eq!(ae.input_len(), 5);
+    }
+}

@@ -1,0 +1,278 @@
+//! Minimal dense matrix for the DNN substrate.
+//!
+//! Row-major `Vec<f64>` storage; only the operations the network needs
+//! (matrix-vector products in both orientations, outer-product
+//! accumulation). Kept deliberately small — this is a numerics substrate,
+//! not a linear-algebra library — and bounds-check friendly: the hot loops
+//! iterate rows via `chunks_exact` so the optimizer can elide per-element
+//! checks.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive: {rows}x{cols}");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by calling `f(row, col)` for each element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `out = self * x` (matrix-vector product). `out` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        assert_eq!(out.len(), self.rows, "output length mismatch");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+        }
+    }
+
+    /// `out = self^T * x` (transposed matrix-vector product), used to
+    /// back-propagate error terms (paper Eq. 7 sums over the *upper* layer's
+    /// errors weighted by `w_ji`). `out` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn mul_vec_transposed_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "input length mismatch");
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        out.iter_mut().for_each(|o| *o = 0.0);
+        for (xi, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
+            if *xi == 0.0 {
+                continue;
+            }
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * xi;
+            }
+        }
+    }
+
+    /// Accumulates the scaled outer product `self += scale * a * b^T`,
+    /// which is exactly the weight update of paper Eq. 8 with
+    /// `scale = mu`, `a = E(d)`, `b = g(d-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != rows` or `b.len() != cols`.
+    pub fn add_outer_scaled(&mut self, a: &[f64], b: &[f64], scale: f64) {
+        assert_eq!(a.len(), self.rows, "row factor length mismatch");
+        assert_eq!(b.len(), self.cols, "column factor length mismatch");
+        for (ai, row) in a.iter().zip(self.data.chunks_exact_mut(self.cols)) {
+            let s = scale * ai;
+            if s == 0.0 {
+                continue;
+            }
+            for (w, bj) in row.iter_mut().zip(b) {
+                *w += s * bj;
+            }
+        }
+    }
+
+    /// Scales every element in place (used for momentum decay).
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Adds another matrix element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Frobenius norm, handy for diagnosing exploding weights in tests.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_builds_expected_entries() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 11.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_hand_computation() {
+        // [[1,2],[3,4],[5,6]] * [1, -1] = [-1, -1, -1]
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 3];
+        m.mul_vec_into(&[1.0, -1.0], &mut out);
+        assert_eq!(out, vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn transposed_mul_matches_hand_computation() {
+        // [[1,2],[3,4]]^T * [1, 1] = [4, 6]
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = vec![0.0; 2];
+        m.mul_vec_transposed_into(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn transposed_mul_agrees_with_explicit_transpose() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r as f64 + 1.0) * (c as f64 - 1.0));
+        let x = [0.5, -1.5, 2.0, 0.25];
+        let mut fast = vec![0.0; 3];
+        m.mul_vec_transposed_into(&x, &mut fast);
+        for c in 0..3 {
+            let slow: f64 = (0..4).map(|r| m.get(r, c) * x[r]).sum();
+            assert!((fast[c] - slow).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outer_product_accumulates_eq8_shape() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer_scaled(&[1.0, 2.0], &[10.0, 20.0, 30.0], 0.5);
+        // m[r][c] = 0.5 * a[r] * b[c]
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.get(0, 2), 15.0);
+        assert_eq!(m.get(1, 1), 20.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit_rows() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_rejected() {
+        Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mul_vec_rejects_bad_length() {
+        let m = Matrix::zeros(2, 3);
+        let mut out = vec![0.0; 2];
+        m.mul_vec_into(&[1.0, 2.0], &mut out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_wrong_len() {
+        Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

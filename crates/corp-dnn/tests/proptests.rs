@@ -1,0 +1,96 @@
+//! Property-based tests for the DNN substrate.
+
+use corp_dnn::{Activation, Matrix, Network, UnusedResourcePredictor, WindowPredictorConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn matrix_mul_vec_is_linear(
+        rows in 1usize..6, cols in 1usize..6,
+        seed in 0u64..1000, a in -3.0f64..3.0, b in -3.0f64..3.0,
+    ) {
+        // M(a*x + b*y) == a*Mx + b*My
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let m = Matrix::from_fn(rows, cols, |_, _| next());
+        let x: Vec<f64> = (0..cols).map(|_| next()).collect();
+        let y: Vec<f64> = (0..cols).map(|_| next()).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + b * yi).collect();
+        let mut out_combo = vec![0.0; rows];
+        m.mul_vec_into(&combo, &mut out_combo);
+        let mut out_x = vec![0.0; rows];
+        m.mul_vec_into(&x, &mut out_x);
+        let mut out_y = vec![0.0; rows];
+        m.mul_vec_into(&y, &mut out_y);
+        for i in 0..rows {
+            let expect = a * out_x[i] + b * out_y[i];
+            prop_assert!((out_combo[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sigmoid_output_in_unit_interval(x in -50.0f64..50.0) {
+        // At |x| >= ~37 the sigmoid saturates to exactly 0.0/1.0 in f64,
+        // so the bound is closed.
+        let y = Activation::Sigmoid.apply(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+    }
+
+    #[test]
+    fn sigmoid_is_monotone(x1 in -20.0f64..20.0, x2 in -20.0f64..20.0) {
+        prop_assume!(x1 < x2);
+        prop_assert!(Activation::Sigmoid.apply(x1) < Activation::Sigmoid.apply(x2));
+    }
+
+    #[test]
+    fn forward_is_deterministic(seed in 0u64..500, input in prop::collection::vec(-2.0f64..2.0, 3)) {
+        let mut n1 = Network::new(&[3, 5, 2], Activation::Sigmoid, Activation::Identity, seed);
+        let mut n2 = Network::new(&[3, 5, 2], Activation::Sigmoid, Activation::Identity, seed);
+        prop_assert_eq!(n1.forward(&input).to_vec(), n2.forward(&input).to_vec());
+    }
+
+    #[test]
+    fn forward_outputs_finite(seed in 0u64..500, input in prop::collection::vec(-10.0f64..10.0, 4)) {
+        let mut n = Network::new(&[4, 8, 8, 1], Activation::Sigmoid, Activation::Identity, seed);
+        let out = n.forward(&input);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn single_sgd_step_reduces_example_error(
+        seed in 0u64..200,
+        input in prop::collection::vec(-1.0f64..1.0, 3),
+        target in -1.0f64..1.0,
+    ) {
+        // For a small learning rate, one gradient step must not increase
+        // the error on the very example it was computed from.
+        let mut n = Network::new(&[3, 6, 1], Activation::Sigmoid, Activation::Identity, seed);
+        let before = {
+            let y = n.forward(&input)[0];
+            (y - target) * (y - target)
+        };
+        n.train_on(&input, &[target], 0.01, 0.0);
+        let after = {
+            let y = n.forward(&input)[0];
+            (y - target) * (y - target)
+        };
+        prop_assert!(after <= before + 1e-9, "error rose: {before} -> {after}");
+    }
+
+    #[test]
+    fn predictor_never_negative(
+        recent in prop::collection::vec(0.0f64..100.0, 1..12),
+    ) {
+        let mut p = UnusedResourcePredictor::new(WindowPredictorConfig {
+            window: 4,
+            horizon: 1,
+            units: 6,
+            hidden_layers: 1,
+            ..WindowPredictorConfig::default()
+        });
+        prop_assert!(p.predict(&recent) >= 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Baum-Welch re-estimation of `lambda = (A, B, pi)`.
+//!
+//! The paper "use[s] the method in [30] to re-estimate the parameters
+//! A, B, pi" — Stamp's exposition of the classic EM recursion. Each
+//! iteration computes `gamma`/`xi` from the scaled forward/backward
+//! variables and re-estimates:
+//!
+//! * `pi_i = gamma_1(i)`
+//! * `a_ij = sum_t xi_t(i,j) / sum_t gamma_t(i)`
+//! * `b_j(k) = sum_{t: O_t = k} gamma_t(j) / sum_t gamma_t(j)`
+//!
+//! Iterations stop when the log-likelihood improvement drops below a
+//! tolerance or the iteration cap is hit. The likelihood is guaranteed
+//! non-decreasing by EM theory; the test suite asserts it.
+
+use crate::forward_backward::{backward_scaled, forward_scaled, log_likelihood};
+use crate::model::Hmm;
+
+/// Outcome of Baum-Welch training.
+#[derive(Debug, Clone)]
+pub struct BaumWelchReport {
+    /// Log-likelihood after each iteration.
+    pub log_likelihoods: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// True if stopping was due to convergence rather than the cap.
+    pub converged: bool,
+}
+
+/// Re-estimates `hmm` in place from one observation sequence.
+///
+/// Returns the per-iteration log-likelihood trace. A small floor keeps
+/// every probability strictly positive so that states never die (standard
+/// practice for short training sequences).
+///
+/// # Panics
+///
+/// Panics if `obs` is empty, contains out-of-range symbols, or
+/// `max_iters == 0`.
+pub fn baum_welch(hmm: &mut Hmm, obs: &[usize], max_iters: usize, tol: f64) -> BaumWelchReport {
+    assert!(!obs.is_empty(), "observation sequence must be non-empty");
+    assert!(max_iters > 0, "need at least one iteration");
+    hmm.check_observations(obs);
+
+    const FLOOR: f64 = 1e-6;
+    let h = hmm.num_states;
+    let m = hmm.num_symbols;
+    let t_len = obs.len();
+    let mut lls: Vec<f64> = Vec::with_capacity(max_iters);
+    let mut converged = false;
+
+    for _iter in 0..max_iters {
+        let fwd = forward_scaled(hmm, obs);
+        let beta = backward_scaled(hmm, obs, &fwd.scale);
+        let ll = log_likelihood(&fwd.scale);
+
+        // gamma_t(i) and xi_t(i,j) accumulators.
+        let mut gamma = vec![vec![0.0; h]; t_len];
+        for t in 0..t_len {
+            let mut sum = 0.0;
+            for i in 0..h {
+                gamma[t][i] = fwd.alpha[t][i] * beta[t][i];
+                sum += gamma[t][i];
+            }
+            if sum > 0.0 {
+                gamma[t].iter_mut().for_each(|g| *g /= sum);
+            }
+        }
+
+        // Re-estimate pi.
+        hmm.pi.copy_from_slice(&gamma[0]);
+
+        // Re-estimate A from xi sums.
+        let mut a_num = vec![vec![0.0; h]; h];
+        let mut a_den = vec![0.0; h];
+        for t in 0..t_len - 1 {
+            // xi_t(i,j) proportional to alpha_t(i) a_ij b_j(O_{t+1}) beta_{t+1}(j)
+            let mut xi = vec![vec![0.0; h]; h];
+            let mut sum = 0.0;
+            for i in 0..h {
+                for j in 0..h {
+                    let v = fwd.alpha[t][i]
+                        * hmm.a[i][j]
+                        * hmm.b[j][obs[t + 1]]
+                        * beta[t + 1][j];
+                    xi[i][j] = v;
+                    sum += v;
+                }
+            }
+            if sum > 0.0 {
+                for i in 0..h {
+                    for j in 0..h {
+                        a_num[i][j] += xi[i][j] / sum;
+                    }
+                    a_den[i] += gamma[t][i];
+                }
+            }
+        }
+        for i in 0..h {
+            if a_den[i] > 0.0 {
+                for j in 0..h {
+                    hmm.a[i][j] = (a_num[i][j] / a_den[i]).max(FLOOR);
+                }
+            }
+            let s: f64 = hmm.a[i].iter().sum();
+            hmm.a[i].iter_mut().for_each(|p| *p /= s);
+        }
+
+        // Re-estimate B.
+        let mut b_num = vec![vec![0.0; m]; h];
+        let mut b_den = vec![0.0; h];
+        for t in 0..t_len {
+            for j in 0..h {
+                b_num[j][obs[t]] += gamma[t][j];
+                b_den[j] += gamma[t][j];
+            }
+        }
+        for j in 0..h {
+            if b_den[j] > 0.0 {
+                for k in 0..m {
+                    hmm.b[j][k] = (b_num[j][k] / b_den[j]).max(FLOOR);
+                }
+            }
+            let s: f64 = hmm.b[j].iter().sum();
+            hmm.b[j].iter_mut().for_each(|p| *p /= s);
+        }
+
+        // pi floor + renormalize, same rationale.
+        for p in hmm.pi.iter_mut() {
+            *p = p.max(FLOOR);
+        }
+        let s: f64 = hmm.pi.iter().sum();
+        hmm.pi.iter_mut().for_each(|p| *p /= s);
+
+        if let Some(&prev) = lls.last() {
+            if (ll - prev).abs() < tol {
+                lls.push(ll);
+                converged = true;
+                break;
+            }
+        }
+        lls.push(ll);
+    }
+
+    BaumWelchReport { iterations: lls.len(), log_likelihoods: lls, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward_backward::{forward_scaled, log_likelihood};
+
+    fn rows_stochastic(hmm: &Hmm) {
+        for row in hmm.a.iter().chain(hmm.b.iter()) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9, "row {row:?}");
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+        assert!((hmm.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn likelihood_is_monotone_nondecreasing() {
+        let mut hmm = Hmm::near_uniform(3, 3, 7);
+        let obs: Vec<usize> = (0..200).map(|t| ((t / 5) % 3) as usize).collect();
+        let report = baum_welch(&mut hmm, &obs, 30, 1e-9);
+        for w in report.log_likelihoods.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-7,
+                "EM must not decrease likelihood: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn training_improves_over_initial_model() {
+        let mut hmm = Hmm::near_uniform(2, 2, 3);
+        let obs: Vec<usize> = (0..300).map(|t| ((t / 10) % 2) as usize).collect();
+        let before = log_likelihood(&forward_scaled(&hmm, &obs).scale);
+        baum_welch(&mut hmm, &obs, 50, 1e-9);
+        let after = log_likelihood(&forward_scaled(&hmm, &obs).scale);
+        assert!(after > before + 1.0, "LL {before} -> {after}");
+    }
+
+    #[test]
+    fn parameters_stay_valid_distributions() {
+        let mut hmm = Hmm::near_uniform(3, 3, 11);
+        let obs: Vec<usize> = (0..150).map(|t| (t % 3) as usize).collect();
+        baum_welch(&mut hmm, &obs, 25, 1e-9);
+        rows_stochastic(&hmm);
+    }
+
+    #[test]
+    fn recovers_deterministic_emission_structure() {
+        // Data generated by: state 0 emits 0, state 1 emits 1, sticky
+        // transitions. After training, each state should specialize.
+        let mut hmm = Hmm::near_uniform(2, 2, 5);
+        let mut obs = Vec::new();
+        for block in 0..30 {
+            let symbol = block % 2;
+            obs.extend(std::iter::repeat_n(symbol, 10));
+        }
+        baum_welch(&mut hmm, &obs, 80, 1e-10);
+        // One state must strongly prefer symbol 0 and the other symbol 1.
+        let prefers_0 = hmm.b.iter().position(|r| r[0] > 0.9);
+        let prefers_1 = hmm.b.iter().position(|r| r[1] > 0.9);
+        assert!(prefers_0.is_some(), "no state specialized on symbol 0: {:?}", hmm.b);
+        assert!(prefers_1.is_some(), "no state specialized on symbol 1: {:?}", hmm.b);
+        assert_ne!(prefers_0, prefers_1);
+        // And both learned transitions should be sticky.
+        for i in 0..2 {
+            assert!(hmm.a[i][i] > 0.7, "state {i} not sticky: {:?}", hmm.a);
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_it() {
+        let mut hmm = Hmm::near_uniform(2, 2, 9);
+        let obs: Vec<usize> = (0..100).map(|t| (t % 2) as usize).collect();
+        let report = baum_welch(&mut hmm, &obs, 500, 1e-8);
+        assert!(report.converged, "periodic data should converge quickly");
+        assert!(report.iterations < 500);
+    }
+
+    #[test]
+    fn exact_uniform_start_does_not_crash() {
+        // Uniform is a fixed point; BW should hit the tolerance immediately
+        // and leave a valid model.
+        let mut hmm = Hmm::uniform(3, 3);
+        let obs = vec![0usize, 1, 2, 0, 1, 2];
+        let report = baum_welch(&mut hmm, &obs, 10, 1e-9);
+        assert!(report.iterations <= 10);
+        rows_stochastic(&hmm);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_observations() {
+        baum_welch(&mut Hmm::uniform(2, 2), &[], 5, 1e-6);
+    }
+}

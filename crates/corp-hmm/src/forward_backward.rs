@@ -1,0 +1,261 @@
+//! Scaled forward/backward recursions (paper Eqs. 12-15).
+//!
+//! The textbook `alpha`/`beta` variables underflow for observation
+//! sequences beyond a few hundred steps, so we use the standard per-step
+//! scaling from Rabiner's tutorial: each `alpha_t` row is normalized to sum
+//! to 1 and the scale factor `c_t` is retained; `log P(O | lambda)` is then
+//! `-sum_t log c_t`, and the same `c_t` scale the `beta` recursion so
+//! `gamma_t(i) = alpha_t(i) * beta_t(i)` needs no further normalization
+//! beyond a row sum.
+
+use crate::model::Hmm;
+
+/// Result of the scaled forward pass: `alpha[t][i]` (scaled) and the scale
+/// factors `c[t]` with `c[t] = 1 / sum_i alpha_raw[t][i]`.
+#[derive(Debug, Clone)]
+pub struct ScaledForward {
+    /// Scaled forward variables, `T x H`.
+    pub alpha: Vec<Vec<f64>>,
+    /// Per-step scale factors, length `T`.
+    pub scale: Vec<f64>,
+}
+
+/// Scaled forward recursion (Eq. 14 with normalization).
+///
+/// # Panics
+///
+/// Panics if `obs` is empty or contains out-of-range symbols.
+pub fn forward_scaled(hmm: &Hmm, obs: &[usize]) -> ScaledForward {
+    assert!(!obs.is_empty(), "observation sequence must be non-empty");
+    hmm.check_observations(obs);
+    let h = hmm.num_states;
+    let t_len = obs.len();
+    let mut alpha = vec![vec![0.0; h]; t_len];
+    let mut scale = vec![0.0; t_len];
+
+    // Initialization: alpha_1(i) = pi_i * b_i(O_1).
+    for i in 0..h {
+        alpha[0][i] = hmm.pi[i] * hmm.b[i][obs[0]];
+    }
+    normalize_row(&mut alpha[0], &mut scale[0]);
+
+    // Induction: alpha_{t+1}(j) = [sum_i alpha_t(i) a_ij] b_j(O_{t+1}).
+    for t in 1..t_len {
+        let (prev_rows, cur_rows) = alpha.split_at_mut(t);
+        let prev = &prev_rows[t - 1];
+        let cur = &mut cur_rows[0];
+        for (j, c) in cur.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (i, &ap) in prev.iter().enumerate() {
+                acc += ap * hmm.a[i][j];
+            }
+            *c = acc * hmm.b[j][obs[t]];
+        }
+        normalize_row(cur, &mut scale[t]);
+    }
+    ScaledForward { alpha, scale }
+}
+
+fn normalize_row(row: &mut [f64], scale_out: &mut f64) {
+    let sum: f64 = row.iter().sum();
+    // A zero row means the observation is impossible under the model;
+    // fall back to uniform so downstream stays finite (the likelihood
+    // correctly reflects the impossibility through the scale factor).
+    if sum <= 0.0 {
+        let u = 1.0 / row.len() as f64;
+        row.iter_mut().for_each(|v| *v = u);
+        *scale_out = 1e300; // log-likelihood sinks appropriately
+    } else {
+        row.iter_mut().for_each(|v| *v /= sum);
+        *scale_out = 1.0 / sum;
+    }
+}
+
+/// Scaled backward recursion (Eq. 15) using the forward pass's scale
+/// factors, as required for Baum-Welch's `gamma`/`xi` to combine cleanly.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch the forward result.
+pub fn backward_scaled(hmm: &Hmm, obs: &[usize], scale: &[f64]) -> Vec<Vec<f64>> {
+    assert_eq!(obs.len(), scale.len(), "scale factors must match sequence length");
+    hmm.check_observations(obs);
+    let h = hmm.num_states;
+    let t_len = obs.len();
+    let mut beta = vec![vec![0.0; h]; t_len];
+
+    // Initialization: beta_T(i) = 1, scaled by c_T.
+    for v in &mut beta[t_len - 1] {
+        *v = scale[t_len - 1].min(1e300);
+    }
+
+    // Induction: beta_t(i) = sum_j a_ij b_j(O_{t+1}) beta_{t+1}(j).
+    for t in (0..t_len - 1).rev() {
+        let (cur_rows, next_rows) = beta.split_at_mut(t + 1);
+        let next = &next_rows[0];
+        let cur = &mut cur_rows[t];
+        for (i, c) in cur.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &bn) in next.iter().enumerate() {
+                acc += hmm.a[i][j] * hmm.b[j][obs[t + 1]] * bn;
+            }
+            *c = (acc * scale[t]).min(1e300);
+        }
+    }
+    beta
+}
+
+/// Log-likelihood `log P(O | lambda)` from the forward scale factors.
+pub fn log_likelihood(scale: &[f64]) -> f64 {
+    -scale.iter().map(|c| c.ln()).sum::<f64>()
+}
+
+/// State posteriors `gamma_t(i) = P(q_t = S_i | O, lambda)` (Eqs. 12-13).
+/// Each row sums to 1.
+pub fn state_posteriors(hmm: &Hmm, obs: &[usize]) -> Vec<Vec<f64>> {
+    let fwd = forward_scaled(hmm, obs);
+    let beta = backward_scaled(hmm, obs, &fwd.scale);
+    let mut gamma = vec![vec![0.0; hmm.num_states]; obs.len()];
+    for t in 0..obs.len() {
+        let mut sum = 0.0;
+        for i in 0..hmm.num_states {
+            gamma[t][i] = fwd.alpha[t][i] * beta[t][i];
+            sum += gamma[t][i];
+        }
+        if sum > 0.0 {
+            for g in &mut gamma[t] {
+                *g /= sum;
+            }
+        } else {
+            let u = 1.0 / hmm.num_states as f64;
+            gamma[t].iter_mut().for_each(|g| *g = u);
+        }
+    }
+    gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force P(O | lambda) by enumerating all state paths.
+    fn likelihood_brute(hmm: &Hmm, obs: &[usize]) -> f64 {
+        let h = hmm.num_states;
+        let t_len = obs.len();
+        let mut total = 0.0;
+        let paths = (h as u64).pow(t_len as u32);
+        for code in 0..paths {
+            let mut c = code;
+            let mut path = Vec::with_capacity(t_len);
+            for _ in 0..t_len {
+                path.push((c % h as u64) as usize);
+                c /= h as u64;
+            }
+            let mut p = hmm.pi[path[0]] * hmm.b[path[0]][obs[0]];
+            for t in 1..t_len {
+                p *= hmm.a[path[t - 1]][path[t]] * hmm.b[path[t]][obs[t]];
+            }
+            total += p;
+        }
+        total
+    }
+
+    fn test_model() -> Hmm {
+        Hmm::new(
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+            vec![0.6, 0.4],
+        )
+    }
+
+    #[test]
+    fn forward_likelihood_matches_brute_force() {
+        let hmm = test_model();
+        for obs in [vec![0], vec![0, 1], vec![1, 1, 0], vec![0, 0, 1, 1, 0]] {
+            let fwd = forward_scaled(&hmm, &obs);
+            let ll = log_likelihood(&fwd.scale);
+            let brute = likelihood_brute(&hmm, &obs);
+            assert!(
+                (ll - brute.ln()).abs() < 1e-9,
+                "obs {obs:?}: scaled {ll} vs brute {}",
+                brute.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_rows_are_normalized() {
+        let hmm = test_model();
+        let fwd = forward_scaled(&hmm, &[0, 1, 0, 1, 1]);
+        for row in &fwd.alpha {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let hmm = test_model();
+        let gamma = state_posteriors(&hmm, &[0, 1, 1, 0, 0, 1]);
+        for row in &gamma {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&g| (0.0..=1.0).contains(&g)));
+        }
+    }
+
+    #[test]
+    fn posteriors_match_brute_force_on_small_case() {
+        let hmm = test_model();
+        let obs = [0usize, 1, 0];
+        let gamma = state_posteriors(&hmm, &obs);
+        // Brute force gamma_1(0): P(q_1 = 0 | O) = sum over paths with
+        // q_1 = 0 of P(path, O) / P(O).
+        let h = hmm.num_states;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s0 in 0..h {
+            for s1 in 0..h {
+                for s2 in 0..h {
+                    let p = hmm.pi[s0]
+                        * hmm.b[s0][obs[0]]
+                        * hmm.a[s0][s1]
+                        * hmm.b[s1][obs[1]]
+                        * hmm.a[s1][s2]
+                        * hmm.b[s2][obs[2]];
+                    den += p;
+                    if s1 == 0 {
+                        num += p;
+                    }
+                }
+            }
+        }
+        assert!((gamma[1][0] - num / den).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_sequences_do_not_underflow() {
+        let hmm = test_model();
+        let obs: Vec<usize> = (0..5_000).map(|t| (t / 7) % 2).collect();
+        let fwd = forward_scaled(&hmm, &obs);
+        let ll = log_likelihood(&fwd.scale);
+        assert!(ll.is_finite());
+        assert!(ll < 0.0, "log-likelihood of long sequence must be negative");
+        let gamma = state_posteriors(&hmm, &obs);
+        assert!(gamma.iter().flatten().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn likelihood_decreases_with_surprising_observations() {
+        // State 0 strongly emits symbol 0. A sequence of 0s should be more
+        // likely than a sequence of alternating symbols.
+        let hmm = test_model();
+        let steady = forward_scaled(&hmm, &[0; 8]);
+        let jumpy = forward_scaled(&hmm, &[0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(log_likelihood(&steady.scale) > log_likelihood(&jumpy.scale));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_observations_rejected() {
+        forward_scaled(&test_model(), &[]);
+    }
+}

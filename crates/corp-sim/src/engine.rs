@@ -1,0 +1,818 @@
+//! The slot-stepped simulation engine.
+//!
+//! Per slot the engine: admits arrivals, asks the [`Provisioner`] for a
+//! plan (timing the decision and charging modeled communication latency per
+//! action message), applies validated adjustments and placements, advances
+//! running jobs under the strict-reservation execution model, resolves any
+//! predictions targeting this slot, and records metrics.
+//!
+//! ## Validation rules
+//!
+//! * An adjustment may not push a VM's committed total above capacity and
+//!   may not be negative; invalid adjustments are dropped (counted).
+//! * A placement must reference a pending job and fit the VM's free
+//!   capacity at application time; invalid placements are dropped.
+//! * Jobs whose peak request exceeds every VM's capacity are rejected at
+//!   arrival (they could never run) and count as SLO violations.
+
+use crate::cluster::Cluster;
+use crate::job::{JobId, JobState, RunningJob};
+use crate::metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};
+use crate::provisioner::{
+    PendingJobView, PredictionRecord, Provisioner, SlotContext, VmView,
+};
+use crate::resources::ResourceVector;
+use corp_trace::{JobSpec, NUM_RESOURCES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Engine knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationOptions {
+    /// Hard stop: slots simulated past the last arrival before declaring
+    /// remaining jobs unfinished.
+    pub max_slots: u64,
+    /// Include measured wall-clock decision time in the overhead metric
+    /// (always true for overhead experiments; harmless elsewhere).
+    pub measure_decision_time: bool,
+    /// Prediction-error tolerance for the error-rate metric, as a fraction
+    /// of each resource's maximum VM capacity (`eps_k = frac * C'_k`) —
+    /// resource types live on very different scales (cores vs. hundreds of
+    /// GB), so a relative tolerance is the only meaningful one.
+    pub prediction_eps_frac: f64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            max_slots: 100_000,
+            measure_decision_time: true,
+            prediction_eps_frac: 0.25,
+        }
+    }
+}
+
+/// Final report of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Provisioner name.
+    pub provisioner: String,
+    /// Environment profile name.
+    pub environment: String,
+    /// Number of jobs submitted.
+    pub num_jobs: usize,
+    /// Aggregate per-resource utilization (time-aggregated Eq. 1).
+    pub utilization: [f64; NUM_RESOURCES],
+    /// Aggregate weighted overall utilization (Eq. 2).
+    pub overall_utilization: f64,
+    /// SLO violation rate over terminal jobs (unfinished jobs count as
+    /// violations).
+    pub slo_violation_rate: f64,
+    /// Prediction error rate at the configured tolerance (Fig. 6 metric).
+    pub prediction_error_rate: f64,
+    /// Number of predictions resolved.
+    pub predictions_resolved: usize,
+    /// Total allocation overhead in milliseconds (Figs. 10/14 metric).
+    pub overhead_ms: f64,
+    /// Completed job count.
+    pub completed: usize,
+    /// Completed jobs that violated their SLO.
+    pub violated: usize,
+    /// Arrival-time rejections.
+    pub rejected: usize,
+    /// Jobs still unfinished at the slot cap.
+    pub unfinished: usize,
+    /// Slots actually simulated.
+    pub slots_run: u64,
+    /// Mean response time over completed jobs, in slots.
+    pub mean_response_slots: f64,
+    /// Dropped invalid plan actions (diagnostics; 0 for well-behaved
+    /// provisioners).
+    pub invalid_actions: usize,
+}
+
+/// The simulator.
+pub struct Simulation {
+    cluster: Cluster,
+    options: SimulationOptions,
+    jobs: Vec<RunningJob>,
+    index_of: HashMap<JobId, usize>,
+    /// Arrival slots sorted ascending alongside job indices.
+    arrivals: Vec<(u64, usize)>,
+    metrics: MetricsCollector,
+    vm_unused_history: Vec<Vec<ResourceVector>>,
+    pending_predictions: Vec<PredictionRecord>,
+    invalid_actions: usize,
+}
+
+impl Simulation {
+    /// Builds a simulation over `cluster` with the given workload.
+    pub fn new(cluster: Cluster, specs: Vec<JobSpec>, options: SimulationOptions) -> Self {
+        let jobs: Vec<RunningJob> = specs.into_iter().map(RunningJob::new).collect();
+        let index_of = jobs.iter().enumerate().map(|(i, j)| (j.id(), i)).collect();
+        let mut arrivals: Vec<(u64, usize)> =
+            jobs.iter().enumerate().map(|(i, j)| (j.spec.arrival_slot, i)).collect();
+        arrivals.sort_by_key(|&(slot, _)| slot);
+        let num_vms = cluster.vms.len();
+        Simulation {
+            cluster,
+            options,
+            jobs,
+            index_of,
+            arrivals,
+            metrics: MetricsCollector::new(),
+            vm_unused_history: vec![Vec::new(); num_vms],
+            pending_predictions: Vec::new(),
+            invalid_actions: 0,
+        }
+    }
+
+    /// Read access to the metrics collected so far (or after `run`).
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+
+    /// Read access to job states after `run` (tests, detailed analyses).
+    pub fn jobs(&self) -> &[RunningJob] {
+        &self.jobs
+    }
+
+    /// Runs the simulation to completion under `provisioner` and returns
+    /// the report.
+    pub fn run(&mut self, provisioner: &mut dyn Provisioner) -> SimulationReport {
+        let max_capacity = self.cluster.max_vm_capacity();
+        let mut vm_committed = vec![ResourceVector::ZERO; self.cluster.vms.len()];
+        let mut vm_jobs: Vec<Vec<usize>> = vec![Vec::new(); self.cluster.vms.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut active = 0usize; // pending + running
+        let mut slot = 0u64;
+        let last_arrival = self.arrivals.last().map(|&(s, _)| s).unwrap_or(0);
+
+        loop {
+            // 1. Admit arrivals.
+            while next_arrival < self.arrivals.len() && self.arrivals[next_arrival].0 <= slot {
+                let idx = self.arrivals[next_arrival].1;
+                next_arrival += 1;
+                let requested = self.jobs[idx].requested();
+                if !requested.fits_within(&max_capacity) {
+                    self.jobs[idx].state = JobState::Rejected;
+                    self.metrics.record_rejection();
+                } else {
+                    pending.push(idx);
+                    active += 1;
+                }
+            }
+
+            // 2. Ask the provisioner for a plan.
+            let plan = {
+                let vm_views: Vec<VmView> = self
+                    .cluster
+                    .vms
+                    .iter()
+                    .map(|vm| VmView {
+                        id: vm.id,
+                        capacity: vm.capacity,
+                        committed: vm_committed[vm.id],
+                        free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
+                        jobs: vm_jobs[vm.id]
+                            .iter()
+                            .map(|&ji| {
+                                let j = &self.jobs[ji];
+                                let tail = |v: &Vec<ResourceVector>| {
+                                    let start = v.len().saturating_sub(
+                                        crate::provisioner::VIEW_HISTORY_CAP,
+                                    );
+                                    v[start..].to_vec()
+                                };
+                                crate::provisioner::RunningJobView {
+                                    id: j.id(),
+                                    requested: j.requested(),
+                                    allocation: j.allocation,
+                                    recent_demand: tail(&j.observed_demand),
+                                    recent_unused: tail(&j.observed_unused),
+                                }
+                            })
+                            .collect(),
+                        unused_history: {
+                            let h = &self.vm_unused_history[vm.id];
+                            let start = h
+                                .len()
+                                .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                            h[start..].to_vec()
+                        },
+                    })
+                    .collect();
+                let pending_views: Vec<PendingJobView> = pending
+                    .iter()
+                    .map(|&ji| {
+                        let j = &self.jobs[ji];
+                        PendingJobView {
+                            id: j.id(),
+                            requested: j.requested(),
+                            arrival_slot: j.spec.arrival_slot,
+                            slo_slots: j.spec.slo_slots,
+                        }
+                    })
+                    .collect();
+                let ctx = SlotContext {
+                    slot,
+                    vms: &vm_views,
+                    pending: &pending_views,
+                    max_vm_capacity: max_capacity,
+                };
+                let started = Instant::now();
+                let plan = provisioner.provision(&ctx);
+                if self.options.measure_decision_time {
+                    self.metrics.overhead_us += started.elapsed().as_secs_f64() * 1e6;
+                }
+                plan
+            };
+            let messages = plan.adjustments.len() + plan.placements.len();
+            self.metrics.overhead_us +=
+                messages as f64 * self.cluster.profile.comm_latency_us;
+            self.pending_predictions.extend(plan.predictions);
+
+            // 3. Apply allocation adjustments to running jobs. Shrinking
+            // adjustments run first so that reclaim-and-restore bundles in
+            // one plan never transit through a spuriously over-committed
+            // state.
+            let mut adjustments = plan.adjustments;
+            adjustments.sort_by_key(|(job_id, new_alloc)| {
+                let shrinking = self
+                    .index_of
+                    .get(job_id)
+                    .map(|&ji| new_alloc.fits_within(&self.jobs[ji].allocation))
+                    .unwrap_or(false);
+                !shrinking
+            });
+            for (job_id, new_alloc) in adjustments {
+                let Some(&ji) = self.index_of.get(&job_id) else {
+                    self.invalid_actions += 1;
+                    continue;
+                };
+                let JobState::Running { vm } = self.jobs[ji].state else {
+                    self.invalid_actions += 1;
+                    continue;
+                };
+                if !new_alloc.is_nonnegative() {
+                    self.invalid_actions += 1;
+                    continue;
+                }
+                let new_alloc = new_alloc.clamp_nonnegative();
+                let old = self.jobs[ji].allocation;
+                let candidate = vm_committed[vm] - old + new_alloc;
+                if candidate.clamp_nonnegative().fits_within(&self.cluster.vms[vm].capacity) {
+                    vm_committed[vm] = candidate.clamp_nonnegative();
+                    self.jobs[ji].allocation = new_alloc;
+                } else {
+                    self.invalid_actions += 1;
+                }
+            }
+
+            // 4. Apply placements.
+            for p in plan.placements {
+                let Some(&ji) = self.index_of.get(&p.job) else {
+                    self.invalid_actions += 1;
+                    continue;
+                };
+                let is_pending = matches!(self.jobs[ji].state, JobState::Pending)
+                    && pending.contains(&ji);
+                if !is_pending || p.vm >= self.cluster.vms.len() || !p.allocation.is_nonnegative()
+                {
+                    self.invalid_actions += 1;
+                    continue;
+                }
+                let alloc = p.allocation.clamp_nonnegative();
+                let free =
+                    self.cluster.vms[p.vm].capacity.saturating_sub(&vm_committed[p.vm]);
+                if !alloc.fits_within(&free) {
+                    self.invalid_actions += 1;
+                    continue;
+                }
+                vm_committed[p.vm] += alloc;
+                vm_jobs[p.vm].push(ji);
+                pending.retain(|&x| x != ji);
+                self.jobs[ji].state = JobState::Running { vm: p.vm };
+                self.jobs[ji].allocation = alloc;
+                if self.jobs[ji].placed_slot.is_none() {
+                    self.jobs[ji].placed_slot = Some(slot);
+                }
+            }
+
+            // 5. Advance running jobs and collect per-slot totals.
+            let mut slot_allocated = ResourceVector::ZERO;
+            let mut slot_demanded = ResourceVector::ZERO;
+            let mut slot_vm_unused = vec![ResourceVector::ZERO; self.cluster.vms.len()];
+            for (vm_id, jobs_here) in vm_jobs.iter().enumerate() {
+                if jobs_here.is_empty() {
+                    self.vm_unused_history[vm_id].push(ResourceVector::ZERO);
+                    continue;
+                }
+                // Physical congestion: total true demand vs capacity.
+                let mut total_demand = ResourceVector::ZERO;
+                for &ji in jobs_here {
+                    total_demand += self.jobs[ji].current_demand();
+                }
+                let cap = self.cluster.vms[vm_id].capacity;
+                let mut congestion = 1.0f64;
+                for k in 0..NUM_RESOURCES {
+                    if total_demand[k] > cap[k] && total_demand[k] > 0.0 {
+                        congestion = congestion.min(cap[k] / total_demand[k]);
+                    }
+                }
+                for &ji in jobs_here {
+                    let demand = self.jobs[ji].current_demand();
+                    let adequacy = self.jobs[ji].allocation.coverage_of(&demand);
+                    let rate = congestion.min(adequacy);
+                    let job = &mut self.jobs[ji];
+                    job.progress += rate;
+                    job.observed_demand.push(demand);
+                    let unused = job.allocation.saturating_sub(&demand);
+                    job.observed_unused.push(unused);
+                    slot_vm_unused[vm_id] += unused;
+                    slot_allocated += job.allocation;
+                    slot_demanded += demand;
+                }
+                self.vm_unused_history[vm_id].push(slot_vm_unused[vm_id]);
+            }
+            self.metrics.record_slot(UtilizationSample {
+                slot,
+                allocated: slot_allocated,
+                demanded: slot_demanded,
+            });
+
+            // 6. Resolve predictions targeting this slot: job-targeted
+            // records score against that job's observed unused (dropped if
+            // the job already finished), VM-targeted ones against the VM
+            // total.
+            let index_of = &self.index_of;
+            let jobs = &self.jobs;
+            self.pending_predictions.retain(|p| {
+                if p.target_slot != slot {
+                    return p.target_slot > slot; // drop stale, keep future
+                }
+                if p.resource >= NUM_RESOURCES {
+                    return false;
+                }
+                let actual = match p.job {
+                    Some(job_id) => match index_of.get(&job_id) {
+                        Some(&ji) if matches!(jobs[ji].state, JobState::Running { .. }) => {
+                            jobs[ji].observed_unused.last().map(|u| u[p.resource])
+                        }
+                        _ => None,
+                    },
+                    None => slot_vm_unused.get(p.vm).map(|u| u[p.resource]),
+                };
+                if let Some(actual) = actual {
+                    self.metrics.predictions.push(PredictionOutcome {
+                        vm: p.vm,
+                        resource: p.resource,
+                        target_slot: slot,
+                        predicted: p.predicted,
+                        actual,
+                    });
+                }
+                false
+            });
+
+            // 7. Completions.
+            for (vm_id, jobs_here) in vm_jobs.iter_mut().enumerate() {
+                let mut i = 0;
+                while i < jobs_here.len() {
+                    let ji = jobs_here[i];
+                    if self.jobs[ji].work_done() {
+                        let violated = self.jobs[ji].violates_slo(slot);
+                        let response = self.jobs[ji].response_slots(slot);
+                        vm_committed[vm_id] =
+                            (vm_committed[vm_id] - self.jobs[ji].allocation).clamp_nonnegative();
+                        self.jobs[ji].allocation = ResourceVector::ZERO;
+                        self.jobs[ji].state =
+                            JobState::Completed { finish_slot: slot, violated };
+                        self.metrics.record_completion(response, violated);
+                        let histories: Vec<Vec<f64>> =
+                            (0..NUM_RESOURCES).map(|r| self.jobs[ji].unused_series(r)).collect();
+                        provisioner.on_job_completed(self.jobs[ji].id(), &histories);
+                        jobs_here.swap_remove(i);
+                        active -= 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // 8. Termination.
+            let arrivals_done = next_arrival == self.arrivals.len();
+            if arrivals_done && active == 0 {
+                slot += 1;
+                break;
+            }
+            slot += 1;
+            if slot >= self.options.max_slots + last_arrival {
+                break;
+            }
+        }
+
+        // Unfinished jobs are SLO violations by definition (never served in
+        // time).
+        let unfinished = self
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Pending | JobState::Running { .. }))
+            .count();
+
+        let terminal = self.metrics.completed + self.metrics.rejected + unfinished;
+        let slo_rate = if terminal == 0 {
+            0.0
+        } else {
+            (self.metrics.violated + self.metrics.rejected + unfinished) as f64 / terminal as f64
+        };
+
+        SimulationReport {
+            provisioner: provisioner.name().to_string(),
+            environment: self.cluster.profile.name.clone(),
+            num_jobs: self.jobs.len(),
+            utilization: self.metrics.aggregate_utilization(),
+            overall_utilization: self.metrics.aggregate_overall_utilization(),
+            slo_violation_rate: slo_rate,
+            prediction_error_rate: {
+                let mut eps = [0.0; NUM_RESOURCES];
+                for k in 0..NUM_RESOURCES {
+                    eps[k] = self.options.prediction_eps_frac * max_capacity[k];
+                }
+                self.metrics.prediction_error_rate_per_resource(&eps)
+            },
+            predictions_resolved: self.metrics.predictions.len(),
+            overhead_ms: self.metrics.overhead_ms(),
+            completed: self.metrics.completed,
+            violated: self.metrics.violated,
+            rejected: self.metrics.rejected,
+            unfinished,
+            slots_run: slot,
+            mean_response_slots: self.metrics.mean_response_slots(),
+            invalid_actions: self.invalid_actions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::EnvironmentProfile;
+    use crate::provisioner::StaticPeakProvisioner;
+    use corp_trace::{WorkloadConfig, WorkloadGenerator};
+
+    fn small_workload(n: usize, seed: u64) -> Vec<JobSpec> {
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, ..WorkloadConfig::default() }, seed)
+            .generate()
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::from_profile(EnvironmentProfile::palmetto_cluster())
+    }
+
+    #[test]
+    fn static_peak_completes_all_jobs_without_violations() {
+        // Full-peak reservations never throttle execution, so with ample
+        // capacity every job completes within its SLO.
+        let mut sim = Simulation::new(cluster(), small_workload(40, 1), SimulationOptions::default());
+        let report = sim.run(&mut StaticPeakProvisioner);
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.invalid_actions, 0);
+        assert_eq!(report.slo_violation_rate, 0.0, "{report:?}");
+    }
+
+    #[test]
+    fn static_peak_utilization_is_materially_below_one() {
+        // Peak reservations waste the gap between peak and actual demand —
+        // the premise of the whole paper.
+        let mut sim = Simulation::new(cluster(), small_workload(60, 2), SimulationOptions::default());
+        let report = sim.run(&mut StaticPeakProvisioner);
+        assert!(
+            report.overall_utilization < 0.95,
+            "peak reservation should waste resources: {}",
+            report.overall_utilization
+        );
+        assert!(report.overall_utilization > 0.2, "but demand is not negligible");
+    }
+
+    #[test]
+    fn oversized_job_is_rejected() {
+        let mut jobs = small_workload(2, 3);
+        jobs[0].requested = [999.0, 999.0, 999.0];
+        let mut sim = Simulation::new(cluster(), jobs, SimulationOptions::default());
+        let report = sim.run(&mut StaticPeakProvisioner);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed, 1);
+        assert!(report.slo_violation_rate > 0.0, "rejection counts as violation");
+    }
+
+    #[test]
+    fn empty_workload_terminates_immediately() {
+        let mut sim = Simulation::new(cluster(), Vec::new(), SimulationOptions::default());
+        let report = sim.run(&mut StaticPeakProvisioner);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.slo_violation_rate, 0.0);
+    }
+
+    #[test]
+    fn overhead_accumulates_comm_latency_per_message() {
+        let jobs = small_workload(20, 4);
+        let mut sim = Simulation::new(
+            cluster(),
+            jobs,
+            SimulationOptions { measure_decision_time: false, ..SimulationOptions::default() },
+        );
+        let report = sim.run(&mut StaticPeakProvisioner);
+        // 20 placements at 100us each = 2ms, exactly (no decision time).
+        assert!((report.overhead_ms - 2.0).abs() < 1e-9, "got {}", report.overhead_ms);
+    }
+
+    #[test]
+    fn ec2_overhead_exceeds_cluster_overhead_for_same_workload() {
+        let jobs = small_workload(20, 5);
+        let opts =
+            SimulationOptions { measure_decision_time: false, ..SimulationOptions::default() };
+        let mut sim_c = Simulation::new(cluster(), jobs.clone(), opts.clone());
+        let rep_c = sim_c.run(&mut StaticPeakProvisioner);
+        // Scale demands down so jobs fit EC2's small nodes.
+        let mut ec2_jobs = jobs;
+        for j in &mut ec2_jobs {
+            for r in &mut j.requested {
+                *r *= 0.2;
+            }
+            for d in &mut j.demand {
+                for v in d.iter_mut() {
+                    *v *= 0.2;
+                }
+            }
+        }
+        let mut sim_e = Simulation::new(
+            Cluster::from_profile(EnvironmentProfile::amazon_ec2()),
+            ec2_jobs,
+            opts,
+        );
+        let rep_e = sim_e.run(&mut StaticPeakProvisioner);
+        assert!(
+            rep_e.overhead_ms > rep_c.overhead_ms,
+            "EC2 comm latency must dominate: {} vs {}",
+            rep_e.overhead_ms,
+            rep_c.overhead_ms
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_seed_and_policy() {
+        let run = || {
+            let mut sim = Simulation::new(
+                cluster(),
+                small_workload(30, 7),
+                SimulationOptions { measure_decision_time: false, ..Default::default() },
+            );
+            let r = sim.run(&mut StaticPeakProvisioner);
+            (r.completed, r.overall_utilization.to_bits(), r.slots_run)
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A deliberately hostile provisioner that issues invalid actions.
+    struct Chaotic;
+    impl Provisioner for Chaotic {
+        fn name(&self) -> &str {
+            "chaotic"
+        }
+        fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+            let mut plan = crate::provisioner::ProvisionPlan::default();
+            // Bogus adjustment for a job that does not exist.
+            plan.adjustments.push((u64::MAX, ResourceVector::splat(1.0)));
+            // Place pending jobs on a bogus VM id, then correctly.
+            for j in ctx.pending {
+                plan.placements.push(crate::provisioner::Placement {
+                    job: j.id,
+                    vm: usize::MAX,
+                    allocation: j.requested,
+                });
+                plan.placements.push(crate::provisioner::Placement {
+                    job: j.id,
+                    vm: 0,
+                    allocation: j.requested,
+                });
+            }
+            plan
+        }
+    }
+
+    #[test]
+    fn invalid_actions_are_dropped_not_fatal() {
+        let mut jobs = small_workload(3, 8);
+        // Space the arrivals so VM 0 can host them sequentially if needed.
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.arrival_slot = (i as u64) * 60;
+        }
+        let mut sim = Simulation::new(cluster(), jobs, SimulationOptions::default());
+        let report = sim.run(&mut Chaotic);
+        assert!(report.invalid_actions > 0);
+        assert_eq!(report.completed, 3, "valid placements still apply: {report:?}");
+    }
+
+    /// A provisioner that places jobs but allocates only 35% of the
+    /// request — strict reservations must slow the jobs down (typical
+    /// demand sits near 50% of the request, so this under-allocates nearly
+    /// every job).
+    struct HalfAllocator;
+    impl Provisioner for HalfAllocator {
+        fn name(&self) -> &str {
+            "half"
+        }
+        fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+            let mut plan = crate::provisioner::ProvisionPlan::default();
+            let mut free: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
+            for j in ctx.pending {
+                let alloc = j.requested.scaled(0.35);
+                if let Some(vm) = free.iter().position(|f| alloc.fits_within(f)) {
+                    free[vm] -= alloc;
+                    plan.placements.push(crate::provisioner::Placement {
+                        job: j.id,
+                        vm,
+                        allocation: alloc,
+                    });
+                }
+            }
+            plan
+        }
+    }
+
+    #[test]
+    fn under_allocation_causes_slo_violations() {
+        let mut sim =
+            Simulation::new(cluster(), small_workload(40, 9), SimulationOptions::default());
+        let report = sim.run(&mut HalfAllocator);
+        // 35% allocation against ~50%-of-request demand => coverage ~0.7
+        // on the binding resource, stretching response times past the SLO
+        // slack for most jobs.
+        assert!(
+            report.slo_violation_rate > 0.5,
+            "starved jobs must blow their SLOs: {report:?}"
+        );
+    }
+
+    #[test]
+    fn under_allocation_raises_utilization() {
+        // The flip side: allocating closer to demand raises utilization.
+        let jobs = small_workload(40, 10);
+        let opts =
+            SimulationOptions { measure_decision_time: false, ..SimulationOptions::default() };
+        let full = Simulation::new(cluster(), jobs.clone(), opts.clone())
+            .run(&mut StaticPeakProvisioner);
+        let half = Simulation::new(cluster(), jobs, opts).run(&mut HalfAllocator);
+        assert!(
+            half.overall_utilization > full.overall_utilization,
+            "tighter allocations must utilize better: {} vs {}",
+            half.overall_utilization,
+            full.overall_utilization
+        );
+    }
+
+    /// Registers a same-slot prediction of zero unused for VM 0 every slot.
+    struct ZeroPredictor(StaticPeakProvisioner);
+    impl Provisioner for ZeroPredictor {
+        fn name(&self) -> &str {
+            "zero-pred"
+        }
+        fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+            let mut plan = self.0.provision(ctx);
+            plan.predictions.push(PredictionRecord {
+                vm: 0,
+                job: None,
+                resource: 0,
+                made_at: ctx.slot,
+                target_slot: ctx.slot,
+                predicted: 0.0,
+            });
+            plan
+        }
+    }
+
+    #[test]
+    fn predictions_are_resolved_against_actuals() {
+        let mut sim =
+            Simulation::new(cluster(), small_workload(30, 11), SimulationOptions::default());
+        let report = sim.run(&mut ZeroPredictor(StaticPeakProvisioner));
+        assert!(report.predictions_resolved > 0);
+        // Zero-unused predictions on a peak-allocated VM are mostly wrong.
+        assert!(report.prediction_error_rate > 0.3, "{report:?}");
+    }
+
+    /// Registers per-job predictions equal to the job's last observed
+    /// unused value (a persistence predictor — should score very well).
+    struct JobPersistencePredictor(StaticPeakProvisioner);
+    impl Provisioner for JobPersistencePredictor {
+        fn name(&self) -> &str {
+            "job-persistence"
+        }
+        fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+            let mut plan = self.0.provision(ctx);
+            for vm in ctx.vms {
+                for job in &vm.jobs {
+                    if let Some(u) = job.recent_unused.last() {
+                        plan.predictions.push(PredictionRecord {
+                            vm: vm.id,
+                            job: Some(job.id),
+                            resource: 0,
+                            made_at: ctx.slot,
+                            target_slot: ctx.slot + 1,
+                            predicted: u[0],
+                        });
+                    }
+                }
+            }
+            plan
+        }
+    }
+
+    #[test]
+    fn job_targeted_predictions_resolve_against_the_job() {
+        let mut sim =
+            Simulation::new(cluster(), small_workload(30, 14), SimulationOptions::default());
+        let report = sim.run(&mut JobPersistencePredictor(StaticPeakProvisioner));
+        assert!(report.predictions_resolved > 0, "{report:?}");
+        // Persistence on a per-job unused series has symmetric errors, and
+        // the paper's correctness band [0, eps) rejects every
+        // over-estimation — so ~half the predictions score "wrong" even
+        // though their magnitudes are tiny. The rate must sit near that
+        // structural 50%, far from the ~100% a systematically wrong
+        // predictor would show.
+        assert!(
+            report.prediction_error_rate < 0.7,
+            "persistence should score near the symmetric-band bound: {report:?}"
+        );
+        // Predictions for jobs that completed before their target slot are
+        // dropped, never mis-scored: resolved <= registered.
+        let registered = sim.metrics().predictions.len();
+        assert_eq!(registered, report.predictions_resolved);
+    }
+
+    #[test]
+    fn views_expose_job_histories_and_placed_slots_are_recorded() {
+        struct Inspect {
+            inner: StaticPeakProvisioner,
+            saw_history: bool,
+        }
+        impl Provisioner for Inspect {
+            fn name(&self) -> &str {
+                "inspect"
+            }
+            fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+                for vm in ctx.vms {
+                    for job in &vm.jobs {
+                        assert_eq!(job.recent_demand.len(), job.recent_unused.len());
+                        assert!(job.recent_demand.len() <= crate::provisioner::VIEW_HISTORY_CAP);
+                        assert!(job.allocation.fits_within(&job.requested));
+                        if !job.recent_demand.is_empty() {
+                            self.saw_history = true;
+                        }
+                    }
+                }
+                self.inner.provision(ctx)
+            }
+        }
+        let mut p = Inspect { inner: StaticPeakProvisioner, saw_history: false };
+        let mut sim =
+            Simulation::new(cluster(), small_workload(20, 15), SimulationOptions::default());
+        let report = sim.run(&mut p);
+        assert!(p.saw_history, "views must carry usage history");
+        assert_eq!(report.completed, 20);
+        for j in sim.jobs() {
+            if matches!(j.state, JobState::Completed { .. }) {
+                let placed = j.placed_slot.expect("completed jobs were placed");
+                assert!(placed >= j.spec.arrival_slot);
+            }
+        }
+    }
+
+    #[test]
+    fn max_slots_bounds_runaway_runs() {
+        /// Never places anything: jobs starve in the queue forever.
+        struct DoNothing;
+        impl Provisioner for DoNothing {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn provision(&mut self, _: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+                crate::provisioner::ProvisionPlan::default()
+            }
+        }
+        let mut sim = Simulation::new(
+            cluster(),
+            small_workload(5, 12),
+            SimulationOptions { max_slots: 50, ..SimulationOptions::default() },
+        );
+        let report = sim.run(&mut DoNothing);
+        assert_eq!(report.unfinished, 5);
+        assert_eq!(report.slo_violation_rate, 1.0);
+        assert!(report.slots_run <= 50 + small_workload(5, 12).last().unwrap().arrival_slot + 2);
+    }
+}

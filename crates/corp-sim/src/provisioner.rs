@@ -1,0 +1,243 @@
+//! The provisioning interface between the engine and scheduling policies.
+//!
+//! Once per slot the engine hands the active [`Provisioner`] a
+//! [`SlotContext`] — read-only views of every VM, every running job's
+//! observed usage, and the pending queue — and receives a
+//! [`ProvisionPlan`]: allocation adjustments for running jobs (how CORP
+//! reclaims predicted-unused resources), placements for pending jobs, and
+//! optional [`PredictionRecord`]s that the engine later resolves against
+//! actual unused amounts to measure prediction accuracy (paper Fig. 6).
+//!
+//! A trivial [`StaticPeakProvisioner`] (first-fit at peak request, no
+//! reclamation — classic reservation-based allocation) lives here both as
+//! the simplest possible policy for engine tests and as the
+//! "reservation-based" reference point from the paper's introduction.
+
+use crate::job::JobId;
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// Cap on the per-job history tail copied into views each slot; bounds the
+/// per-slot copying cost while comfortably exceeding any predictor's input
+/// window.
+pub const VIEW_HISTORY_CAP: usize = 64;
+
+/// Read-only view of one running job for provisioning decisions.
+#[derive(Debug, Clone)]
+pub struct RunningJobView {
+    /// Job id.
+    pub id: JobId,
+    /// Peak request the job was admitted with.
+    pub requested: ResourceVector,
+    /// Current allocation `r_ij`.
+    pub allocation: ResourceVector,
+    /// Observed demand over the most recent slots (newest last, capped at
+    /// [`VIEW_HISTORY_CAP`]).
+    pub recent_demand: Vec<ResourceVector>,
+    /// Observed unused allocation over the most recent slots (newest last)
+    /// — the per-job series CORP's DNN predicts.
+    pub recent_unused: Vec<ResourceVector>,
+}
+
+/// Read-only view of one VM for provisioning decisions.
+#[derive(Debug, Clone)]
+pub struct VmView {
+    /// VM id.
+    pub id: usize,
+    /// Total capacity `C_ij`.
+    pub capacity: ResourceVector,
+    /// Sum of current job allocations on this VM.
+    pub committed: ResourceVector,
+    /// `capacity - committed`, never negative.
+    pub free: ResourceVector,
+    /// Jobs currently running here.
+    pub jobs: Vec<RunningJobView>,
+    /// Per-resource total *observed unused* allocation on this VM over the
+    /// most recent slots (newest last, capped at [`VIEW_HISTORY_CAP`]) —
+    /// the series VM-level predictors (RCCR, CloudScale, DRA) forecast.
+    /// Predictors needing longer memory maintain their own state from the
+    /// newest element each slot.
+    pub unused_history: Vec<ResourceVector>,
+}
+
+/// Read-only view of a pending job.
+#[derive(Debug, Clone)]
+pub struct PendingJobView {
+    /// Job id.
+    pub id: JobId,
+    /// Requested (peak) resources — what a reservation would allocate.
+    pub requested: ResourceVector,
+    /// Slot the job arrived.
+    pub arrival_slot: u64,
+    /// The job's SLO threshold in slots.
+    pub slo_slots: usize,
+}
+
+/// One placement decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Which pending job.
+    pub job: JobId,
+    /// Destination VM.
+    pub vm: usize,
+    /// Initial allocation `r_ij` granted to the job.
+    pub allocation: ResourceVector,
+}
+
+/// A prediction registered for later accuracy resolution: "at `made_at` we
+/// predicted the unused amount of `resource` on VM `vm` (or of job `job`,
+/// when set) for slot `target_slot` would be `predicted`".
+///
+/// The paper's Fig. 6 metric is *per job* ("we calculated the prediction
+/// error ... for each job"); job-granular schemes (CORP) register per-job
+/// records, VM-granular schemes (RCCR/CloudScale/DRA) per-VM ones — each
+/// scheme is scored at its native prediction granularity, which is exactly
+/// the comparison the paper makes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    /// VM the prediction concerns.
+    pub vm: usize,
+    /// Job the prediction concerns, for job-granular predictors.
+    pub job: Option<JobId>,
+    /// Resource index.
+    pub resource: usize,
+    /// Slot the prediction was made.
+    pub made_at: u64,
+    /// Slot the prediction targets.
+    pub target_slot: u64,
+    /// Predicted unused amount.
+    pub predicted: f64,
+}
+
+/// Everything a provisioner may do in one slot.
+#[derive(Debug, Clone, Default)]
+pub struct ProvisionPlan {
+    /// New allocations for running jobs (reclaim/restore). Applied before
+    /// placements, so freed resources are placeable in the same slot.
+    pub adjustments: Vec<(JobId, ResourceVector)>,
+    /// Placements of pending jobs onto VMs.
+    pub placements: Vec<Placement>,
+    /// Predictions to score later.
+    pub predictions: Vec<PredictionRecord>,
+}
+
+/// Read-only context handed to the provisioner each slot.
+#[derive(Debug)]
+pub struct SlotContext<'a> {
+    /// Current slot index.
+    pub slot: u64,
+    /// Views of all VMs, id-indexed.
+    pub vms: &'a [VmView],
+    /// Jobs awaiting placement, arrival-ordered.
+    pub pending: &'a [PendingJobView],
+    /// The `C'` reference vector (per-resource max VM capacity, Eq. 22).
+    pub max_vm_capacity: ResourceVector,
+}
+
+/// A scheduling policy driving the simulator.
+pub trait Provisioner {
+    /// Display name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Produces this slot's plan.
+    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan;
+
+    /// Notifies the provisioner of a completed job's full unused-resource
+    /// history (per resource), so learning policies can fold finished jobs
+    /// into their training corpus. Default: ignore.
+    fn on_job_completed(&mut self, job: JobId, unused_history: &[Vec<f64>]) {
+        let _ = (job, unused_history);
+    }
+}
+
+/// Reservation-based first-fit: allocate every job its full peak request on
+/// the first VM with room; never reclaim. The paper's description of
+/// classic reservation-based allocation — guaranteed SLO, wasteful
+/// utilization.
+#[derive(Debug, Default)]
+pub struct StaticPeakProvisioner;
+
+impl Provisioner for StaticPeakProvisioner {
+    fn name(&self) -> &str {
+        "static-peak"
+    }
+
+    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
+        let mut plan = ProvisionPlan::default();
+        // Track free capacity as we commit placements within this slot.
+        let mut free: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
+        for job in ctx.pending {
+            if let Some(vm) = free.iter().position(|f| job.requested.fits_within(f)) {
+                free[vm] -= job.requested;
+                plan.placements.push(Placement { job: job.id, vm, allocation: job.requested });
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm_view(id: usize, free: [f64; 3]) -> VmView {
+        VmView {
+            id,
+            capacity: ResourceVector::new([4.0, 16.0, 180.0]),
+            committed: ResourceVector::new([4.0, 16.0, 180.0]) - ResourceVector::new(free),
+            free: ResourceVector::new(free),
+            jobs: Vec::new(),
+            unused_history: Vec::new(),
+        }
+    }
+
+    fn pending(id: JobId, req: [f64; 3]) -> PendingJobView {
+        PendingJobView { id, requested: ResourceVector::new(req), arrival_slot: 0, slo_slots: 10 }
+    }
+
+    #[test]
+    fn static_peak_places_first_fit() {
+        let vms = vec![vm_view(0, [1.0, 1.0, 1.0]), vm_view(1, [4.0, 16.0, 180.0])];
+        let jobs = vec![pending(7, [2.0, 2.0, 2.0])];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &jobs,
+            max_vm_capacity: ResourceVector::new([4.0, 16.0, 180.0]),
+        };
+        let plan = StaticPeakProvisioner.provision(&ctx);
+        assert_eq!(plan.placements.len(), 1);
+        assert_eq!(plan.placements[0].vm, 1, "VM 0 lacks room");
+        assert_eq!(plan.placements[0].allocation, ResourceVector::new([2.0, 2.0, 2.0]));
+    }
+
+    #[test]
+    fn static_peak_respects_intra_slot_commitments() {
+        // One VM with room for exactly one of the two jobs.
+        let vms = vec![vm_view(0, [2.0, 2.0, 2.0])];
+        let jobs = vec![pending(1, [2.0, 2.0, 2.0]), pending(2, [2.0, 2.0, 2.0])];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &jobs,
+            max_vm_capacity: ResourceVector::new([4.0, 16.0, 180.0]),
+        };
+        let plan = StaticPeakProvisioner.provision(&ctx);
+        assert_eq!(plan.placements.len(), 1, "second job must wait");
+    }
+
+    #[test]
+    fn static_peak_leaves_unplaceable_jobs_pending() {
+        let vms = vec![vm_view(0, [1.0, 1.0, 1.0])];
+        let jobs = vec![pending(1, [9.0, 9.0, 9.0])];
+        let ctx = SlotContext {
+            slot: 3,
+            vms: &vms,
+            pending: &jobs,
+            max_vm_capacity: ResourceVector::new([4.0, 16.0, 180.0]),
+        };
+        let plan = StaticPeakProvisioner.provision(&ctx);
+        assert!(plan.placements.is_empty());
+        assert!(plan.adjustments.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the statistical substrate.
+
+use corp_stats::{
+    dominant_period, fft_magnitudes, mean, normal_cdf, normal_quantile, percentile, stddev,
+    z_for_confidence, ErrorWindow, MarkovChain, SimpleExp, Summary,
+};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_is_bounded_by_min_max(xs in finite_vec(64)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn stddev_is_nonnegative(xs in finite_vec(64)) {
+        prop_assert!(stddev(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn stddev_shift_invariant(xs in finite_vec(32), shift in -1e3f64..1e3) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((stddev(&xs) - stddev(&shifted)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(xs in finite_vec(32), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_is_order_independent(a in finite_vec(32), b in finite_vec(32)) {
+        let mut ab = Summary::of(&a);
+        ab.merge(&Summary::of(&b));
+        let mut ba = Summary::of(&b);
+        ba.merge(&Summary::of(&a));
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert!((ab.mean - ba.mean).abs() < 1e-9 * (1.0 + ab.mean.abs()));
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-9 * (1.0 + ab.variance().abs()));
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip(p in 0.001f64..0.999) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_is_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+        prop_assume!(p1 < p2);
+        prop_assert!(normal_quantile(p1) < normal_quantile(p2));
+    }
+
+    #[test]
+    fn z_for_confidence_positive(eta in 0.01f64..0.99) {
+        prop_assert!(z_for_confidence(eta) > 0.0);
+    }
+
+    #[test]
+    fn ses_forecast_within_observed_hull(xs in finite_vec(64), alpha in 0.01f64..1.0) {
+        // SES is a convex combination of observations, so the forecast must
+        // stay inside the observed min/max hull.
+        let mut s = SimpleExp::new(alpha);
+        s.observe_all(&xs);
+        let f = s.forecast(1).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(f >= lo - 1e-9 && f <= hi + 1e-9);
+    }
+
+    #[test]
+    fn markov_rows_always_stochastic(xs in finite_vec(64), bins in 2usize..8) {
+        let mut mc = MarkovChain::new(bins, -1e6, 1e6);
+        mc.observe_all(&xs);
+        for i in 0..bins {
+            let sum: f64 = (0..bins).map(|j| mc.transition_prob(i, j)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn markov_forecast_within_range(xs in finite_vec(64), h in 1usize..5) {
+        let mut mc = MarkovChain::new(5, -1e6, 1e6);
+        mc.observe_all(&xs);
+        let f = mc.forecast(h).unwrap();
+        prop_assert!((-1e6..=1e6).contains(&f));
+    }
+
+    #[test]
+    fn fft_preserves_parseval(xs in prop::collection::vec(-100.0f64..100.0, 8usize..64)) {
+        // Parseval: sum |X_k|^2 = N * sum |x_t|^2 for the padded,
+        // mean-centred signal.
+        let n = xs.len().next_power_of_two();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let time_energy: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+        let mags = fft_magnitudes(&xs);
+        let freq_energy: f64 = mags.iter().map(|v| v * v).sum();
+        prop_assert!((freq_energy - n as f64 * time_energy).abs() <= 1e-6 * (1.0 + freq_energy));
+    }
+
+    #[test]
+    fn dominant_period_divides_reasonably(period in 4usize..32) {
+        let signal: Vec<f64> = (0..256)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
+            .collect();
+        if let Some(p) = dominant_period(&signal, 0.2) {
+            // FFT bin quantization can be off by one sample for non-dyadic
+            // periods; never wildly wrong.
+            prop_assert!((p as i64 - period as i64).abs() <= 2, "detected {p}, true {period}");
+        } else {
+            prop_assert!(false, "pure sine must yield a signature");
+        }
+    }
+
+    #[test]
+    fn error_window_prob_in_unit_interval(ds in finite_vec(64), eps in 0.001f64..10.0) {
+        let mut w = ErrorWindow::new(32);
+        for d in ds {
+            w.push(d);
+        }
+        let p = w.prob_within(eps);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,46 @@
+//! Workload substrate for the CORP reproduction.
+//!
+//! The paper drives all experiments from the 2011 Google cluster trace:
+//! task resource requirements and usage sampled every 5 minutes, long-lived
+//! jobs removed, and the remainder re-sampled onto 10-second slots. That
+//! trace is not redistributable and is unavailable offline, so this crate
+//! provides the closest synthetic equivalent plus the exact pipeline the
+//! paper describes:
+//!
+//! * [`workload`] — a generator of short-lived jobs (10 s to the paper's
+//!   5-minute timeout) whose per-slot multi-resource usage *fluctuates
+//!   without periodic patterns* (random walk + bursts + occasional peaks and
+//!   valleys), stratified by resource-intensity class (CPU-, memory-, or
+//!   storage-dominant) so the complementary-packing machinery has real work
+//!   to do.
+//! * [`arrival`] — Poisson and bursty arrival processes for submission
+//!   times.
+//! * [`google`] — a Google-trace-like record format with CSV parsing and
+//!   serialization, the 5-minute to 10-second re-slotting transform, and
+//!   the long-job filter from Section IV.
+//! * [`series`] — time-series helpers shared with the HMM quantizer:
+//!   peak/valley detection and window fluctuation spreads (the `Delta_j`
+//!   of the paper's observation-symbol construction).
+//!
+//! Everything is seeded ([`rand::rngs::StdRng`]) so experiment runs are
+//! reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Numerical kernels index several same-length arrays in lockstep; the
+// index-based loops are clearer than zipped iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod arrival;
+pub mod google;
+pub mod longlived;
+pub mod series;
+pub mod workload;
+
+pub use arrival::{ArrivalProcess, BurstyArrivals, PoissonArrivals};
+pub use google::{filter_short_lived, resample_trace, TaskRecord, TraceError};
+pub use longlived::{LongLivedConfig, LongLivedGenerator};
+pub use series::{fluctuation_spreads, peaks_and_valleys, window_spread};
+pub use workload::{
+    IntensityClass, JobSpec, ResourceKind, WorkloadConfig, WorkloadGenerator, NUM_RESOURCES,
+};

@@ -1,0 +1,208 @@
+//! Long-lived service jobs with periodic usage patterns.
+//!
+//! The paper's future work: "we will consider both short-lived and
+//! long-lived jobs and design an efficient resource allocation strategy".
+//! Long-running service jobs are the workload the RCCR line of work
+//! targets: they live for hours and their usage *does* have exploitable
+//! patterns (diurnal-style cycles). This generator produces such jobs —
+//! sinusoidal demand cycles plus mild noise — so the cooperative hybrid
+//! provisioner (and the pattern-based forecasters) have realistic long
+//! jobs to work with, and so tests can verify that short-lived jobs are
+//! patternless *while* long-lived ones are periodic.
+
+use crate::workload::{IntensityClass, JobSpec, NUM_RESOURCES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for long-lived service jobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LongLivedConfig {
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Job lifetime in slots (long: hundreds of slots).
+    pub min_duration_slots: usize,
+    /// Maximum lifetime in slots.
+    pub max_duration_slots: usize,
+    /// Period of the usage cycle, in slots.
+    pub cycle_slots: usize,
+    /// Mean demand as a fraction of the request.
+    pub mean_level_frac: f64,
+    /// Cycle amplitude as a fraction of the request.
+    pub amplitude_frac: f64,
+    /// Per-slot noise as a fraction of the request.
+    pub noise_frac: f64,
+    /// Mean inter-arrival gap in slots.
+    pub mean_interarrival_slots: f64,
+    /// Global demand multiplier (matches `WorkloadConfig::demand_scale`).
+    pub demand_scale: f64,
+    /// SLO slack multiplier over the nominal duration.
+    pub slo_slack: f64,
+}
+
+impl Default for LongLivedConfig {
+    fn default() -> Self {
+        LongLivedConfig {
+            num_jobs: 10,
+            min_duration_slots: 180,
+            max_duration_slots: 720,
+            cycle_slots: 30,
+            mean_level_frac: 0.5,
+            amplitude_frac: 0.25,
+            noise_frac: 0.03,
+            mean_interarrival_slots: 5.0,
+            demand_scale: 1.0,
+            slo_slack: 1.2,
+        }
+    }
+}
+
+/// Deterministic generator of long-lived, pattern-bearing [`JobSpec`]s.
+#[derive(Debug)]
+pub struct LongLivedGenerator {
+    config: LongLivedConfig,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl LongLivedGenerator {
+    /// Creates a generator. Job ids start at `id_base` so a long-lived
+    /// population can coexist with a short-lived one without collisions.
+    pub fn new(config: LongLivedConfig, seed: u64, id_base: u64) -> Self {
+        assert!(config.min_duration_slots >= 2, "long jobs need at least two slots");
+        assert!(
+            config.max_duration_slots >= config.min_duration_slots,
+            "duration range inverted"
+        );
+        assert!(config.cycle_slots >= 2, "cycles need at least two slots");
+        LongLivedGenerator { config, rng: StdRng::seed_from_u64(seed), next_id: id_base }
+    }
+
+    /// Generates the configured number of jobs, arrival-ordered.
+    pub fn generate(&mut self) -> Vec<JobSpec> {
+        let mut slot = 0.0f64;
+        (0..self.config.num_jobs)
+            .map(|_| {
+                let u: f64 = self.rng.gen_range(1e-12..1.0);
+                slot += -self.config.mean_interarrival_slots * u.ln();
+                self.generate_one(slot as u64)
+            })
+            .collect()
+    }
+
+    /// Generates one long-lived job arriving at `arrival_slot`.
+    pub fn generate_one(&mut self, arrival_slot: u64) -> JobSpec {
+        let cfg = &self.config;
+        let class = match self.rng.gen_range(0..3) {
+            0 => IntensityClass::CpuIntensive,
+            1 => IntensityClass::MemoryIntensive,
+            _ => IntensityClass::Balanced,
+        };
+        let base = match class {
+            IntensityClass::CpuIntensive => [1.6, 1.0, 8.0],
+            IntensityClass::MemoryIntensive => [0.4, 5.0, 8.0],
+            IntensityClass::StorageIntensive => [0.4, 1.0, 60.0],
+            IntensityClass::Balanced => [0.8, 2.5, 25.0],
+        };
+        let scale: f64 = self.rng.gen_range(0.6..1.4) * cfg.demand_scale;
+        let duration =
+            self.rng.gen_range(cfg.min_duration_slots..=cfg.max_duration_slots);
+        let phase: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+
+        let mut requested = [0.0f64; NUM_RESOURCES];
+        for (r, req) in requested.iter_mut().enumerate() {
+            *req = base[r] * scale;
+        }
+
+        let mut demand = Vec::with_capacity(duration);
+        for t in 0..duration {
+            let cycle = (std::f64::consts::TAU * t as f64 / cfg.cycle_slots as f64 + phase).sin();
+            let mut d = [0.0f64; NUM_RESOURCES];
+            for r in 0..NUM_RESOURCES {
+                let noise: f64 = self.rng.gen_range(-cfg.noise_frac..=cfg.noise_frac);
+                let frac =
+                    (cfg.mean_level_frac + cfg.amplitude_frac * cycle + noise).clamp(0.02, 1.0);
+                d[r] = requested[r] * frac;
+            }
+            demand.push(d);
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        JobSpec {
+            id,
+            arrival_slot,
+            duration_slots: duration,
+            class,
+            requested,
+            demand,
+            slo_slots: ((duration as f64) * cfg.slo_slack).ceil() as usize,
+            bandwidth_mbps: 0.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corp_stats::dominant_period;
+
+    fn gen(n: usize, seed: u64) -> Vec<JobSpec> {
+        LongLivedGenerator::new(LongLivedConfig { num_jobs: n, ..Default::default() }, seed, 10_000)
+            .generate()
+    }
+
+    #[test]
+    fn long_jobs_are_long() {
+        for j in gen(8, 1) {
+            assert!(j.duration_slots >= 180, "long-lived job too short: {}", j.duration_slots);
+            assert_eq!(j.demand.len(), j.duration_slots);
+        }
+    }
+
+    #[test]
+    fn ids_start_at_base() {
+        let jobs = gen(5, 2);
+        assert!(jobs.iter().all(|j| j.id >= 10_000));
+    }
+
+    #[test]
+    fn demand_stays_within_request() {
+        for j in gen(8, 3) {
+            for d in &j.demand {
+                for r in 0..NUM_RESOURCES {
+                    assert!(d[r] <= j.requested[r] + 1e-9);
+                    assert!(d[r] > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn usage_has_a_detectable_period() {
+        // The defining contrast with short-lived jobs: long-lived usage is
+        // periodic, and the FFT signature detector must find the cycle.
+        let jobs = gen(6, 4);
+        let mut detected = 0;
+        for j in &jobs {
+            let cpu: Vec<f64> = j.demand.iter().map(|d| d[0]).collect();
+            if let Some(p) = dominant_period(&cpu, 0.2) {
+                assert!(
+                    (p as i64 - 30).abs() <= 3,
+                    "detected period {p} far from the configured 30"
+                );
+                detected += 1;
+            }
+        }
+        assert!(detected >= 4, "most long-lived jobs must show their cycle, got {detected}/6");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen(5, 9);
+        let b = gen(5, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.demand, y.demand);
+        }
+    }
+}

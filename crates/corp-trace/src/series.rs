@@ -1,0 +1,118 @@
+//! Time-series helpers shared by the workload generator and the HMM
+//! fluctuation quantizer.
+//!
+//! The paper's HMM observation symbols are built from the *spread*
+//! `Delta_j` — the difference between the maximum and minimum unused
+//! resource inside each inter-observation window. These helpers compute
+//! those spreads and locate local peaks/valleys of a series.
+
+/// Spread (max - min) of one window of values. Returns 0.0 for windows with
+/// fewer than two samples: a single sample cannot fluctuate.
+pub fn window_spread(window: &[f64]) -> f64 {
+    if window.len() < 2 {
+        return 0.0;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in window {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    hi - lo
+}
+
+/// Splits `series` into consecutive windows of `window_len` samples and
+/// returns the spread `Delta_j` of each (the trailing partial window is
+/// included when it has at least two samples).
+///
+/// # Panics
+///
+/// Panics if `window_len == 0`.
+pub fn fluctuation_spreads(series: &[f64], window_len: usize) -> Vec<f64> {
+    assert!(window_len > 0, "window length must be positive");
+    series
+        .chunks(window_len)
+        .filter(|c| c.len() >= 2)
+        .map(window_spread)
+        .collect()
+}
+
+/// Indices of local peaks and valleys of `series` (strictly greater/less
+/// than both neighbors). Returns `(peaks, valleys)`.
+pub fn peaks_and_valleys(series: &[f64]) -> (Vec<usize>, Vec<usize>) {
+    let mut peaks = Vec::new();
+    let mut valleys = Vec::new();
+    for i in 1..series.len().saturating_sub(1) {
+        if series[i] > series[i - 1] && series[i] > series[i + 1] {
+            peaks.push(i);
+        } else if series[i] < series[i - 1] && series[i] < series[i + 1] {
+            valleys.push(i);
+        }
+    }
+    (peaks, valleys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_of_constant_window_is_zero() {
+        assert_eq!(window_spread(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spread_is_max_minus_min() {
+        assert_eq!(window_spread(&[1.0, 5.0, 2.0]), 4.0);
+    }
+
+    #[test]
+    fn spread_of_short_window_is_zero() {
+        assert_eq!(window_spread(&[7.0]), 0.0);
+        assert_eq!(window_spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn fluctuation_spreads_chunks_correctly() {
+        let series = [0.0, 4.0, 1.0, 1.0, 10.0, 0.0];
+        let spreads = fluctuation_spreads(&series, 2);
+        assert_eq!(spreads, vec![4.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn fluctuation_spreads_skips_singleton_tail() {
+        let series = [0.0, 4.0, 9.0];
+        let spreads = fluctuation_spreads(&series, 2);
+        assert_eq!(spreads, vec![4.0]);
+    }
+
+    #[test]
+    fn peaks_and_valleys_of_triangle_wave() {
+        let series = [0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0];
+        let (peaks, valleys) = peaks_and_valleys(&series);
+        assert_eq!(peaks, vec![2, 6]);
+        assert_eq!(valleys, vec![4]);
+    }
+
+    #[test]
+    fn flat_series_has_no_extrema() {
+        let series = [1.0; 10];
+        let (peaks, valleys) = peaks_and_valleys(&series);
+        assert!(peaks.is_empty());
+        assert!(valleys.is_empty());
+    }
+
+    #[test]
+    fn endpoints_are_never_extrema() {
+        let series = [10.0, 1.0, 10.0];
+        let (peaks, valleys) = peaks_and_valleys(&series);
+        assert_eq!(peaks, Vec::<usize>::new());
+        assert_eq!(valleys, vec![1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn spreads_reject_zero_window() {
+        fluctuation_spreads(&[1.0, 2.0], 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the workload substrate.
+
+#![allow(clippy::needless_range_loop)]
+
+use corp_trace::google::{parse_csv, to_csv};
+use corp_trace::{
+    filter_short_lived, fluctuation_spreads, resample_trace, window_spread, TaskRecord,
+    WorkloadConfig, WorkloadGenerator, NUM_RESOURCES,
+};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TaskRecord> {
+    (0u64..10_000, 1u64..500, 1u64..64, 0u32..8, 0.0f64..64.0, 0.0f64..64.0, 0.0f64..512.0)
+        .prop_map(|(start, len, job, task, cpu, mem, sto)| TaskRecord {
+            start_secs: start,
+            end_secs: start + len,
+            job_id: job,
+            task_index: task,
+            cpu,
+            memory: mem,
+            storage: sto,
+        })
+}
+
+proptest! {
+    #[test]
+    fn workload_invariants_hold_for_any_seed(seed in 0u64..1_000, n in 1usize..40) {
+        let mut g = WorkloadGenerator::new(
+            WorkloadConfig { num_jobs: n, ..WorkloadConfig::default() },
+            seed,
+        );
+        let jobs = g.generate();
+        prop_assert_eq!(jobs.len(), n);
+        for j in &jobs {
+            prop_assert_eq!(j.demand.len(), j.duration_slots);
+            prop_assert!(j.duration_slots >= 1);
+            prop_assert!(j.slo_slots >= j.duration_slots);
+            for d in &j.demand {
+                for r in 0..NUM_RESOURCES {
+                    prop_assert!(d[r] > 0.0);
+                    prop_assert!(d[r] <= j.requested[r] + 1e-9);
+                }
+            }
+        }
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].arrival_slot <= w[1].arrival_slot);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_any_records(records in prop::collection::vec(arb_record(), 0..32)) {
+        let parsed = parse_csv(&to_csv(&records)).unwrap();
+        prop_assert_eq!(parsed.len(), records.len());
+        for (a, b) in parsed.iter().zip(records.iter()) {
+            prop_assert_eq!(a.job_id, b.job_id);
+            prop_assert_eq!(a.start_secs, b.start_secs);
+            prop_assert!((a.cpu - b.cpu).abs() < 1e-9);
+            prop_assert!((a.memory - b.memory).abs() < 1e-9);
+            prop_assert!((a.storage - b.storage).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_covered_seconds(
+        records in prop::collection::vec(arb_record(), 1..16),
+        slot in 1u64..120,
+    ) {
+        let fine = resample_trace(&records, slot);
+        let coarse: u64 = records.iter().map(|r| r.end_secs - r.start_secs).sum();
+        let fine_total: u64 = fine.iter().map(|r| r.end_secs - r.start_secs).sum();
+        prop_assert_eq!(coarse, fine_total);
+        for r in &fine {
+            prop_assert!(r.end_secs - r.start_secs <= slot);
+        }
+    }
+
+    #[test]
+    fn filter_never_increases_records(
+        records in prop::collection::vec(arb_record(), 0..32),
+        cutoff in 1u64..5_000,
+    ) {
+        let kept = filter_short_lived(&records, cutoff);
+        prop_assert!(kept.len() <= records.len());
+        // Filtering twice is idempotent.
+        let again = filter_short_lived(&kept, cutoff);
+        prop_assert_eq!(again.len(), kept.len());
+    }
+
+    #[test]
+    fn window_spread_nonnegative(xs in prop::collection::vec(-1e6f64..1e6, 0..32)) {
+        prop_assert!(window_spread(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn spreads_bounded_by_global_spread(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..64),
+        w in 2usize..16,
+    ) {
+        let global = window_spread(&xs);
+        for s in fluctuation_spreads(&xs, w) {
+            prop_assert!(s <= global + 1e-9);
+        }
+    }
+}
