@@ -19,7 +19,10 @@ fn run_variant(tweak: impl Fn(&mut CorpConfig)) -> corp_sim::SimulationReport {
     let mut sim = Simulation::new(
         Environment::Cluster.cluster(),
         Environment::Cluster.workload(200, 207),
-        SimulationOptions { measure_decision_time: false, ..Default::default() },
+        SimulationOptions {
+            measure_decision_time: false,
+            ..Default::default()
+        },
     );
     sim.run(&mut corp)
 }
@@ -35,7 +38,9 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("no_confidence_interval", |b| {
         b.iter(|| run_variant(|c| c.use_confidence_interval = false))
     });
-    group.bench_function("no_packing", |b| b.iter(|| run_variant(|c| c.use_packing = false)));
+    group.bench_function("no_packing", |b| {
+        b.iter(|| run_variant(|c| c.use_packing = false))
+    });
     group.bench_function("random_placement", |b| {
         b.iter(|| run_variant(|c| c.use_volume_placement = false))
     });

@@ -13,15 +13,31 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
 
-    group.bench_function("fig06_prediction_error", |b| b.iter(|| experiments::fig6(true)));
-    group.bench_function("fig07_utilization_cluster", |b| b.iter(|| experiments::fig7(true)));
+    group.bench_function("fig06_prediction_error", |b| {
+        b.iter(|| experiments::fig6(true))
+    });
+    group.bench_function("fig07_utilization_cluster", |b| {
+        b.iter(|| experiments::fig7(true))
+    });
     group.bench_function("fig08_util_vs_slo", |b| b.iter(|| experiments::fig8(true)));
-    group.bench_function("fig09_slo_vs_confidence", |b| b.iter(|| experiments::fig9(true)));
-    group.bench_function("fig10_overhead_cluster", |b| b.iter(|| experiments::fig10(true)));
-    group.bench_function("fig11_utilization_ec2", |b| b.iter(|| experiments::fig11(true)));
-    group.bench_function("fig12_util_vs_slo_ec2", |b| b.iter(|| experiments::fig12(true)));
-    group.bench_function("fig13_slo_vs_confidence_ec2", |b| b.iter(|| experiments::fig13(true)));
-    group.bench_function("fig14_overhead_ec2", |b| b.iter(|| experiments::fig14(true)));
+    group.bench_function("fig09_slo_vs_confidence", |b| {
+        b.iter(|| experiments::fig9(true))
+    });
+    group.bench_function("fig10_overhead_cluster", |b| {
+        b.iter(|| experiments::fig10(true))
+    });
+    group.bench_function("fig11_utilization_ec2", |b| {
+        b.iter(|| experiments::fig11(true))
+    });
+    group.bench_function("fig12_util_vs_slo_ec2", |b| {
+        b.iter(|| experiments::fig12(true))
+    });
+    group.bench_function("fig13_slo_vs_confidence_ec2", |b| {
+        b.iter(|| experiments::fig13(true))
+    });
+    group.bench_function("fig14_overhead_ec2", |b| {
+        b.iter(|| experiments::fig14(true))
+    });
     group.finish();
 }
 

@@ -1,0 +1,37 @@
+//! Control-plane scalability: end-to-end simulation throughput of the CORP
+//! pipeline behind a sharded scheduler (corp-cluster) as the shard count
+//! grows 1 → 8. Complements the `scalability` experiment runner, which
+//! reports committed-placement throughput and conflict rates on the full
+//! 300-job workload; here Criterion measures the wall-clock of a smaller
+//! cell so the sweep stays fast enough to iterate on.
+
+use corp_bench::env::{run_cell_sharded, Environment, SchemeKind, SchemeParams};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_shard_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    let params = SchemeParams {
+        fast_dnn: true,
+        ..Default::default()
+    };
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("corp_sharded_x{shards}"), |b| {
+            b.iter(|| {
+                let (report, _wall) = run_cell_sharded(
+                    Environment::Cluster,
+                    SchemeKind::Corp,
+                    black_box(60),
+                    &params,
+                    shards,
+                    false,
+                );
+                report.completed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_sweep);
+criterion_main!(benches);

@@ -19,14 +19,17 @@ fn bench_dnn(c: &mut Criterion) {
     // The paper's architecture: 4 hidden layers of 50 units.
     let mut net = Network::paper_architecture(6, 50, 1, 1);
     let input = [0.4, 0.5, 0.45, 0.55, 0.5, 0.48];
-    group.bench_function("forward_4x50", |b| b.iter(|| net.forward(black_box(&input))[0]));
+    group.bench_function("forward_4x50", |b| {
+        b.iter(|| net.forward(black_box(&input))[0])
+    });
     let mut net2 = Network::paper_architecture(6, 50, 1, 2);
     group.bench_function("sgd_step_4x50", |b| {
         b.iter(|| net2.train_on(black_box(&input), &[0.5], 0.05, 0.5))
     });
 
-    let histories: Vec<Vec<f64>> =
-        (0..16).map(|j| (0..40).map(|t| 2.0 + ((t + j) % 5) as f64 * 0.1).collect()).collect();
+    let histories: Vec<Vec<f64>> = (0..16)
+        .map(|j| (0..40).map(|t| 2.0 + ((t + j) % 5) as f64 * 0.1).collect())
+        .collect();
     group.bench_function("fit_predictor_small", |b| {
         b.iter(|| {
             let mut p = UnusedResourcePredictor::new(WindowPredictorConfig {
@@ -34,7 +37,10 @@ fn bench_dnn(c: &mut Criterion) {
                 horizon: 6,
                 units: 12,
                 hidden_layers: 2,
-                train: TrainConfig { max_epochs: 10, ..TrainConfig::default() },
+                train: TrainConfig {
+                    max_epochs: 10,
+                    ..TrainConfig::default()
+                },
                 seed: 1,
             });
             p.fit(black_box(&histories))
@@ -47,7 +53,9 @@ fn bench_hmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("hmm");
     let hmm = Hmm::paper_default();
     let obs: Vec<usize> = (0..256).map(|t| (t / 7) % 3).collect();
-    group.bench_function("forward_256", |b| b.iter(|| forward_scaled(&hmm, black_box(&obs))));
+    group.bench_function("forward_256", |b| {
+        b.iter(|| forward_scaled(&hmm, black_box(&obs)))
+    });
     group.bench_function("viterbi_256", |b| b.iter(|| viterbi(&hmm, black_box(&obs))));
     group.bench_function("baum_welch_10_iters", |b| {
         b.iter(|| {
@@ -60,12 +68,15 @@ fn bench_hmm(c: &mut Criterion) {
 
 fn bench_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats");
-    let signal: Vec<f64> =
-        (0..128).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin()).collect();
+    let signal: Vec<f64> = (0..128)
+        .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin())
+        .collect();
     group.bench_function("dominant_period_128", |b| {
         b.iter(|| dominant_period(black_box(&signal), 0.35))
     });
-    group.bench_function("normal_quantile", |b| b.iter(|| normal_quantile(black_box(0.975))));
+    group.bench_function("normal_quantile", |b| {
+        b.iter(|| normal_quantile(black_box(0.975)))
+    });
     group.finish();
 }
 
@@ -88,8 +99,9 @@ fn bench_packing_placement(c: &mut Criterion) {
     group.bench_function("deviation_score", |b| {
         b.iter(|| deviation_score(black_box(&jobs[0].demand), black_box(&jobs[1].demand)))
     });
-    let pools: Vec<ResourceVector> =
-        (0..200).map(|i| ResourceVector::splat(1.0 + (i % 7) as f64)).collect();
+    let pools: Vec<ResourceVector> = (0..200)
+        .map(|i| ResourceVector::splat(1.0 + (i % 7) as f64))
+        .collect();
     let demand = ResourceVector::splat(3.0);
     group.bench_function("most_matched_vm_200", |b| {
         b.iter(|| most_matched_vm(black_box(&pools), &demand, &reference))
@@ -104,14 +116,20 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let cluster = Cluster::from_profile(EnvironmentProfile::palmetto_cluster());
             let jobs = WorkloadGenerator::new(
-                WorkloadConfig { num_jobs: 100, ..WorkloadConfig::default() },
+                WorkloadConfig {
+                    num_jobs: 100,
+                    ..WorkloadConfig::default()
+                },
                 9,
             )
             .generate();
             let mut sim = Simulation::new(
                 cluster,
                 jobs,
-                SimulationOptions { measure_decision_time: false, ..Default::default() },
+                SimulationOptions {
+                    measure_decision_time: false,
+                    ..Default::default()
+                },
             );
             sim.run(&mut StaticPeakProvisioner)
         })
@@ -119,5 +137,12 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dnn, bench_hmm, bench_stats, bench_packing_placement, bench_engine);
+criterion_group!(
+    benches,
+    bench_dnn,
+    bench_hmm,
+    bench_stats,
+    bench_packing_placement,
+    bench_engine
+);
 criterion_main!(benches);

@@ -5,6 +5,8 @@
 //! corp-exp all            # every artifact (slow: trains the paper DNN)
 //! corp-exp fig6 fig7      # specific figures
 //! corp-exp --fast all     # small DNN, quick smoke pass
+//! corp-exp scalability    # sharded-control-plane sweep (1..8 shards)
+//! corp-exp --json fig6    # machine-readable output (one JSON array)
 //! ```
 
 use corp_bench::experiments;
@@ -13,7 +15,12 @@ use corp_bench::FigureTable;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let all = wanted.is_empty() || wanted.contains(&"all");
 
     type Runner = Box<dyn Fn(bool) -> FigureTable>;
@@ -29,23 +36,39 @@ fn main() {
         ("fig13", Box::new(experiments::fig13)),
         ("fig14", Box::new(experiments::fig14)),
         ("ablations", Box::new(experiments::ablations)),
+        ("scalability", Box::new(experiments::scalability)),
     ];
 
     let mut matched = false;
+    let mut collected: Vec<FigureTable> = Vec::new();
     for (name, run) in &runners {
         if all || wanted.contains(name) {
             matched = true;
             let started = std::time::Instant::now();
             let figure = run(fast);
-            println!("{figure}");
-            eprintln!("[{name} regenerated in {:.1}s]", started.elapsed().as_secs_f64());
+            if json {
+                collected.push(figure);
+            } else {
+                println!("{figure}");
+            }
+            eprintln!(
+                "[{name} regenerated in {:.1}s]",
+                started.elapsed().as_secs_f64()
+            );
         }
+    }
+    if json && matched {
+        println!("{}", serde::json::to_string(&collected));
     }
     if !matched {
         eprintln!(
             "unknown experiment(s) {:?}; available: {}",
             wanted,
-            runners.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+            runners
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(2);
     }

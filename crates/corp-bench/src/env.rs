@@ -8,6 +8,7 @@
 //! fleet under 300 sub-VM jobs never contends, which would flatten every
 //! curve; see EXPERIMENTS.md).
 
+use corp_cluster::{ShardConfig, ShardedProvisioner};
 use corp_core::{
     CloudScaleProvisioner, CorpConfig, CorpProvisioner, DraProvisioner, RccrProvisioner,
 };
@@ -89,8 +90,12 @@ pub enum SchemeKind {
 }
 
 /// All schemes in the paper's presentation order.
-pub const ALL_SCHEMES: [SchemeKind; 4] =
-    [SchemeKind::Corp, SchemeKind::Rccr, SchemeKind::CloudScale, SchemeKind::Dra];
+pub const ALL_SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Corp,
+    SchemeKind::Rccr,
+    SchemeKind::CloudScale,
+    SchemeKind::Dra,
+];
 
 impl SchemeKind {
     /// Display name matching the paper.
@@ -154,7 +159,11 @@ pub fn build_provisioner(
 ) -> Box<dyn Provisioner + Send> {
     match scheme {
         SchemeKind::Corp => {
-            let mut config = if params.fast_dnn { CorpConfig::fast() } else { CorpConfig::default() };
+            let mut config = if params.fast_dnn {
+                CorpConfig::fast()
+            } else {
+                CorpConfig::default()
+            };
             config.confidence_level = params.confidence;
             config.prob_threshold = params.prob_threshold;
             config.seed = params.seed;
@@ -163,13 +172,71 @@ pub fn build_provisioner(
             Box::new(corp)
         }
         SchemeKind::Rccr => Box::new(RccrProvisioner::new(params.confidence, params.seed)),
-        SchemeKind::CloudScale => {
-            Box::new(CloudScaleProvisioner::with_padding_scale(params.seed, params.aggressiveness))
-        }
-        SchemeKind::Dra => {
-            Box::new(DraProvisioner::with_overcommit(params.seed, params.aggressiveness.clamp(0.05, 1.0)))
-        }
+        SchemeKind::CloudScale => Box::new(CloudScaleProvisioner::with_padding_scale(
+            params.seed,
+            params.aggressiveness,
+        )),
+        SchemeKind::Dra => Box::new(DraProvisioner::with_overcommit(
+            params.seed,
+            params.aggressiveness.clamp(0.05, 1.0),
+        )),
     }
+}
+
+/// Builds a sharded control plane: `shards` independent copies of `scheme`
+/// behind a [`ShardedProvisioner`] coordinator, with per-shard decorrelated
+/// seeds (shard 0 keeps `params.seed`, so one shard reproduces the
+/// monolithic scheduler exactly). Each shard runs the scheme at its default
+/// posture (`aggressiveness` applies only to monolithic builds).
+pub fn build_sharded_provisioner(
+    scheme: SchemeKind,
+    env: Environment,
+    params: &SchemeParams,
+    shards: usize,
+) -> ShardedProvisioner {
+    let inners = match scheme {
+        SchemeKind::Corp => {
+            let mut config = if params.fast_dnn {
+                CorpConfig::fast()
+            } else {
+                CorpConfig::default()
+            };
+            config.confidence_level = params.confidence;
+            config.prob_threshold = params.prob_threshold;
+            config.seed = params.seed;
+            corp_core::corp_fleet(&config, &historical_histories(env, 40), shards)
+        }
+        SchemeKind::Rccr => corp_core::rccr_fleet(params.confidence, params.seed, shards),
+        SchemeKind::CloudScale => corp_core::cloudscale_fleet(params.seed, shards),
+        SchemeKind::Dra => corp_core::dra_fleet(params.seed, shards),
+    };
+    ShardedProvisioner::new(scheme.name(), inners, ShardConfig::default())
+}
+
+/// Runs one (environment, scheme, #jobs) cell through a `shards`-way
+/// control plane. Returns the report and the simulation loop's wall-clock
+/// seconds — kept out of the report so reports stay byte-deterministic
+/// while throughput (placements committed / second) stays measurable.
+pub fn run_cell_sharded(
+    env: Environment,
+    scheme: SchemeKind,
+    num_jobs: usize,
+    params: &SchemeParams,
+    shards: usize,
+    measure_time: bool,
+) -> (corp_sim::SimulationReport, f64) {
+    let mut provisioner = build_sharded_provisioner(scheme, env, params, shards);
+    let mut sim = Simulation::new(
+        env.cluster(),
+        env.workload(num_jobs, params.seed.wrapping_add(num_jobs as u64)),
+        SimulationOptions {
+            measure_decision_time: measure_time,
+            ..Default::default()
+        },
+    );
+    let started = std::time::Instant::now();
+    let report = sim.run(&mut provisioner);
+    (report, started.elapsed().as_secs_f64())
 }
 
 /// Runs one (environment, scheme, #jobs) cell and returns the report.
@@ -184,7 +251,10 @@ pub fn run_cell(
     let mut sim = Simulation::new(
         env.cluster(),
         env.workload(num_jobs, params.seed.wrapping_add(num_jobs as u64)),
-        SimulationOptions { measure_decision_time: measure_time, ..Default::default() },
+        SimulationOptions {
+            measure_decision_time: measure_time,
+            ..Default::default()
+        },
     );
     sim.run(provisioner.as_mut())
 }
@@ -285,7 +355,10 @@ mod tests {
 
     #[test]
     fn run_cell_completes_for_every_scheme() {
-        let params = SchemeParams { fast_dnn: true, ..Default::default() };
+        let params = SchemeParams {
+            fast_dnn: true,
+            ..Default::default()
+        };
         for scheme in ALL_SCHEMES {
             let report = run_cell(Environment::Cluster, scheme, 30, &params, false);
             assert_eq!(report.num_jobs, 30, "{scheme:?}");

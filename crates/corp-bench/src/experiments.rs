@@ -8,13 +8,17 @@
 //! *shapes* — who wins, what the trend direction is — are the reproduction
 //! target, and `tests/experiment_shapes.rs` asserts them.
 
-use crate::env::{run_cell, run_cell_averaged, Environment, SchemeKind, SchemeParams, ALL_SCHEMES};
+use crate::env::{
+    run_cell, run_cell_averaged, run_cell_sharded, Environment, SchemeKind, SchemeParams,
+    ALL_SCHEMES,
+};
 use crate::table::TextTable;
 use corp_core::CorpConfig;
 use corp_sim::{Simulation, SimulationOptions, SimulationReport};
+use serde::Serialize;
 
 /// A regenerated figure/table plus free-form notes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct FigureTable {
     /// Paper artifact id, e.g. `"fig6"`.
     pub id: String,
@@ -60,7 +64,9 @@ where
             });
         }
     });
-    out.into_iter().map(|r| r.expect("worker finished")).collect()
+    out.into_iter()
+        .map(|r| r.expect("worker finished"))
+        .collect()
 }
 
 fn pct(x: f64) -> String {
@@ -75,11 +81,18 @@ fn three(x: f64) -> String {
 /// paper's Table II where given).
 pub fn table2() -> FigureTable {
     let cfg = CorpConfig::default();
-    let mut table = TextTable::new("Table II — Parameter settings", &["parameter", "value", "paper"]);
+    let mut table = TextTable::new(
+        "Table II — Parameter settings",
+        &["parameter", "value", "paper"],
+    );
     let mut row = |p: &str, v: String, paper: &str| {
         table.push_row(vec![p.to_string(), v, paper.to_string()]);
     };
-    row("N_p (servers, cluster env)", "8 (scaled; see EXPERIMENTS.md)".into(), "30-50");
+    row(
+        "N_p (servers, cluster env)",
+        "8 (scaled; see EXPERIMENTS.md)".into(),
+        "30-50",
+    );
     row("N_v (VMs, cluster env)", "32".into(), "100-400");
     row("N_v (VMs, EC2 env)", "30".into(), "30 nodes");
     row("|J| (jobs)", "50-300 step 50".into(), "50-300");
@@ -88,10 +101,22 @@ pub fn table2() -> FigureTable {
     row("h (DNN layers)", format!("{}", cfg.dnn_layers), "4");
     row("N_n (units/layer)", format!("{}", cfg.dnn_units), "50");
     row("H (HMM states)", "3".into(), "3");
-    row("theta (significance)", "5%-50% (eta = 50%-95%)".into(), "5%-30%");
+    row(
+        "theta (significance)",
+        "5%-50% (eta = 50%-95%)".into(),
+        "5%-30%",
+    );
     row("eta (confidence)", "50%-90%".into(), "50%-90%");
-    row("L (prediction window)", format!("{} slots (1 min of 10 s slots)", cfg.window_slots), "1 min");
-    FigureTable { id: "table2".into(), table, notes: vec![] }
+    row(
+        "L (prediction window)",
+        format!("{} slots (1 min of 10 s slots)", cfg.window_slots),
+        "1 min",
+    );
+    FigureTable {
+        id: "table2".into(),
+        table,
+        notes: vec![],
+    }
 }
 
 /// Fig. 6: prediction error rate vs number of jobs (cluster).
@@ -127,13 +152,13 @@ fn jobs_sweep_figure(
         .flat_map(|&s| JOB_COUNTS.iter().map(move |&n| (s, n)))
         .collect();
     let reports = parallel_map(cells.clone(), |(scheme, n)| {
-        let params = SchemeParams { fast_dnn: fast, ..Default::default() };
+        let params = SchemeParams {
+            fast_dnn: fast,
+            ..Default::default()
+        };
         run_cell(env, scheme, n, &params, false)
     });
-    let mut table = TextTable::new(
-        title,
-        &["#jobs", "CORP", "RCCR", "CloudScale", "DRA"],
-    );
+    let mut table = TextTable::new(title, &["#jobs", "CORP", "RCCR", "CloudScale", "DRA"]);
     for (j, &n) in JOB_COUNTS.iter().enumerate() {
         let mut row = vec![n.to_string()];
         for (s, _) in ALL_SCHEMES.iter().enumerate() {
@@ -141,7 +166,11 @@ fn jobs_sweep_figure(
         }
         table.push_row(row);
     }
-    FigureTable { id: id.into(), table, notes: vec![] }
+    FigureTable {
+        id: id.into(),
+        table,
+        notes: vec![],
+    }
 }
 
 fn utilization_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
@@ -150,7 +179,10 @@ fn utilization_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
         .flat_map(|&s| JOB_COUNTS.iter().map(move |&n| (s, n)))
         .collect();
     let reports = parallel_map(cells, |(scheme, n)| {
-        let params = SchemeParams { fast_dnn: fast, ..Default::default() };
+        let params = SchemeParams {
+            fast_dnn: fast,
+            ..Default::default()
+        };
         run_cell(env, scheme, n, &params, false)
     });
     let mut table = TextTable::new(
@@ -172,32 +204,52 @@ fn utilization_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
         }
         table.push_row(row);
     }
-    FigureTable { id: id.into(), table, notes: vec![] }
+    FigureTable {
+        id: id.into(),
+        table,
+        notes: vec![],
+    }
 }
 
 /// Aggressiveness grid per scheme for the utilization-vs-SLO trade-off of
 /// Figs. 8/12 (the paper "varied the probability threshold P_th").
 fn aggressiveness_grid(scheme: SchemeKind) -> Vec<SchemeParams> {
     match scheme {
-        SchemeKind::Corp => [(0.95, 0.99), (0.9, 0.95), (0.8, 0.9), (0.7, 0.8), (0.6, 0.6), (0.5, 0.4)]
+        SchemeKind::Corp => [
+            (0.95, 0.99),
+            (0.9, 0.95),
+            (0.8, 0.9),
+            (0.7, 0.8),
+            (0.6, 0.6),
+            (0.5, 0.4),
+        ]
+        .iter()
+        .map(|&(eta, p_th)| SchemeParams {
+            confidence: eta,
+            prob_threshold: p_th,
+            ..Default::default()
+        })
+        .collect(),
+        SchemeKind::Rccr => [0.95, 0.9, 0.8, 0.7, 0.6, 0.5]
             .iter()
-            .map(|&(eta, p_th)| SchemeParams {
+            .map(|&eta| SchemeParams {
                 confidence: eta,
-                prob_threshold: p_th,
                 ..Default::default()
             })
             .collect(),
-        SchemeKind::Rccr => [0.95, 0.9, 0.8, 0.7, 0.6, 0.5]
-            .iter()
-            .map(|&eta| SchemeParams { confidence: eta, ..Default::default() })
-            .collect(),
         SchemeKind::CloudScale => [2.0, 1.5, 1.0, 0.6, 0.3, 0.1]
             .iter()
-            .map(|&a| SchemeParams { aggressiveness: a, ..Default::default() })
+            .map(|&a| SchemeParams {
+                aggressiveness: a,
+                ..Default::default()
+            })
             .collect(),
         SchemeKind::Dra => [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
             .iter()
-            .map(|&a| SchemeParams { aggressiveness: a, ..Default::default() })
+            .map(|&a| SchemeParams {
+                aggressiveness: a,
+                ..Default::default()
+            })
             .collect(),
     }
 }
@@ -227,13 +279,19 @@ fn tradeoff_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
         run_cell_averaged(env, scheme, JOBS, &params, false, &AVERAGING_SEEDS)
     });
     let mut table = TextTable::new(
-        format!("Fig. {} — Overall utilization vs SLO violation rate ({}, 300 jobs)",
-            if id == "fig8" { "8" } else { "12" }, env.name()),
+        format!(
+            "Fig. {} — Overall utilization vs SLO violation rate ({}, 300 jobs)",
+            if id == "fig8" { "8" } else { "12" },
+            env.name()
+        ),
         &["scheme", "knob", "SLO violation", "overall utilization"],
     );
     for ((scheme, params), r) in cells.iter().zip(&reports) {
         let knob = match scheme {
-            SchemeKind::Corp => format!("eta={:.2},P_th={:.2}", params.confidence, params.prob_threshold),
+            SchemeKind::Corp => format!(
+                "eta={:.2},P_th={:.2}",
+                params.confidence, params.prob_threshold
+            ),
             SchemeKind::Rccr => format!("eta={:.2}", params.confidence),
             SchemeKind::CloudScale => format!("pad={:.1}", params.aggressiveness),
             SchemeKind::Dra => format!("overcommit={:.1}", params.aggressiveness),
@@ -267,7 +325,11 @@ fn confidence_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
         .flat_map(|&s| CONFIDENCE_LEVELS.iter().map(move |&c| (s, c)))
         .collect();
     let reports = parallel_map(cells, |(scheme, confidence)| {
-        let params = SchemeParams { confidence, fast_dnn: fast, ..Default::default() };
+        let params = SchemeParams {
+            confidence,
+            fast_dnn: fast,
+            ..Default::default()
+        };
         run_cell_averaged(env, scheme, JOBS, &params, false, &AVERAGING_SEEDS)
     });
     let mut table = TextTable::new(
@@ -281,7 +343,9 @@ fn confidence_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
     for (c, &eta) in CONFIDENCE_LEVELS.iter().enumerate() {
         let mut row = vec![pct(eta)];
         for (s, _) in ALL_SCHEMES.iter().enumerate() {
-            row.push(pct(reports[s * CONFIDENCE_LEVELS.len() + c].slo_violation_rate));
+            row.push(pct(
+                reports[s * CONFIDENCE_LEVELS.len() + c].slo_violation_rate
+            ));
         }
         table.push_row(row);
     }
@@ -307,7 +371,10 @@ pub fn fig14(fast: bool) -> FigureTable {
 fn overhead_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
     const JOBS: usize = 300;
     let reports = parallel_map(ALL_SCHEMES.to_vec(), |scheme| {
-        let params = SchemeParams { fast_dnn: fast, ..Default::default() };
+        let params = SchemeParams {
+            fast_dnn: fast,
+            ..Default::default()
+        };
         run_cell(env, scheme, JOBS, &params, true)
     });
     let mut table = TextTable::new(
@@ -330,6 +397,71 @@ fn overhead_figure(id: &str, env: Environment, fast: bool) -> FigureTable {
     ] }
 }
 
+/// Shard counts swept by the control-plane scalability experiment.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Control-plane scalability: the CORP pipeline behind 1→8 scheduler
+/// shards coordinated through the two-phase-commit placement store
+/// (`corp-cluster`). Cells run sequentially — not fanned out — so each
+/// wall-clock throughput measurement owns the machine's cores.
+pub fn scalability(fast: bool) -> FigureTable {
+    const JOBS: usize = 300;
+    let params = SchemeParams {
+        fast_dnn: fast,
+        ..Default::default()
+    };
+    let mut table = TextTable::new(
+        "Scalability — CORP behind a sharded control plane (cluster, 300 jobs)",
+        &[
+            "shards",
+            "throughput (jobs/s)",
+            "conflict rate",
+            "retries",
+            "latency (ms)",
+            "overall utilization",
+            "SLO violation",
+        ],
+    );
+    for &shards in &SHARD_COUNTS {
+        let (r, wall) = run_cell_sharded(
+            Environment::Cluster,
+            SchemeKind::Corp,
+            JOBS,
+            &params,
+            shards,
+            true,
+        );
+        let cp = r
+            .control_plane
+            .as_ref()
+            .expect("sharded runs report control-plane stats");
+        let throughput = cp.commits as f64 / wall.max(1e-9);
+        table.push_row(vec![
+            shards.to_string(),
+            format!("{throughput:.0}"),
+            pct(cp.conflict_rate()),
+            cp.retries.to_string(),
+            format!("{:.1}", r.overhead_ms),
+            three(r.overall_utilization),
+            pct(r.slo_violation_rate),
+        ]);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    FigureTable {
+        id: "scalability".into(),
+        table,
+        notes: vec![
+            "throughput = committed placements / simulation wall-clock; conflict rate = refused / (admitted + refused) reservations at the placement store".into(),
+            "one shard reproduces the monolithic scheduler's decisions exactly (same seed, same report)".into(),
+            format!(
+                "host parallelism: {cores} core(s) — shard speedup needs at least as many cores as shards; below that the sweep measures pure coordination overhead"
+            ),
+        ],
+    }
+}
+
 /// Ablations of CORP's design choices (DESIGN.md §6): each row disables one
 /// component and reports the damage.
 pub fn ablations(fast: bool) -> FigureTable {
@@ -337,27 +469,48 @@ pub fn ablations(fast: bool) -> FigureTable {
     type ConfigTweak = Box<dyn Fn(&mut CorpConfig) + Send + Sync>;
     let variants: Vec<(&'static str, ConfigTweak)> = vec![
         ("full CORP", Box::new(|_| {})),
-        ("no HMM correction", Box::new(|c| c.use_hmm_correction = false)),
-        ("no confidence interval", Box::new(|c| c.use_confidence_interval = false)),
+        (
+            "no HMM correction",
+            Box::new(|c| c.use_hmm_correction = false),
+        ),
+        (
+            "no confidence interval",
+            Box::new(|c| c.use_confidence_interval = false),
+        ),
         ("no packing", Box::new(|c| c.use_packing = false)),
-        ("random placement", Box::new(|c| c.use_volume_placement = false)),
+        (
+            "random placement",
+            Box::new(|c| c.use_volume_placement = false),
+        ),
     ];
     let names: Vec<&'static str> = variants.iter().map(|(n, _)| *n).collect();
     let reports = parallel_map(variants, |(_, tweak)| {
-        let mut config = if fast { CorpConfig::fast() } else { CorpConfig::default() };
+        let mut config = if fast {
+            CorpConfig::fast()
+        } else {
+            CorpConfig::default()
+        };
         tweak(&mut config);
         let mut corp = corp_core::CorpProvisioner::new(config);
         corp.pretrain(&crate::env::historical_histories(Environment::Cluster, 40));
         let mut sim = Simulation::new(
             Environment::Cluster.cluster(),
             Environment::Cluster.workload(JOBS, 7u64.wrapping_add(JOBS as u64)),
-            SimulationOptions { measure_decision_time: false, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
         );
         sim.run(&mut corp)
     });
     let mut table = TextTable::new(
         "Ablations — CORP components (cluster, 300 jobs)",
-        &["variant", "overall utilization", "SLO violation", "prediction error"],
+        &[
+            "variant",
+            "overall utilization",
+            "SLO violation",
+            "prediction error",
+        ],
     );
     for (name, r) in names.iter().zip(&reports) {
         table.push_row(vec![
@@ -367,7 +520,11 @@ pub fn ablations(fast: bool) -> FigureTable {
             pct(r.prediction_error_rate),
         ]);
     }
-    FigureTable { id: "ablations".into(), table, notes: vec![] }
+    FigureTable {
+        id: "ablations".into(),
+        table,
+        notes: vec![],
+    }
 }
 
 #[cfg(test)]

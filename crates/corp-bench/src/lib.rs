@@ -15,6 +15,7 @@
 //! | Fig. 13 | [`experiments::fig13`] | SLO violation rate vs confidence level (EC2) |
 //! | Fig. 14 | [`experiments::fig14`] | allocation overhead for 300 jobs (EC2) |
 //! | DESIGN.md §6 | [`experiments::ablations`] | CORP component ablations |
+//! | DESIGN.md §2 (corp-cluster) | [`experiments::scalability`] | throughput/conflicts vs scheduler shard count |
 //!
 //! Sweeps fan out across OS threads with `std::thread::scope` — every cell
 //! of a figure is an independent, deterministic simulation, so the fan-out
@@ -30,8 +31,12 @@ pub mod env;
 pub mod experiments;
 pub mod table;
 
-pub use env::{historical_histories, Environment, SchemeKind, ALL_SCHEMES};
+pub use env::{
+    build_sharded_provisioner, historical_histories, run_cell_sharded, Environment, SchemeKind,
+    ALL_SCHEMES,
+};
 pub use experiments::{
-    ablations, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, table2, FigureTable,
+    ablations, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, scalability, table2,
+    FigureTable, SHARD_COUNTS,
 };
 pub use table::TextTable;

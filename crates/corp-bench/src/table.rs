@@ -1,9 +1,10 @@
 //! Minimal aligned text-table rendering for experiment output.
 
+use serde::Serialize;
 use std::fmt;
 
 /// A simple column-aligned text table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TextTable {
     title: String,
     header: Vec<String>,
@@ -22,7 +23,11 @@ impl TextTable {
 
     /// Appends one row (cells are already formatted).
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
     }
 

@@ -1,0 +1,571 @@
+//! The sharded control-plane coordinator, adapting N scheduler shards to
+//! the engine's single-`Provisioner` interface.
+//!
+//! Each shard is a long-lived worker thread owning one full scheduler
+//! pipeline, fed over crossbeam channels (spawning threads per slot would
+//! put coordination overhead on the critical path of every decision).
+//! Each slot then runs in two phases:
+//!
+//! 1. **Propose (parallel).** The coordinator snapshots the fleet once
+//!    (shared read-only via `Arc`) and posts it to every shard; each
+//!    worker builds its own narrowed view — only the jobs it owns, see
+//!    [`crate::shard`] — runs its pipeline, and ships its
+//!    [`ProvisionPlan`] back on its reply channel.
+//! 2. **Arbitrate (sequential, deterministic).** The coordinator replays
+//!    the proposals against the [`PlacementStore`] in a fixed order —
+//!    allocation adjustments first (shrinks before grows, as the engine
+//!    applies them), then placements round-robin by (proposal index,
+//!    shard). Each placement opens a reservation (2PC phase 1); on
+//!    conflict it retries against the next-best-fit VM up to the retry
+//!    budget, after which the proposal aborts and the job stays pending —
+//!    the queue itself is the bounded backoff, since the owning shard
+//!    re-proposes next slot. Admitted reservations are confirmed in
+//!    arbitration order, so the committed-capacity sequence the store
+//!    validated is exactly the sequence the engine will apply: a
+//!    store-approved plan can never trip the engine's validators.
+//!
+//! Determinism: proposal generation is per-shard deterministic (each shard
+//! owns its RNG/predictor state), and arbitration order is a pure function
+//! of (shard index, proposal index) — so identical seeds and configs yield
+//! byte-identical reports at any shard count, while the store itself stays
+//! fully thread-safe for genuinely racing users.
+
+use corp_sim::control_plane::{ControlPlaneStats, ShardStats};
+use corp_sim::{
+    JobId, PendingJobView, Placement, ProvisionPlan, Provisioner, ResourceVector, SlotContext,
+    VmView,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::shard::{owner_of, shard_pending, shard_vm_views};
+use crate::store::{PlacementStore, ReserveError};
+
+/// Coordinator knobs.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Alternative-VM attempts after a placement's first reservation
+    /// conflicts; past the budget the proposal aborts to the pending queue.
+    pub max_retries: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { max_retries: 3 }
+    }
+}
+
+/// Work posted to a shard's worker thread.
+enum ShardRequest {
+    /// Propose a plan for one slot over the shared fleet snapshot.
+    Provision {
+        slot: u64,
+        vms: Arc<Vec<VmView>>,
+        pending: Arc<Vec<PendingJobView>>,
+        max_vm_capacity: ResourceVector,
+    },
+    /// Fold a completed job into the shard's training corpus.
+    JobCompleted {
+        job: JobId,
+        unused_history: Vec<Vec<f64>>,
+    },
+}
+
+/// One long-lived scheduler shard: its pipeline runs on a dedicated thread,
+/// driven by `requests`; plans come back on `plans`.
+struct Worker {
+    /// `None` once shutdown has begun (dropping the sender stops the loop).
+    requests: Option<crossbeam::channel::Sender<ShardRequest>>,
+    plans: crossbeam::channel::Receiver<ProvisionPlan>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    stats: ShardStats,
+}
+
+fn worker_loop(
+    shard: usize,
+    num_shards: usize,
+    mut inner: Box<dyn Provisioner + Send>,
+    requests: crossbeam::channel::Receiver<ShardRequest>,
+    plans: crossbeam::channel::Sender<ProvisionPlan>,
+) {
+    while let Ok(request) = requests.recv() {
+        match request {
+            ShardRequest::Provision {
+                slot,
+                vms,
+                pending,
+                max_vm_capacity,
+            } => {
+                let my_vms = shard_vm_views(&vms, shard, num_shards);
+                let my_pending = shard_pending(&pending, shard, num_shards);
+                let ctx = SlotContext {
+                    slot,
+                    vms: &my_vms,
+                    pending: &my_pending,
+                    max_vm_capacity,
+                };
+                let plan = inner.provision(&ctx);
+                if plans.send(plan).is_err() {
+                    break; // coordinator gone
+                }
+            }
+            ShardRequest::JobCompleted {
+                job,
+                unused_history,
+            } => {
+                inner.on_job_completed(job, &unused_history);
+            }
+        }
+    }
+}
+
+/// N scheduler shards behind the engine's `Provisioner` interface (see
+/// module docs).
+pub struct ShardedProvisioner {
+    name: String,
+    workers: Vec<Worker>,
+    config: ShardConfig,
+    /// Built lazily from the first slot's fleet view.
+    store: Option<PlacementStore>,
+    max_queue_depth: usize,
+}
+
+impl ShardedProvisioner {
+    /// Wraps `inners` (one per shard) under a display name of
+    /// `"<base>x<shards>"`, spawning one worker thread per shard.
+    ///
+    /// # Panics
+    ///
+    /// If `inners` is empty or a worker thread cannot be spawned.
+    pub fn new(
+        base_name: &str,
+        inners: Vec<Box<dyn Provisioner + Send>>,
+        config: ShardConfig,
+    ) -> Self {
+        assert!(!inners.is_empty(), "need at least one shard");
+        let num_shards = inners.len();
+        let name = format!("{}x{}", base_name, num_shards);
+        let workers = inners
+            .into_iter()
+            .enumerate()
+            .map(|(shard, inner)| {
+                let (req_tx, req_rx) = crossbeam::channel::unbounded();
+                let (plan_tx, plan_rx) = crossbeam::channel::unbounded();
+                let handle = std::thread::Builder::new()
+                    .name(format!("corp-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, num_shards, inner, req_rx, plan_tx))
+                    .expect("spawn shard worker");
+                Worker {
+                    requests: Some(req_tx),
+                    plans: plan_rx,
+                    handle: Some(handle),
+                    stats: ShardStats {
+                        shard,
+                        ..Default::default()
+                    },
+                }
+            })
+            .collect();
+        ShardedProvisioner {
+            name,
+            workers,
+            config,
+            store: None,
+            max_queue_depth: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared placement store (after the first slot).
+    pub fn store(&self) -> Option<&PlacementStore> {
+        self.store.as_ref()
+    }
+
+    /// Phase A: every shard proposes in parallel over the shared snapshot.
+    fn propose(&mut self, ctx: &SlotContext<'_>) -> Vec<ProvisionPlan> {
+        let n = self.workers.len();
+        self.max_queue_depth = self.max_queue_depth.max(ctx.pending.len());
+        let mut depths = vec![0usize; n];
+        for job in ctx.pending {
+            depths[owner_of(job.id, n)] += 1;
+        }
+        for (worker, depth) in self.workers.iter_mut().zip(depths) {
+            worker.stats.max_queue_depth = worker.stats.max_queue_depth.max(depth);
+        }
+
+        let vms = Arc::new(ctx.vms.to_vec());
+        let pending = Arc::new(ctx.pending.to_vec());
+        for worker in &self.workers {
+            let request = ShardRequest::Provision {
+                slot: ctx.slot,
+                vms: Arc::clone(&vms),
+                pending: Arc::clone(&pending),
+                max_vm_capacity: ctx.max_vm_capacity,
+            };
+            worker
+                .requests
+                .as_ref()
+                .expect("workers alive until drop")
+                .send(request)
+                .expect("shard worker alive");
+        }
+        // Collect in shard order: deterministic merge, full overlap while
+        // the slower shards finish.
+        self.workers
+            .iter()
+            .map(|w| w.plans.recv().expect("shard worker alive"))
+            .collect()
+    }
+
+    /// Picks the VM with the least free headroom still fitting `alloc`
+    /// (best fit; ties to the lowest id). `volume` is measured against the
+    /// fleet's reference capacity, matching the packing heuristics.
+    fn best_fit(
+        store: &PlacementStore,
+        alloc: &ResourceVector,
+        reference: &ResourceVector,
+    ) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for (vm, free) in store.free_all().into_iter().enumerate() {
+            if !alloc.fits_within(&free) {
+                continue;
+            }
+            let headroom = free.volume(reference);
+            if best.map(|(h, _)| headroom < h).unwrap_or(true) {
+                best = Some((headroom, vm));
+            }
+        }
+        best.map(|(_, vm)| vm)
+    }
+
+    /// Phase B: deterministic sequential arbitration of all proposals
+    /// through the store.
+    fn arbitrate(&mut self, ctx: &SlotContext<'_>, plans: Vec<ProvisionPlan>) -> ProvisionPlan {
+        let store = self.store.as_ref().expect("store initialized in provision");
+        let mut merged = ProvisionPlan::default();
+
+        // Current allocations of running jobs, for adjustment rebasing.
+        let current: HashMap<JobId, (usize, ResourceVector)> = ctx
+            .vms
+            .iter()
+            .flat_map(|vm| vm.jobs.iter().map(|j| (j.id, (vm.id, j.allocation))))
+            .collect();
+
+        // Adjustments: shrinks release capacity before grows claim it —
+        // the same stable ordering the engine applies, so the store's
+        // committed sequence previews the engine's exactly.
+        let all_adjustments: Vec<(usize, JobId, ResourceVector)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(s, plan)| {
+                plan.adjustments
+                    .iter()
+                    .map(move |(job, alloc)| (s, *job, *alloc))
+            })
+            .collect();
+        let is_shrink = |job: &JobId, new: &ResourceVector| {
+            current
+                .get(job)
+                .map(|(_, old)| new.fits_within(old))
+                .unwrap_or(false)
+        };
+        let (shrinks, grows): (Vec<_>, Vec<_>) = all_adjustments
+            .into_iter()
+            .partition(|(_, job, new)| is_shrink(job, new));
+        for (shard, job, new) in shrinks.into_iter().chain(grows) {
+            let Some(&(vm, old)) = current.get(&job) else {
+                self.workers[shard].stats.conflicts += 1;
+                continue;
+            };
+            if store.adjust(vm, old, new) {
+                merged.adjustments.push((job, new));
+            } else {
+                self.workers[shard].stats.conflicts += 1;
+            }
+        }
+
+        // Placements: round-robin by (proposal index, shard), 2PC per
+        // proposal with bounded best-fit retry.
+        let pending_ids: HashSet<JobId> = ctx.pending.iter().map(|j| j.id).collect();
+        let mut placed: HashSet<JobId> = HashSet::new();
+        let deepest = plans.iter().map(|p| p.placements.len()).max().unwrap_or(0);
+        for index in 0..deepest {
+            for (shard, plan) in plans.iter().enumerate() {
+                let Some(p) = plan.placements.get(index) else {
+                    continue;
+                };
+                let stats = &mut self.workers[shard].stats;
+                stats.proposals += 1;
+                if !pending_ids.contains(&p.job) || placed.contains(&p.job) {
+                    continue; // not placeable: duplicate or unknown job
+                }
+                let alloc = p.allocation.clamp_nonnegative();
+                let mut target = p.vm;
+                let mut attempts = 0usize;
+                loop {
+                    match store.reserve(shard, target, alloc) {
+                        Ok(id) => {
+                            store.confirm(id).expect("freshly reserved id is open");
+                            stats.commits += 1;
+                            placed.insert(p.job);
+                            merged.placements.push(Placement {
+                                job: p.job,
+                                vm: target,
+                                allocation: alloc,
+                            });
+                            break;
+                        }
+                        Err(ReserveError::Conflict) => {
+                            stats.conflicts += 1;
+                            if attempts >= self.config.max_retries {
+                                stats.aborts += 1;
+                                break;
+                            }
+                            match Self::best_fit(store, &alloc, &ctx.max_vm_capacity) {
+                                Some(vm) => {
+                                    attempts += 1;
+                                    stats.retries += 1;
+                                    target = vm;
+                                }
+                                None => {
+                                    stats.aborts += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        Err(ReserveError::UnknownVm) => {
+                            stats.aborts += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        for plan in plans {
+            merged.predictions.extend(plan.predictions);
+        }
+        merged
+    }
+}
+
+impl Provisioner for ShardedProvisioner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
+        let store = self.store.get_or_insert_with(|| {
+            PlacementStore::new(ctx.vms.iter().map(|vm| vm.capacity).collect())
+        });
+        store.begin_slot(&ctx.vms.iter().map(|vm| vm.committed).collect::<Vec<_>>());
+        let plans = self.propose(ctx);
+        self.arbitrate(ctx, plans)
+    }
+
+    fn on_job_completed(&mut self, job: JobId, unused_history: &[Vec<f64>]) {
+        let owner = owner_of(job, self.workers.len());
+        let request = ShardRequest::JobCompleted {
+            job,
+            unused_history: unused_history.to_vec(),
+        };
+        // FIFO per worker: the notification lands before the next
+        // Provision request, exactly as the engine orders the calls.
+        self.workers[owner]
+            .requests
+            .as_ref()
+            .expect("workers alive until drop")
+            .send(request)
+            .expect("shard worker alive");
+    }
+
+    fn control_plane_stats(&self) -> Option<ControlPlaneStats> {
+        let counters = self
+            .store
+            .as_ref()
+            .map(|s| s.counters())
+            .unwrap_or_default();
+        Some(ControlPlaneStats {
+            shards: self.workers.len(),
+            reservations: counters.reservations,
+            commits: counters.commits,
+            conflicts: counters.conflicts,
+            aborts: counters.aborts,
+            retries: self.workers.iter().map(|s| s.stats.retries).sum(),
+            max_queue_depth: self.max_queue_depth,
+            per_shard: self.workers.iter().map(|s| s.stats.clone()).collect(),
+        })
+    }
+}
+
+impl Drop for ShardedProvisioner {
+    fn drop(&mut self) {
+        // Closing every request channel stops the worker loops; then join.
+        for worker in &mut self.workers {
+            worker.requests.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corp_sim::{PendingJobView, StaticPeakProvisioner, VmView};
+
+    fn rv(v: f64) -> ResourceVector {
+        ResourceVector::splat(v)
+    }
+
+    fn fleet(free: &[f64]) -> Vec<VmView> {
+        free.iter()
+            .enumerate()
+            .map(|(id, &f)| VmView {
+                id,
+                capacity: rv(4.0),
+                committed: rv(4.0) - rv(f),
+                free: rv(f),
+                jobs: Vec::new(),
+                unused_history: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn job(id: JobId, req: f64) -> PendingJobView {
+        PendingJobView {
+            id,
+            requested: rv(req),
+            arrival_slot: 0,
+            slo_slots: 10,
+        }
+    }
+
+    fn sharded(n: usize) -> ShardedProvisioner {
+        let inners: Vec<Box<dyn Provisioner + Send>> = (0..n)
+            .map(|_| Box::new(StaticPeakProvisioner) as _)
+            .collect();
+        ShardedProvisioner::new("static-peak", inners, ShardConfig::default())
+    }
+
+    #[test]
+    fn racing_shards_never_overcommit_a_vm() {
+        // One VM with room for exactly two unit jobs; four shards each
+        // propose their own job for it (static-peak first-fit all pick VM
+        // 0). The store must admit exactly two and abort the rest.
+        let vms = fleet(&[2.0]);
+        let pending: Vec<PendingJobView> = (0..4).map(|i| job(i, 1.0)).collect();
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let mut p = sharded(4);
+        let plan = p.provision(&ctx);
+        assert_eq!(plan.placements.len(), 2, "{plan:?}");
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.commits, 2);
+        assert!(stats.conflicts >= 2, "{stats:?}");
+        assert!(p.store().unwrap().holds_invariants(1e-9));
+    }
+
+    #[test]
+    fn conflicting_placements_retry_onto_best_fit_vm() {
+        // VM 0 fits one unit job; VM 1 is wide open. Both shards propose
+        // VM 0 (first fit); the loser must land on VM 1 via retry, and the
+        // tighter VM is preferred when several fit.
+        let vms = fleet(&[1.0, 4.0]);
+        let pending = vec![job(0, 1.0), job(1, 1.0)];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let mut p = sharded(2);
+        let plan = p.provision(&ctx);
+        assert_eq!(plan.placements.len(), 2, "{plan:?}");
+        let vms_used: Vec<usize> = plan.placements.iter().map(|pl| pl.vm).collect();
+        assert_eq!(vms_used, vec![0, 1], "loser retried onto VM 1: {plan:?}");
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.retries, 1, "{stats:?}");
+        assert_eq!(stats.commits, 2);
+    }
+
+    #[test]
+    fn retry_budget_bounds_attempts_and_aborts_to_pending() {
+        // One VM with room for one job, two shards each proposing theirs.
+        // The loser's reservation conflicts and best-fit finds no
+        // alternative, so it aborts immediately instead of burning the
+        // whole retry budget on hopeless VMs; its job stays pending.
+        let vms = fleet(&[1.0]);
+        let pending = vec![job(0, 1.0), job(1, 1.0)];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let mut p = sharded(2);
+        let plan = p.provision(&ctx);
+        assert_eq!(plan.placements.len(), 1);
+        let stats = p.control_plane_stats().unwrap();
+        let aborted: u64 = stats.per_shard.iter().map(|s| s.aborts).sum();
+        assert_eq!(aborted, 1, "{stats:?}");
+        assert_eq!(stats.retries, 0, "no fitting alternative, no retry");
+        assert_eq!(stats.commits, 1);
+    }
+
+    #[test]
+    fn single_shard_passes_plans_through_unchanged() {
+        let vms = fleet(&[4.0, 4.0]);
+        let pending = vec![job(0, 1.0), job(1, 2.0)];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let mut baseline = StaticPeakProvisioner;
+        let expected = baseline.provision(&ctx);
+        let mut p = sharded(1);
+        let got = p.provision(&ctx);
+        assert_eq!(got.placements, expected.placements);
+        assert_eq!(p.name(), "static-peakx1");
+    }
+
+    #[test]
+    fn queue_depths_track_the_deepest_slot() {
+        let vms = fleet(&[4.0]);
+        let pending: Vec<PendingJobView> = (0..3).map(|i| job(i, 0.5)).collect();
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let mut p = sharded(2);
+        let _ = p.provision(&ctx);
+        let empty: Vec<PendingJobView> = Vec::new();
+        let ctx2 = SlotContext {
+            slot: 1,
+            vms: &vms,
+            pending: &empty,
+            max_vm_capacity: rv(4.0),
+        };
+        let _ = p.provision(&ctx2);
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.max_queue_depth, 3);
+        // Jobs 0 and 2 belong to shard 0; job 1 to shard 1.
+        assert_eq!(stats.per_shard[0].max_queue_depth, 2);
+        assert_eq!(stats.per_shard[1].max_queue_depth, 1);
+    }
+}

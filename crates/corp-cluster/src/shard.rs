@@ -1,0 +1,167 @@
+//! Job-to-shard partitioning and per-shard context construction.
+//!
+//! Every job is owned by exactly one shard for its whole lifetime —
+//! `owner = job_id % num_shards` — so racing shards never propose
+//! conflicting actions for the *same* job; the only contention left is
+//! capacity, which the [`PlacementStore`](crate::PlacementStore)
+//! arbitrates. Each shard receives a narrowed [`SlotContext`]: the full VM
+//! fleet (capacity and commitment truth is global) but with each VM's
+//! running-job views and the pending queue filtered to the jobs the shard
+//! owns. VM-level series (`unused_history`) stay global, so VM-granular
+//! predictors see the physical signal regardless of sharding.
+
+use corp_sim::{JobId, PendingJobView, SlotContext, VmView};
+
+/// The shard that owns `job` in an `num_shards`-way partition.
+pub fn owner_of(job: JobId, num_shards: usize) -> usize {
+    debug_assert!(num_shards > 0);
+    (job % num_shards as u64) as usize
+}
+
+/// One shard's pending queue: the jobs it owns, arrival order preserved.
+pub fn shard_pending(
+    pending: &[PendingJobView],
+    shard: usize,
+    num_shards: usize,
+) -> Vec<PendingJobView> {
+    pending
+        .iter()
+        .filter(|j| owner_of(j.id, num_shards) == shard)
+        .cloned()
+        .collect()
+}
+
+/// Splits the pending queue into per-shard queues (arrival order preserved
+/// within each shard).
+pub fn partition_pending(
+    pending: &[PendingJobView],
+    num_shards: usize,
+) -> Vec<Vec<PendingJobView>> {
+    (0..num_shards)
+        .map(|s| shard_pending(pending, s, num_shards))
+        .collect()
+}
+
+/// One shard's view of the fleet: global capacity/commitment and VM-level
+/// history, with running-job views filtered to the shard's own jobs. Each
+/// shard thread builds its own view from the shared fleet snapshot, so the
+/// copying cost parallelizes with the shard count.
+pub fn shard_vm_views(vms: &[VmView], shard: usize, num_shards: usize) -> Vec<VmView> {
+    vms.iter()
+        .map(|vm| VmView {
+            id: vm.id,
+            capacity: vm.capacity,
+            committed: vm.committed,
+            free: vm.free,
+            jobs: vm
+                .jobs
+                .iter()
+                .filter(|j| owner_of(j.id, num_shards) == shard)
+                .cloned()
+                .collect(),
+            unused_history: vm.unused_history.clone(),
+        })
+        .collect()
+}
+
+/// Builds every shard's fleet view at once (tests and single-threaded
+/// callers; the coordinator lets each shard thread call
+/// [`shard_vm_views`] itself).
+pub fn partition_vm_views(vms: &[VmView], num_shards: usize) -> Vec<Vec<VmView>> {
+    (0..num_shards)
+        .map(|s| shard_vm_views(vms, s, num_shards))
+        .collect()
+}
+
+/// A narrowed per-shard context borrowing the shard's partitioned slices.
+pub fn shard_context<'a>(
+    base: &SlotContext<'_>,
+    vms: &'a [VmView],
+    pending: &'a [PendingJobView],
+) -> SlotContext<'a> {
+    SlotContext {
+        slot: base.slot,
+        vms,
+        pending,
+        max_vm_capacity: base.max_vm_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corp_sim::{ResourceVector, RunningJobView};
+
+    fn pending(id: JobId) -> PendingJobView {
+        PendingJobView {
+            id,
+            requested: ResourceVector::splat(1.0),
+            arrival_slot: 0,
+            slo_slots: 10,
+        }
+    }
+
+    fn running(id: JobId) -> RunningJobView {
+        RunningJobView {
+            id,
+            requested: ResourceVector::splat(1.0),
+            allocation: ResourceVector::splat(1.0),
+            recent_demand: Vec::new(),
+            recent_unused: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ownership_partitions_all_jobs_exactly_once() {
+        let jobs: Vec<PendingJobView> = (0..23).map(pending).collect();
+        let parts = partition_pending(&jobs, 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), jobs.len());
+        for (shard, part) in parts.iter().enumerate() {
+            for j in part {
+                assert_eq!(owner_of(j.id, 4), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything_in_order() {
+        let jobs: Vec<PendingJobView> = [5, 2, 9].into_iter().map(pending).collect();
+        let parts = partition_pending(&jobs, 1);
+        assert_eq!(parts.len(), 1);
+        let ids: Vec<JobId> = parts[0].iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![5, 2, 9], "arrival order preserved");
+    }
+
+    #[test]
+    fn vm_views_filter_jobs_but_keep_global_state() {
+        let vm = VmView {
+            id: 0,
+            capacity: ResourceVector::splat(8.0),
+            committed: ResourceVector::splat(3.0),
+            free: ResourceVector::splat(5.0),
+            jobs: vec![running(0), running(1), running(2)],
+            unused_history: vec![ResourceVector::splat(0.5)],
+        };
+        let per_shard = partition_vm_views(&[vm], 2);
+        assert_eq!(
+            per_shard[0][0]
+                .jobs
+                .iter()
+                .map(|j| j.id)
+                .collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            per_shard[1][0]
+                .jobs
+                .iter()
+                .map(|j| j.id)
+                .collect::<Vec<_>>(),
+            vec![1]
+        );
+        for views in &per_shard {
+            assert_eq!(views[0].committed, ResourceVector::splat(3.0));
+            assert_eq!(views[0].unused_history.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The centralized two-phase-commit placement store.
+//!
+//! Scheduler shards race to place jobs onto a shared VM fleet. The store is
+//! the single arbiter of capacity: a shard first **reserves** the resources
+//! a placement needs (phase 1 — the store admits the reservation only if
+//! committed + reserved + amount still fits the VM), then either
+//! **confirms** it (phase 2 — the hold becomes a durable commitment) or
+//! **aborts** it (the hold is released). Because admission is checked under
+//! one lock against the sum of durable commitments *and* outstanding holds,
+//! no interleaving of racing shards can ever over-commit a VM — the
+//! invariant the property tests drive with real thread interleavings.
+//!
+//! The store tracks capacity only; job identity, retry policy, and commit
+//! ordering belong to the coordinator
+//! ([`ShardedProvisioner`](crate::ShardedProvisioner)). Allocation
+//! *adjustments* to running jobs go through [`PlacementStore::adjust`],
+//! which applies the engine's own rebase arithmetic so a store-approved
+//! adjustment is engine-valid by construction.
+
+use std::collections::HashMap;
+
+use corp_sim::ResourceVector;
+use parking_lot::Mutex;
+
+/// Handle to an open (reserved but not yet confirmed/aborted) reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationId(u64);
+
+/// Why a reservation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveError {
+    /// Admitting the reservation would over-commit the VM.
+    Conflict,
+    /// The VM id does not exist.
+    UnknownVm,
+}
+
+/// Why a confirm/abort failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnError {
+    /// The reservation id is not open (already confirmed, aborted, or never
+    /// issued).
+    UnknownReservation,
+}
+
+/// Monotone counters over the store's whole lifetime (slots accumulate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Reservations admitted (phase 1 successes).
+    pub reservations: u64,
+    /// Reservations confirmed (phase 2 commits).
+    pub commits: u64,
+    /// Reservation attempts refused (would-be overcommits), including
+    /// denied growing adjustments.
+    pub conflicts: u64,
+    /// Reservations rolled back.
+    pub aborts: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Reservation {
+    vm: usize,
+    amount: ResourceVector,
+    /// Shard that opened the reservation (diagnostics).
+    #[allow(dead_code)]
+    shard: usize,
+}
+
+struct VmLedger {
+    capacity: ResourceVector,
+    /// Durable commitments (confirmed allocations), mirroring the engine's
+    /// per-VM committed vector.
+    committed: ResourceVector,
+    /// Sum of open reservations.
+    reserved: ResourceVector,
+}
+
+impl VmLedger {
+    fn headroom(&self) -> ResourceVector {
+        self.capacity
+            .saturating_sub(&(self.committed + self.reserved))
+    }
+}
+
+struct StoreInner {
+    vms: Vec<VmLedger>,
+    open: HashMap<u64, Reservation>,
+    next_id: u64,
+    counters: StoreCounters,
+}
+
+/// Thread-safe capacity arbiter for a VM fleet (see module docs).
+pub struct PlacementStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl PlacementStore {
+    /// Builds a store over VMs with the given capacities, all uncommitted.
+    pub fn new(capacities: Vec<ResourceVector>) -> Self {
+        let vms = capacities
+            .into_iter()
+            .map(|capacity| VmLedger {
+                capacity,
+                committed: ResourceVector::ZERO,
+                reserved: ResourceVector::ZERO,
+            })
+            .collect();
+        PlacementStore {
+            inner: Mutex::new(StoreInner {
+                vms,
+                open: HashMap::new(),
+                next_id: 0,
+                counters: StoreCounters::default(),
+            }),
+        }
+    }
+
+    /// Re-bases the durable commitments from an authoritative snapshot (the
+    /// engine's per-VM committed vectors at the start of a slot) and drops
+    /// any reservation left open from the previous slot (counted as
+    /// aborts). Counters persist across slots.
+    ///
+    /// # Panics
+    ///
+    /// If `committed` has a different length than the fleet.
+    pub fn begin_slot(&self, committed: &[ResourceVector]) {
+        let mut inner = self.inner.lock();
+        assert_eq!(
+            inner.vms.len(),
+            committed.len(),
+            "fleet size changed mid-run"
+        );
+        inner.counters.aborts += inner.open.len() as u64;
+        inner.open.clear();
+        for (ledger, &base) in inner.vms.iter_mut().zip(committed) {
+            ledger.committed = base;
+            ledger.reserved = ResourceVector::ZERO;
+        }
+    }
+
+    /// Phase 1: holds `amount` on `vm` for `shard`. Admitted only if the
+    /// VM's durable commitments plus all open holds still leave room.
+    pub fn reserve(
+        &self,
+        shard: usize,
+        vm: usize,
+        amount: ResourceVector,
+    ) -> Result<ReservationId, ReserveError> {
+        let amount = amount.clamp_nonnegative();
+        let mut inner = self.inner.lock();
+        let Some(ledger) = inner.vms.get(vm) else {
+            return Err(ReserveError::UnknownVm);
+        };
+        if !amount.fits_within(&ledger.headroom()) {
+            inner.counters.conflicts += 1;
+            return Err(ReserveError::Conflict);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.vms[vm].reserved += amount;
+        inner.open.insert(id, Reservation { vm, amount, shard });
+        inner.counters.reservations += 1;
+        Ok(ReservationId(id))
+    }
+
+    /// Phase 2 commit: the hold becomes a durable commitment.
+    pub fn confirm(&self, id: ReservationId) -> Result<(), TxnError> {
+        let mut inner = self.inner.lock();
+        let Some(r) = inner.open.remove(&id.0) else {
+            return Err(TxnError::UnknownReservation);
+        };
+        let ledger = &mut inner.vms[r.vm];
+        ledger.reserved = (ledger.reserved - r.amount).clamp_nonnegative();
+        ledger.committed += r.amount;
+        inner.counters.commits += 1;
+        Ok(())
+    }
+
+    /// Phase 2 rollback: the hold is released.
+    pub fn abort(&self, id: ReservationId) -> Result<(), TxnError> {
+        let mut inner = self.inner.lock();
+        let Some(r) = inner.open.remove(&id.0) else {
+            return Err(TxnError::UnknownReservation);
+        };
+        let ledger = &mut inner.vms[r.vm];
+        ledger.reserved = (ledger.reserved - r.amount).clamp_nonnegative();
+        inner.counters.aborts += 1;
+        Ok(())
+    }
+
+    /// Re-bases a running job's allocation on `vm` from `old` to `new`,
+    /// using the engine's own validation arithmetic (`committed - old +
+    /// new`, clamped, must fit capacity net of open holds). Returns whether
+    /// the adjustment was applied; a refusal counts as a conflict.
+    pub fn adjust(&self, vm: usize, old: ResourceVector, new: ResourceVector) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(ledger) = inner.vms.get(vm) else {
+            inner.counters.conflicts += 1;
+            return false;
+        };
+        if !new.is_nonnegative() {
+            inner.counters.conflicts += 1;
+            return false;
+        }
+        let candidate = (ledger.committed - old + new).clamp_nonnegative();
+        if (candidate + ledger.reserved).fits_within(&ledger.capacity) {
+            inner.vms[vm].committed = candidate;
+            true
+        } else {
+            inner.counters.conflicts += 1;
+            false
+        }
+    }
+
+    /// Capacity net of durable commitments and open holds on one VM.
+    pub fn free(&self, vm: usize) -> Option<ResourceVector> {
+        let inner = self.inner.lock();
+        inner.vms.get(vm).map(VmLedger::headroom)
+    }
+
+    /// [`free`](Self::free) for the whole fleet, VM-id ordered.
+    pub fn free_all(&self) -> Vec<ResourceVector> {
+        self.inner
+            .lock()
+            .vms
+            .iter()
+            .map(VmLedger::headroom)
+            .collect()
+    }
+
+    /// Number of VMs under arbitration.
+    pub fn num_vms(&self) -> usize {
+        self.inner.lock().vms.len()
+    }
+
+    /// Number of open (neither confirmed nor aborted) reservations.
+    pub fn outstanding(&self) -> usize {
+        self.inner.lock().open.len()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn counters(&self) -> StoreCounters {
+        self.inner.lock().counters
+    }
+
+    /// Checks the no-overcommit invariant on every VM: durable commitments
+    /// plus open holds never exceed capacity (within `eps` of float
+    /// accumulation slack per resource).
+    pub fn holds_invariants(&self, eps: f64) -> bool {
+        let inner = self.inner.lock();
+        inner.vms.iter().all(|ledger| {
+            let total = ledger.committed + ledger.reserved;
+            (0..total.as_array().len()).all(|k| total[k] <= ledger.capacity[k] + eps)
+                && ledger.committed.is_nonnegative()
+                && ledger.reserved.is_nonnegative()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(a: f64, b: f64, c: f64) -> ResourceVector {
+        ResourceVector::new([a, b, c])
+    }
+
+    fn store_one_vm() -> PlacementStore {
+        PlacementStore::new(vec![rv(4.0, 16.0, 180.0)])
+    }
+
+    #[test]
+    fn reserve_confirm_commits_capacity() {
+        let store = store_one_vm();
+        let id = store.reserve(0, 0, rv(2.0, 8.0, 90.0)).unwrap();
+        assert_eq!(store.outstanding(), 1);
+        store.confirm(id).unwrap();
+        assert_eq!(store.outstanding(), 0);
+        assert_eq!(store.free(0).unwrap(), rv(2.0, 8.0, 90.0));
+        let c = store.counters();
+        assert_eq!(
+            (c.reservations, c.commits, c.conflicts, c.aborts),
+            (1, 1, 0, 0)
+        );
+    }
+
+    #[test]
+    fn reserve_abort_releases_hold() {
+        let store = store_one_vm();
+        let id = store.reserve(0, 0, rv(4.0, 16.0, 180.0)).unwrap();
+        store.abort(id).unwrap();
+        assert_eq!(store.free(0).unwrap(), rv(4.0, 16.0, 180.0));
+        let c = store.counters();
+        assert_eq!((c.reservations, c.commits, c.aborts), (1, 0, 1));
+    }
+
+    #[test]
+    fn open_holds_block_conflicting_reservations() {
+        let store = store_one_vm();
+        let _held = store.reserve(0, 0, rv(3.0, 1.0, 1.0)).unwrap();
+        // A second reservation exceeding the remaining CPU must conflict
+        // even though nothing is durably committed yet.
+        assert_eq!(
+            store.reserve(1, 0, rv(2.0, 1.0, 1.0)),
+            Err(ReserveError::Conflict)
+        );
+        assert_eq!(store.counters().conflicts, 1);
+        assert!(store.holds_invariants(1e-9));
+    }
+
+    #[test]
+    fn double_confirm_and_unknown_ids_are_rejected() {
+        let store = store_one_vm();
+        let id = store.reserve(0, 0, rv(1.0, 1.0, 1.0)).unwrap();
+        store.confirm(id).unwrap();
+        assert_eq!(store.confirm(id), Err(TxnError::UnknownReservation));
+        assert_eq!(store.abort(id), Err(TxnError::UnknownReservation));
+        assert_eq!(
+            store.reserve(0, 9, rv(1.0, 1.0, 1.0)),
+            Err(ReserveError::UnknownVm)
+        );
+    }
+
+    #[test]
+    fn begin_slot_rebases_and_aborts_stale_holds() {
+        let store = store_one_vm();
+        let _stale = store.reserve(0, 0, rv(1.0, 1.0, 1.0)).unwrap();
+        store.begin_slot(&[rv(1.0, 4.0, 45.0)]);
+        assert_eq!(store.outstanding(), 0);
+        assert_eq!(store.counters().aborts, 1);
+        assert_eq!(store.free(0).unwrap(), rv(3.0, 12.0, 135.0));
+    }
+
+    #[test]
+    fn adjust_applies_engine_arithmetic() {
+        let store = store_one_vm();
+        let id = store.reserve(0, 0, rv(2.0, 2.0, 2.0)).unwrap();
+        store.confirm(id).unwrap();
+        // Shrink 2 -> 1 CPU.
+        assert!(store.adjust(0, rv(2.0, 2.0, 2.0), rv(1.0, 2.0, 2.0)));
+        assert_eq!(store.free(0).unwrap(), rv(3.0, 14.0, 178.0));
+        // Growing past capacity is refused and counted.
+        assert!(!store.adjust(0, rv(1.0, 2.0, 2.0), rv(9.0, 2.0, 2.0)));
+        assert_eq!(store.counters().conflicts, 1);
+        assert!(store.holds_invariants(1e-9));
+    }
+
+    #[test]
+    fn racing_reservations_never_overcommit() {
+        use std::sync::Arc;
+        // 8 threads fight for one VM that fits exactly 4 unit reservations;
+        // every interleaving must commit at most 4.
+        let store = Arc::new(PlacementStore::new(vec![rv(4.0, 4.0, 4.0)]));
+        std::thread::scope(|s| {
+            for shard in 0..8 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    if let Ok(id) = store.reserve(shard, 0, rv(1.0, 1.0, 1.0)) {
+                        store.confirm(id).unwrap();
+                    }
+                });
+            }
+        });
+        let c = store.counters();
+        assert_eq!(c.commits, 4, "{c:?}");
+        assert_eq!(c.conflicts, 4, "{c:?}");
+        assert!(store.holds_invariants(1e-9));
+        assert_eq!(store.free(0).unwrap(), rv(0.0, 0.0, 0.0));
+    }
+}

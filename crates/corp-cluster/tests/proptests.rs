@@ -1,0 +1,137 @@
+//! Property tests for the two-phase-commit `PlacementStore`.
+//!
+//! The safety contract: under *arbitrary* interleavings of reserve /
+//! confirm / abort, (1) committed + reserved totals never exceed any VM's
+//! capacity, and (2) every admitted reservation is eventually resolved —
+//! confirmed or aborted, never leaked. Sequential sequences explore the
+//! full interleaving space (the store is a single linearizable lock);
+//! a racing-threads property checks the same invariants hold under real
+//! concurrency.
+
+use corp_cluster::{PlacementStore, ReservationId};
+use corp_sim::ResourceVector;
+use proptest::prelude::*;
+
+const VMS: usize = 4;
+const CAPACITY: f64 = 4.0;
+const EPS: f64 = 1e-9;
+
+fn store() -> PlacementStore {
+    PlacementStore::new(vec![ResourceVector::splat(CAPACITY); VMS])
+}
+
+/// Drains `open`, alternately confirming and aborting, so every hold is
+/// resolved one way or the other.
+fn resolve_all(store: &PlacementStore, open: &mut Vec<ReservationId>) {
+    for (i, id) in open.drain(..).enumerate() {
+        if i % 2 == 0 {
+            store.confirm(id).expect("open hold confirms");
+        } else {
+            store.abort(id).expect("open hold aborts");
+        }
+    }
+}
+
+/// Applies one encoded op; kind 0 = reserve, 1 = confirm oldest, 2 = abort
+/// newest.
+fn apply(store: &PlacementStore, open: &mut Vec<ReservationId>, kind: usize, vm: usize, amt: f64) {
+    match kind {
+        0 => {
+            if let Ok(id) = store.reserve(0, vm, ResourceVector::splat(amt)) {
+                open.push(id);
+            }
+        }
+        1 => {
+            if !open.is_empty() {
+                store.confirm(open.remove(0)).expect("tracked hold is open");
+            }
+        }
+        _ => {
+            if let Some(id) = open.pop() {
+                store.abort(id).expect("tracked hold is open");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_sequential_interleavings_never_overcommit(
+        ops in prop::collection::vec((0usize..3, 0usize..VMS, 0.0f64..3.0), 1..120),
+    ) {
+        let store = store();
+        let mut open: Vec<ReservationId> = Vec::new();
+        for &(kind, vm, amt) in &ops {
+            apply(&store, &mut open, kind, vm, amt);
+            prop_assert!(store.holds_invariants(EPS), "invariant broken mid-sequence");
+        }
+        resolve_all(&store, &mut open);
+        prop_assert_eq!(store.outstanding(), 0);
+        prop_assert!(store.holds_invariants(EPS));
+        let c = store.counters();
+        prop_assert_eq!(
+            c.commits + c.aborts, c.reservations,
+            "every admitted reservation resolved exactly once"
+        );
+    }
+
+    #[test]
+    fn racing_threads_never_overcommit(
+        per_thread in prop::collection::vec(
+            prop::collection::vec((0usize..3, 0usize..VMS, 0.0f64..2.5), 0..60),
+            2..5,
+        ),
+    ) {
+        let store = store();
+        let store = &store;
+        std::thread::scope(|scope| {
+            for ops in &per_thread {
+                scope.spawn(move || {
+                    let mut open: Vec<ReservationId> = Vec::new();
+                    for &(kind, vm, amt) in ops {
+                        match kind {
+                            0 => {
+                                if let Ok(id) = store.reserve(0, vm, ResourceVector::splat(amt)) {
+                                    open.push(id);
+                                }
+                            }
+                            1 => {
+                                if !open.is_empty() {
+                                    store.confirm(open.remove(0)).expect("own hold is open");
+                                }
+                            }
+                            _ => {
+                                if let Some(id) = open.pop() {
+                                    store.abort(id).expect("own hold is open");
+                                }
+                            }
+                        }
+                        assert!(store.holds_invariants(EPS), "invariant broken under race");
+                    }
+                    resolve_all(store, &mut open);
+                });
+            }
+        });
+        prop_assert_eq!(store.outstanding(), 0);
+        prop_assert!(store.holds_invariants(EPS));
+        let c = store.counters();
+        prop_assert_eq!(c.commits + c.aborts, c.reservations);
+    }
+
+    #[test]
+    fn refused_reservations_change_nothing(
+        fill in 0.0f64..4.0,
+        excess in 0.1f64..4.0,
+    ) {
+        let store = store();
+        let id = store.reserve(0, 0, ResourceVector::splat(fill)).expect("fits capacity");
+        store.confirm(id).expect("open hold confirms");
+        let before = store.free(0).expect("vm 0 exists");
+        // A request beyond the remaining headroom must be refused and must
+        // not perturb the ledger.
+        let request = CAPACITY - fill + excess;
+        prop_assert!(store.reserve(0, 0, ResourceVector::splat(request)).is_err());
+        prop_assert_eq!(store.free(0).expect("vm 0 exists"), before);
+        prop_assert_eq!(store.counters().conflicts, 1);
+    }
+}

@@ -70,8 +70,11 @@ impl Default for CorpConfig {
             use_packing: true,
             use_volume_placement: true,
             reclaim_floor: 0.3,
-            train: TrainConfig { max_epochs: 60, ..TrainConfig::default() },
-            seed: 0xC0&0xFF | 0xC000, // deterministic, arbitrary
+            train: TrainConfig {
+                max_epochs: 60,
+                ..TrainConfig::default()
+            },
+            seed: 0xC0 & 0xFF | 0xC000, // deterministic, arbitrary
         }
     }
 }
@@ -96,7 +99,10 @@ impl CorpConfig {
             dnn_units: 12,
             dnn_layers: 2,
             min_training_histories: 6,
-            train: TrainConfig { max_epochs: 25, ..TrainConfig::default() },
+            train: TrainConfig {
+                max_epochs: 25,
+                ..TrainConfig::default()
+            },
             ..CorpConfig::default()
         }
     }
@@ -117,7 +123,10 @@ impl CorpConfig {
             (0.0..=1.0).contains(&self.prob_threshold),
             "P_th must be in [0,1]"
         );
-        assert!(self.error_tolerance_frac > 0.0, "tolerance must be positive");
+        assert!(
+            self.error_tolerance_frac > 0.0,
+            "tolerance must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.reclaim_floor),
             "reclaim floor must be in [0,1]"
@@ -134,8 +143,14 @@ mod tests {
         let c = CorpConfig::default();
         assert_eq!(c.dnn_layers, 4, "Table II: h = 4");
         assert_eq!(c.dnn_units, 50, "Table II: N_n = 50");
-        assert!((c.prob_threshold - 0.95).abs() < 1e-12, "Table II: P_th = 0.95");
-        assert!((0.5..=0.9).contains(&c.confidence_level), "Table II: eta in 50%-90%");
+        assert!(
+            (c.prob_threshold - 0.95).abs() < 1e-12,
+            "Table II: P_th = 0.95"
+        );
+        assert!(
+            (0.5..=0.9).contains(&c.confidence_level),
+            "Table II: eta in 50%-90%"
+        );
         c.validate();
     }
 
@@ -163,6 +178,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_confidence_rejected() {
-        CorpConfig { confidence_level: 1.0, ..CorpConfig::default() }.validate();
+        CorpConfig {
+            confidence_level: 1.0,
+            ..CorpConfig::default()
+        }
+        .validate();
     }
 }

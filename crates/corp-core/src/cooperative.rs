@@ -56,7 +56,10 @@ impl CooperativeProvisioner {
     /// usage-cycle length of service jobs.
     pub fn new(config: CorpConfig, season_slots: usize) -> Self {
         config.validate();
-        assert!(season_slots >= 2, "seasonal period must be at least 2 slots");
+        assert!(
+            season_slots >= 2,
+            "seasonal period must be at least 2 slots"
+        );
         let predictor = CorpJobPredictor::new(&config);
         CooperativeProvisioner {
             config,
@@ -84,7 +87,9 @@ impl CooperativeProvisioner {
     fn observe_long_lived(&mut self, job: &corp_sim::RunningJobView) {
         let season = self.season_slots;
         let smoothers = self.seasonal.entry(job.id).or_insert_with(|| {
-            (0..NUM_RESOURCES).map(|_| HoltWinters::new(0.3, 0.05, 0.3, season)).collect()
+            (0..NUM_RESOURCES)
+                .map(|_| HoltWinters::new(0.3, 0.05, 0.3, season))
+                .collect()
         });
         let seen = self.observed_len.entry(job.id).or_insert(0);
         // The view holds a capped tail; feed only genuinely new samples.
@@ -171,8 +176,7 @@ impl Provisioner for CooperativeProvisioner {
                             .map(|k| job.recent_unused.iter().map(|u| u[k]).collect())
                             .collect();
                         let u_hat = self.predictor.predict_job(&series, &job.requested);
-                        let window_len =
-                            self.config.window_slots.min(job.recent_demand.len());
+                        let window_len = self.config.window_slots.min(job.recent_demand.len());
                         let mut recent_mean = ResourceVector::ZERO;
                         for d in &job.recent_demand[job.recent_demand.len() - window_len..] {
                             recent_mean += *d;
@@ -186,7 +190,9 @@ impl Provisioner for CooperativeProvisioner {
                                 .max(recent_mean[k] * 1.05)
                                 .min(job.requested[k]);
                             alloc[k] = if self.predictor.unlocked(k) {
-                                (job.allocation[k] - u_hat[k]).max(floor).min(job.requested[k])
+                                (job.allocation[k] - u_hat[k])
+                                    .max(floor)
+                                    .min(job.requested[k])
                             } else {
                                 job.allocation[k].max(floor).min(job.requested[k])
                             };
@@ -214,14 +220,23 @@ impl Provisioner for CooperativeProvisioner {
         // Placement: CORP packing + Eq. 22 best-fit for every entity.
         let requested: HashMap<u64, ResourceVector> =
             ctx.pending.iter().map(|p| (p.id, p.requested)).collect();
-        let packable: Vec<PackableJob> =
-            ctx.pending.iter().map(|p| PackableJob { id: p.id, demand: p.requested }).collect();
+        let packable: Vec<PackableJob> = ctx
+            .pending
+            .iter()
+            .map(|p| PackableJob {
+                id: p.id,
+                demand: p.requested,
+            })
+            .collect();
         let entities: Vec<JobEntity> = if self.config.use_packing {
             pack_complementary(&packable, &ctx.max_vm_capacity)
         } else {
             packable
                 .iter()
-                .map(|p| JobEntity { jobs: vec![p.id], total_demand: p.demand })
+                .map(|p| JobEntity {
+                    jobs: vec![p.id],
+                    total_demand: p.demand,
+                })
                 .collect()
         };
         for entity in &entities {
@@ -232,7 +247,11 @@ impl Provisioner for CooperativeProvisioner {
             pools[vm] -= entity.total_demand;
             pools[vm] = pools[vm].clamp_nonnegative();
             for &job in &entity.jobs {
-                plan.placements.push(Placement { job, vm, allocation: requested[&job] });
+                plan.placements.push(Placement {
+                    job,
+                    vm,
+                    allocation: requested[&job],
+                });
             }
         }
         plan
@@ -252,13 +271,14 @@ impl Provisioner for CooperativeProvisioner {
 mod tests {
     use super::*;
     use corp_sim::{Cluster, EnvironmentProfile, Simulation, SimulationOptions};
-    use corp_trace::{
-        LongLivedConfig, LongLivedGenerator, WorkloadConfig, WorkloadGenerator,
-    };
+    use corp_trace::{LongLivedConfig, LongLivedGenerator, WorkloadConfig, WorkloadGenerator};
 
     fn mixed_workload(seed: u64) -> Vec<corp_trace::JobSpec> {
         let mut jobs = WorkloadGenerator::new(
-            WorkloadConfig { num_jobs: 50, ..WorkloadConfig::default() },
+            WorkloadConfig {
+                num_jobs: 50,
+                ..WorkloadConfig::default()
+            },
             seed,
         )
         .generate();
@@ -284,7 +304,10 @@ mod tests {
         let mut sim = Simulation::new(
             cluster,
             mixed_workload(seed),
-            SimulationOptions { measure_decision_time: false, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
         );
         let report = sim.run(&mut coop);
         (report, coop.long_lived_count())
@@ -293,7 +316,11 @@ mod tests {
     #[test]
     fn completes_mixed_workload_without_invalid_actions() {
         let (report, _) = run_coop(3);
-        assert_eq!(report.completed + report.unfinished + report.rejected, 56, "{report:?}");
+        assert_eq!(
+            report.completed + report.unfinished + report.rejected,
+            56,
+            "{report:?}"
+        );
         assert_eq!(report.invalid_actions, 0, "{report:?}");
         assert!(report.completed >= 50, "{report:?}");
     }
@@ -305,7 +332,11 @@ mod tests {
         let mut sim = Simulation::new(
             cluster,
             mixed_workload(5),
-            SimulationOptions { measure_decision_time: false, max_slots: 40, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                max_slots: 40,
+                ..Default::default()
+            },
         );
         let _ = sim.run(&mut coop);
         // All 6 long jobs should have been classified while running.
@@ -322,7 +353,10 @@ mod tests {
         let mut sim = Simulation::new(
             cluster,
             mixed_workload(7),
-            SimulationOptions { measure_decision_time: false, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
         );
         let peak_report = sim.run(&mut peak);
         assert!(

@@ -1,0 +1,123 @@
+//! Shard-safe construction of provisioner fleets.
+//!
+//! A sharded control plane (the `corp-cluster` crate) runs N independent
+//! copies of a scheduling pipeline, one per shard. Two rules keep that
+//! reproducible:
+//!
+//! * **Decorrelated randomness** — each shard's RNG stream must differ, or
+//!   every shard makes the same "random" choice (e.g. RCCR's random
+//!   fitting VM) and contention is artificially inflated. [`shard_seed`]
+//!   derives per-shard seeds with a golden-ratio stride.
+//! * **Shard 0 keeps the base seed** — so a one-shard fleet reproduces the
+//!   monolithic scheduler bit-for-bit: `shard_seed(base, 0) == base`.
+//!
+//! The `*_fleet` constructors apply both rules for the four schemes and
+//! return `Box<dyn Provisioner + Send>` shards, ready to hand to a
+//! sharded coordinator. CORP shards are pretrained on the *same* shared
+//! historical corpus — in production every scheduler bootstraps from the
+//! same trace archive; only online learning diverges, and it diverges
+//! deterministically because job ownership is deterministic.
+
+use crate::config::CorpConfig;
+use crate::scheduler::{CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner};
+use corp_sim::Provisioner;
+
+/// Golden-ratio stride (2^64 / phi), the usual odd constant for
+/// decorrelating seed sequences.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Seed for `shard` derived from `base`. Shard 0 keeps `base` unchanged so
+/// single-shard fleets reproduce monolithic runs exactly.
+pub fn shard_seed(base: u64, shard: usize) -> u64 {
+    base.wrapping_add(SEED_STRIDE.wrapping_mul(shard as u64))
+}
+
+/// `shards` CORP pipelines, each pretrained on the shared historical
+/// corpus `histories_per_resource` (same layout as
+/// [`CorpProvisioner::pretrain`]), with per-shard decorrelated seeds.
+pub fn corp_fleet(
+    config: &CorpConfig,
+    histories_per_resource: &[Vec<Vec<f64>>],
+    shards: usize,
+) -> Vec<Box<dyn Provisioner + Send>> {
+    (0..shards)
+        .map(|shard| {
+            let cfg = CorpConfig {
+                seed: shard_seed(config.seed, shard),
+                ..config.clone()
+            };
+            let mut p = CorpProvisioner::new(cfg);
+            p.pretrain(histories_per_resource);
+            Box::new(p) as Box<dyn Provisioner + Send>
+        })
+        .collect()
+}
+
+/// `shards` RCCR baselines with per-shard decorrelated seeds.
+pub fn rccr_fleet(confidence: f64, seed: u64, shards: usize) -> Vec<Box<dyn Provisioner + Send>> {
+    (0..shards)
+        .map(|shard| {
+            Box::new(RccrProvisioner::new(confidence, shard_seed(seed, shard)))
+                as Box<dyn Provisioner + Send>
+        })
+        .collect()
+}
+
+/// `shards` CloudScale baselines with per-shard decorrelated seeds.
+pub fn cloudscale_fleet(seed: u64, shards: usize) -> Vec<Box<dyn Provisioner + Send>> {
+    (0..shards)
+        .map(|shard| {
+            Box::new(CloudScaleProvisioner::new(shard_seed(seed, shard)))
+                as Box<dyn Provisioner + Send>
+        })
+        .collect()
+}
+
+/// `shards` DRA baselines with per-shard decorrelated seeds.
+pub fn dra_fleet(seed: u64, shards: usize) -> Vec<Box<dyn Provisioner + Send>> {
+    (0..shards)
+        .map(|shard| {
+            Box::new(DraProvisioner::new(shard_seed(seed, shard))) as Box<dyn Provisioner + Send>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_zero_keeps_the_base_seed() {
+        assert_eq!(shard_seed(0xC0DE, 0), 0xC0DE);
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|s| shard_seed(7, s)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn fleets_have_the_requested_size() {
+        assert_eq!(rccr_fleet(0.9, 7, 4).len(), 4);
+        assert_eq!(cloudscale_fleet(7, 3).len(), 3);
+        assert_eq!(dra_fleet(7, 2).len(), 2);
+    }
+
+    #[test]
+    fn corp_fleet_builds_pretrained_shards() {
+        let cfg = CorpConfig::fast();
+        // A minimal corpus: enough identical histories per resource to
+        // clear the training threshold.
+        let histories: Vec<Vec<Vec<f64>>> = (0..corp_sim::RESOURCE_WEIGHTS.len())
+            .map(|_| vec![vec![0.5; 32]; 8])
+            .collect();
+        let fleet = corp_fleet(&cfg, &histories, 2);
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet[0].name(), "CORP");
+    }
+}

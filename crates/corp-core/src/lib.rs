@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod cooperative;
+pub mod fleet;
 pub mod packing;
 pub mod placement;
 pub mod predictor;
@@ -52,10 +53,9 @@ pub mod scheduler;
 
 pub use config::CorpConfig;
 pub use cooperative::CooperativeProvisioner;
-pub use packing::{pack_complementary, deviation_score, JobEntity, PackableJob};
+pub use fleet::{cloudscale_fleet, corp_fleet, dra_fleet, rccr_fleet, shard_seed};
+pub use packing::{deviation_score, pack_complementary, JobEntity, PackableJob};
 pub use placement::{most_matched_vm, random_fitting_vm};
 pub use predictor::{CloudScalePredictor, CorpJobPredictor, DraPredictor, RccrPredictor};
 pub use preemption::PreemptionGate;
-pub use scheduler::{
-    CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner,
-};
+pub use scheduler::{CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner};

@@ -35,11 +35,17 @@ pub struct JobEntity {
 
 impl JobEntity {
     fn single(j: &PackableJob) -> Self {
-        JobEntity { jobs: vec![j.id], total_demand: j.demand }
+        JobEntity {
+            jobs: vec![j.id],
+            total_demand: j.demand,
+        }
     }
 
     fn pair(a: &PackableJob, b: &PackableJob) -> Self {
-        JobEntity { jobs: vec![a.id, b.id], total_demand: a.demand + b.demand }
+        JobEntity {
+            jobs: vec![a.id, b.id],
+            total_demand: a.demand + b.demand,
+        }
     }
 }
 
@@ -63,13 +69,12 @@ pub fn deviation_score(a: &ResourceVector, b: &ResourceVector) -> f64 {
 /// job in order, pick the unpaired job with a *different dominant resource*
 /// maximizing `DV`, else leave it single. `reference` is the VM-capacity
 /// vector used to normalize dominance.
-pub fn pack_complementary(
-    jobs: &[PackableJob],
-    reference: &ResourceVector,
-) -> Vec<JobEntity> {
+pub fn pack_complementary(jobs: &[PackableJob], reference: &ResourceVector) -> Vec<JobEntity> {
     let n = jobs.len();
-    let dominant: Vec<usize> =
-        jobs.iter().map(|j| j.demand.dominant_index(reference)).collect();
+    let dominant: Vec<usize> = jobs
+        .iter()
+        .map(|j| j.demand.dominant_index(reference))
+        .collect();
     let mut taken = vec![false; n];
     let mut entities = Vec::with_capacity(n);
 
@@ -104,7 +109,10 @@ mod tests {
     use super::*;
 
     fn job(id: u64, demand: [f64; 3]) -> PackableJob {
-        PackableJob { id, demand: ResourceVector::new(demand) }
+        PackableJob {
+            id,
+            demand: ResourceVector::new(demand),
+        }
     }
 
     const REF: [f64; 3] = [25.0, 2.0, 30.0];
@@ -134,15 +142,19 @@ mod tests {
     fn complementary_jobs_pack_together() {
         // CPU-heavy and storage-heavy jobs pair; their clones pair too.
         let jobs = vec![
-            job(3, [10.0, 0.5, 3.0]),  // CPU-dominant
-            job(4, [2.0, 0.5, 25.0]),  // storage-dominant
-            job(5, [3.0, 0.5, 20.0]),  // storage-dominant
-            job(6, [12.0, 0.5, 2.0]),  // CPU-dominant
+            job(3, [10.0, 0.5, 3.0]), // CPU-dominant
+            job(4, [2.0, 0.5, 25.0]), // storage-dominant
+            job(5, [3.0, 0.5, 20.0]), // storage-dominant
+            job(6, [12.0, 0.5, 2.0]), // CPU-dominant
         ];
         let entities = pack_complementary(&jobs, &ResourceVector::new(REF));
         assert_eq!(entities.len(), 2);
         for e in &entities {
-            assert_eq!(e.jobs.len(), 2, "all jobs should find partners: {entities:?}");
+            assert_eq!(
+                e.jobs.len(),
+                2,
+                "all jobs should find partners: {entities:?}"
+            );
         }
         // Job 3 should prefer the storage job with the larger deviation.
         let e3 = entities.iter().find(|e| e.jobs.contains(&3)).unwrap();
@@ -155,7 +167,10 @@ mod tests {
             &ResourceVector::new([3.0, 0.5, 20.0]),
         );
         assert!(dv34 > dv35);
-        assert!(e3.jobs.contains(&4), "job 3 pairs with the higher-DV partner");
+        assert!(
+            e3.jobs.contains(&4),
+            "job 3 pairs with the higher-DV partner"
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ mod tests {
         ];
         // A demand VM1/VM4 can't fit but VM2/VM3 can.
         let demand = ResourceVector::new([8.0, 1.0, 10.0]);
-        assert_eq!(most_matched_vm(&pools, &demand, &reference), Some(1), "VM2 wins");
+        assert_eq!(
+            most_matched_vm(&pools, &demand, &reference),
+            Some(1),
+            "VM2 wins"
+        );
     }
 
     #[test]
@@ -88,7 +92,11 @@ mod tests {
             ResourceVector::new([10.0, 1.0, 8.5]),
         ];
         let demand = ResourceVector::new([9.0, 0.5, 8.0]);
-        assert_eq!(most_matched_vm(&pools, &demand, &reference), Some(3), "VM4 wins");
+        assert_eq!(
+            most_matched_vm(&pools, &demand, &reference),
+            Some(3),
+            "VM4 wins"
+        );
     }
 
     #[test]
@@ -126,7 +134,10 @@ mod tests {
         for _ in 0..100 {
             seen[random_fitting_vm(&pools, &demand, &mut rng).unwrap()] = true;
         }
-        assert!(seen[0] && seen[1], "both fitting VMs should be chosen eventually");
+        assert!(
+            seen[0] && seen[1],
+            "both fitting VMs should be chosen eventually"
+        );
     }
 
     #[test]

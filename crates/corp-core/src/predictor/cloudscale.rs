@@ -62,7 +62,10 @@ impl CloudScalePredictor {
 
     /// Folds one slot's observed unused totals for `vm`.
     pub fn observe(&mut self, vm: usize, unused: &ResourceVector) {
-        let entry = self.histories.entry(vm).or_insert_with(|| std::array::from_fn(|_| Vec::new()));
+        let entry = self
+            .histories
+            .entry(vm)
+            .or_insert_with(|| std::array::from_fn(|_| Vec::new()));
         for (k, h) in entry.iter_mut().enumerate() {
             if h.len() == HISTORY_CAP {
                 h.remove(0);
@@ -142,7 +145,11 @@ mod tests {
         }
         let f = p.predict(0).unwrap();
         // Last observed index t=95 -> t%8==7; next is 0.
-        assert!(f[0] < 2.0, "signature should predict the cycle restart, got {}", f[0]);
+        assert!(
+            f[0] < 2.0,
+            "signature should predict the cycle restart, got {}",
+            f[0]
+        );
     }
 
     #[test]
@@ -166,7 +173,10 @@ mod tests {
         let before = p.predict(0).unwrap()[0];
         p.record_outcome(0, 7.0, 10.0); // over-estimated by 3
         let after = p.predict(0).unwrap()[0];
-        assert!((before - after - 3.0).abs() < 1e-9, "pad should equal worst overestimate");
+        assert!(
+            (before - after - 3.0).abs() < 1e-9,
+            "pad should equal worst overestimate"
+        );
     }
 
     #[test]
@@ -202,6 +212,9 @@ mod tests {
             p.observe(0, &ResourceVector::new([v, 1.0, 1.0]));
         }
         let f = p.predict(0).unwrap();
-        assert!(f[0] >= 0.0 && f[0] <= 10.0, "fallback stays in observed range");
+        assert!(
+            f[0] >= 0.0 && f[0] <= 10.0,
+            "fallback stays in observed range"
+        );
     }
 }

@@ -49,7 +49,10 @@ impl std::fmt::Debug for CorpJobPredictor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CorpJobPredictor")
             .field("trained", &self.trained)
-            .field("corpus_sizes", &self.corpus.iter().map(Vec::len).collect::<Vec<_>>())
+            .field(
+                "corpus_sizes",
+                &self.corpus.iter().map(Vec::len).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -133,7 +136,11 @@ impl CorpJobPredictor {
     /// historical data with prediction error samples, we calculate the
     /// prediction error".
     pub fn pretrain(&mut self, histories_per_resource: &[Vec<Vec<f64>>]) {
-        for (k, hs) in histories_per_resource.iter().enumerate().take(NUM_RESOURCES) {
+        for (k, hs) in histories_per_resource
+            .iter()
+            .enumerate()
+            .take(NUM_RESOURCES)
+        {
             for h in hs {
                 if h.len() >= 2 {
                     self.corpus[k].push(h.clone());
@@ -164,8 +171,7 @@ impl CorpJobPredictor {
                 let mut i = delta;
                 while i + horizon <= h.len() {
                     let predicted = self.predict_resource(k, &h[..i], scale);
-                    let actual =
-                        h[i..i + horizon].iter().sum::<f64>() / horizon as f64;
+                    let actual = h[i..i + horizon].iter().sum::<f64>() / horizon as f64;
                     self.record_outcome_scaled(k, actual, predicted, scale);
                     recorded += 1;
                     if recorded >= MAX_SAMPLES_PER_RESOURCE {
@@ -185,7 +191,11 @@ impl CorpJobPredictor {
     /// Until trained, falls back to persistence per resource (the paper's
     /// cold-start has the Google-trace history, so this path only covers
     /// the first jobs of a cold system).
-    pub fn predict_job(&mut self, recent: &[Vec<f64>], requested: &ResourceVector) -> ResourceVector {
+    pub fn predict_job(
+        &mut self,
+        recent: &[Vec<f64>],
+        requested: &ResourceVector,
+    ) -> ResourceVector {
         let mut out = ResourceVector::ZERO;
         for k in 0..NUM_RESOURCES {
             let series: &[f64] = recent.get(k).map(|v| v.as_slice()).unwrap_or(&[]);
@@ -220,7 +230,13 @@ impl CorpJobPredictor {
     /// `sigma_hat` and the Eq. 21 gate). `scale` is the requested amount of
     /// the resource for the job the prediction concerned; errors are
     /// normalized by it before entering the evidence window.
-    pub fn record_outcome_scaled(&mut self, resource: usize, actual: f64, predicted: f64, scale: f64) {
+    pub fn record_outcome_scaled(
+        &mut self,
+        resource: usize,
+        actual: f64,
+        predicted: f64,
+        scale: f64,
+    ) {
         let s = scale.max(1e-9);
         self.gate.record(resource, actual / s, predicted / s);
     }
@@ -247,7 +263,11 @@ mod tests {
 
     fn synthetic_histories(n: usize, level: f64) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|j| (0..30).map(|t| level + ((t + j) % 3) as f64 * 0.3).collect())
+            .map(|j| {
+                (0..30)
+                    .map(|t| level + ((t + j) % 3) as f64 * 0.3)
+                    .collect()
+            })
             .collect()
     }
 
@@ -304,8 +324,16 @@ mod tests {
             p.record_outcome_scaled(0, a, pr, 10.0);
         }
         let after = p.predict_job(&recent, &ResourceVector::new([10.0, 10.0, 10.0]));
-        assert!(after[0] < before[0], "CI must shave: {} -> {}", before[0], after[0]);
-        assert!((after[1] - before[1]).abs() < 1e-9, "other resources untouched");
+        assert!(
+            after[0] < before[0],
+            "CI must shave: {} -> {}",
+            before[0],
+            after[0]
+        );
+        assert!(
+            (after[1] - before[1]).abs() < 1e-9,
+            "other resources untouched"
+        );
     }
 
     #[test]
@@ -338,7 +366,10 @@ mod tests {
     #[test]
     fn empty_recent_series_predicts_zero() {
         let mut p = fast_predictor();
-        let out = p.predict_job(&[vec![], vec![], vec![]], &ResourceVector::new([10.0, 10.0, 10.0]));
+        let out = p.predict_job(
+            &[vec![], vec![], vec![]],
+            &ResourceVector::new([10.0, 10.0, 10.0]),
+        );
         assert_eq!(out, ResourceVector::ZERO);
     }
 
@@ -348,7 +379,10 @@ mod tests {
         for _ in 0..70 {
             p.record_outcome_scaled(0, 0.0, 100.0, 10.0); // huge sigma
         }
-        let out = p.predict_job(&[vec![0.1, 0.1], vec![0.1], vec![0.1]], &ResourceVector::new([10.0, 10.0, 10.0]));
+        let out = p.predict_job(
+            &[vec![0.1, 0.1], vec![0.1], vec![0.1]],
+            &ResourceVector::new([10.0, 10.0, 10.0]),
+        );
         assert!(out.is_nonnegative());
     }
 }

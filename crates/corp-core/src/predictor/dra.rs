@@ -62,7 +62,10 @@ impl DraPredictor {
 
     /// Folds one slot's observed unused totals for `vm`.
     pub fn observe(&mut self, vm: usize, unused: &ResourceVector) {
-        let entry = self.histories.entry(vm).or_insert_with(|| std::array::from_fn(|_| Vec::new()));
+        let entry = self
+            .histories
+            .entry(vm)
+            .or_insert_with(|| std::array::from_fn(|_| Vec::new()));
         for (k, h) in entry.iter_mut().enumerate() {
             if h.len() == WINDOW {
                 h.remove(0);

@@ -24,7 +24,10 @@ impl RccrPredictor {
     /// Creates a forecaster with smoothing factor `alpha` and confidence
     /// level `confidence` in `(0, 1)`.
     pub fn new(alpha: f64, confidence: f64) -> Self {
-        assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1)"
+        );
         RccrPredictor {
             alpha,
             confidence,

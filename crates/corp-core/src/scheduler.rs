@@ -110,21 +110,30 @@ fn place_pending(
 ) {
     let requested: HashMap<u64, ResourceVector> =
         ctx.pending.iter().map(|p| (p.id, p.requested)).collect();
-    let packable: Vec<PackableJob> =
-        ctx.pending.iter().map(|p| PackableJob { id: p.id, demand: p.requested }).collect();
+    let packable: Vec<PackableJob> = ctx
+        .pending
+        .iter()
+        .map(|p| PackableJob {
+            id: p.id,
+            demand: p.requested,
+        })
+        .collect();
     let entities: Vec<JobEntity> = if use_packing {
         pack_complementary(&packable, &ctx.max_vm_capacity)
     } else {
         packable
             .iter()
-            .map(|p| JobEntity { jobs: vec![p.id], total_demand: p.demand })
+            .map(|p| JobEntity {
+                jobs: vec![p.id],
+                total_demand: p.demand,
+            })
             .collect()
     };
 
     let place_entity = |entity: &JobEntity,
-                            pools: &mut [ResourceVector],
-                            rng: &mut StdRng,
-                            plan: &mut ProvisionPlan|
+                        pools: &mut [ResourceVector],
+                        rng: &mut StdRng,
+                        plan: &mut ProvisionPlan|
      -> bool {
         let choice = if use_volume {
             most_matched_vm(pools, &entity.total_demand, &ctx.max_vm_capacity)
@@ -136,7 +145,11 @@ fn place_pending(
         pools[vm] = pools[vm].clamp_nonnegative();
         for &job in &entity.jobs {
             let req = requested[&job];
-            plan.placements.push(Placement { job, vm, allocation: alloc_of(job, vm, &req) });
+            plan.placements.push(Placement {
+                job,
+                vm,
+                allocation: alloc_of(job, vm, &req),
+            });
         }
         true
     };
@@ -149,7 +162,10 @@ fn place_pending(
         // placed individually where possible.
         if entity.jobs.len() > 1 {
             for &job in &entity.jobs {
-                let single = JobEntity { jobs: vec![job], total_demand: requested[&job] };
+                let single = JobEntity {
+                    jobs: vec![job],
+                    total_demand: requested[&job],
+                };
                 place_entity(&single, pools, rng, plan);
             }
         }
@@ -199,7 +215,12 @@ impl CorpProvisioner {
         config.validate();
         let predictor = CorpJobPredictor::new(&config);
         let seed = config.seed;
-        CorpProvisioner { config, predictor, rng: StdRng::seed_from_u64(seed), pending_outcomes: Vec::new() }
+        CorpProvisioner {
+            config,
+            predictor,
+            rng: StdRng::seed_from_u64(seed),
+            pending_outcomes: Vec::new(),
+        }
     }
 
     /// Offline-trains the predictor on a historical workload (paper: the
@@ -214,7 +235,6 @@ impl CorpProvisioner {
     pub fn predictor(&self) -> &CorpJobPredictor {
         &self.predictor
     }
-
 }
 
 impl Provisioner for CorpProvisioner {
@@ -237,34 +257,35 @@ impl Provisioner for CorpProvisioner {
                 }
             }
             let predictor = &mut self.predictor;
-            self.pending_outcomes.retain(|(job_id, made_at, predicted)| {
-                let due = *made_at + window;
-                if ctx.slot < due {
-                    return true;
-                }
-                if ctx.slot == due {
-                    if let Some(job) = job_views.get(job_id) {
-                        let h = &job.recent_unused;
-                        let n = (window as usize).min(h.len());
-                        if n > 0 {
-                            let mut mean = ResourceVector::ZERO;
-                            for u in &h[h.len() - n..] {
-                                mean += *u;
-                            }
-                            mean = mean.scaled(1.0 / n as f64);
-                            for k in 0..NUM_RESOURCES {
-                                predictor.record_outcome_scaled(
-                                    k,
-                                    mean[k],
-                                    predicted[k],
-                                    job.requested[k],
-                                );
+            self.pending_outcomes
+                .retain(|(job_id, made_at, predicted)| {
+                    let due = *made_at + window;
+                    if ctx.slot < due {
+                        return true;
+                    }
+                    if ctx.slot == due {
+                        if let Some(job) = job_views.get(job_id) {
+                            let h = &job.recent_unused;
+                            let n = (window as usize).min(h.len());
+                            if n > 0 {
+                                let mut mean = ResourceVector::ZERO;
+                                for u in &h[h.len() - n..] {
+                                    mean += *u;
+                                }
+                                mean = mean.scaled(1.0 / n as f64);
+                                for k in 0..NUM_RESOURCES {
+                                    predictor.record_outcome_scaled(
+                                        k,
+                                        mean[k],
+                                        predicted[k],
+                                        job.requested[k],
+                                    );
+                                }
                             }
                         }
                     }
-                }
-                false
-            });
+                    false
+                });
         }
         self.predictor.maybe_train();
 
@@ -303,7 +324,9 @@ impl Provisioner for CorpProvisioner {
                             .max(recent_mean[k] * RESTORE_MARGIN)
                             .min(job.requested[k]);
                         new_alloc[k] = if self.predictor.unlocked(k) {
-                            (job.allocation[k] - u_hat[k]).max(floor).min(job.requested[k])
+                            (job.allocation[k] - u_hat[k])
+                                .max(floor)
+                                .min(job.requested[k])
                         } else {
                             // Gate locked: no opportunistic reclaim, but
                             // demand-pressure restores still apply.
@@ -324,7 +347,8 @@ impl Provisioner for CorpProvisioner {
                         job_prediction[k] = (new_alloc[k] - expected_demand).max(0.0);
                         vm_prediction[k] += job_prediction[k];
                     }
-                    self.pending_outcomes.push((job.id, ctx.slot, job_prediction));
+                    self.pending_outcomes
+                        .push((job.id, ctx.slot, job_prediction));
                     // Register per-job prediction records: Fig. 6 scores
                     // "the prediction error ... for each job", which is
                     // CORP's native granularity.
@@ -389,7 +413,6 @@ impl RccrProvisioner {
             pending_outcomes: Vec::new(),
         }
     }
-
 }
 
 /// Shared baseline reclaim: distribute the VM-level predicted unused across
@@ -406,7 +429,11 @@ fn baseline_reclaim(
         total_alloc += job.allocation;
     }
     for job in &vm.jobs {
-        let last_d = job.recent_demand.last().copied().unwrap_or(ResourceVector::ZERO);
+        let last_d = job
+            .recent_demand
+            .last()
+            .copied()
+            .unwrap_or(ResourceVector::ZERO);
         let mut new_alloc = job.allocation;
         for k in 0..NUM_RESOURCES {
             let share = if total_alloc[k] > 0.0 {
@@ -424,7 +451,9 @@ fn baseline_reclaim(
             } else {
                 BASELINE_FLOOR * job.requested[k]
             };
-            new_alloc[k] = (job.allocation[k] - reclaim).max(floor).min(job.requested[k]);
+            new_alloc[k] = (job.allocation[k] - reclaim)
+                .max(floor)
+                .min(job.requested[k]);
             // Restores grow only into the VM's current headroom.
             let grow = new_alloc[k] - job.allocation[k];
             if grow > pools[vm.id][k] {
@@ -468,7 +497,9 @@ impl Provisioner for RccrProvisioner {
                 if vm.jobs.is_empty() {
                     continue;
                 }
-                let Some(prediction) = self.predictor.predict(vm.id) else { continue };
+                let Some(prediction) = self.predictor.predict(vm.id) else {
+                    continue;
+                };
                 baseline_reclaim(vm, &prediction, &mut pools, &mut plan);
                 let target = ctx.slot + self.window_slots - 1;
                 push_vm_prediction(&mut plan, vm.id, ctx.slot, target, &prediction);
@@ -476,7 +507,15 @@ impl Provisioner for RccrProvisioner {
             }
         }
 
-        place_pending(ctx, &mut pools, false, false, &mut self.rng, |_, _, req| *req, &mut plan);
+        place_pending(
+            ctx,
+            &mut pools,
+            false,
+            false,
+            &mut self.rng,
+            |_, _, req| *req,
+            &mut plan,
+        );
         plan
     }
 }
@@ -511,7 +550,6 @@ impl CloudScaleProvisioner {
             pending_outcomes: Vec::new(),
         }
     }
-
 }
 
 impl Provisioner for CloudScaleProvisioner {
@@ -542,7 +580,9 @@ impl Provisioner for CloudScaleProvisioner {
                 if vm.jobs.is_empty() {
                     continue;
                 }
-                let Some(prediction) = self.predictor.predict(vm.id) else { continue };
+                let Some(prediction) = self.predictor.predict(vm.id) else {
+                    continue;
+                };
                 baseline_reclaim(vm, &prediction, &mut pools, &mut plan);
                 let target = ctx.slot + self.window_slots - 1;
                 push_vm_prediction(&mut plan, vm.id, ctx.slot, target, &prediction);
@@ -550,7 +590,15 @@ impl Provisioner for CloudScaleProvisioner {
             }
         }
 
-        place_pending(ctx, &mut pools, false, false, &mut self.rng, |_, _, req| *req, &mut plan);
+        place_pending(
+            ctx,
+            &mut pools,
+            false,
+            false,
+            &mut self.rng,
+            |_, _, req| *req,
+            &mut plan,
+        );
         plan
     }
 }
@@ -591,7 +639,10 @@ impl DraProvisioner {
     ///
     /// Panics if `overcommit` is outside `(0, 1]`.
     pub fn with_overcommit(seed: u64, overcommit: f64) -> Self {
-        assert!(overcommit > 0.0 && overcommit <= 1.0, "overcommit must be in (0,1]");
+        assert!(
+            overcommit > 0.0 && overcommit <= 1.0,
+            "overcommit must be in (0,1]"
+        );
         DraProvisioner {
             window_slots: 6,
             predictor: DraPredictor::new(),
@@ -676,7 +727,11 @@ impl Provisioner for DraProvisioner {
                 let granted = p.requested.min(&pools[vm]).clamp_nonnegative();
                 pools[vm] -= granted;
                 pools[vm] = pools[vm].clamp_nonnegative();
-                plan.placements.push(Placement { job: p.id, vm, allocation: granted });
+                plan.placements.push(Placement {
+                    job: p.id,
+                    vm,
+                    allocation: granted,
+                });
             }
         }
         plan
@@ -690,8 +745,14 @@ mod tests {
     use corp_trace::{WorkloadConfig, WorkloadGenerator};
 
     fn workload(n: usize, seed: u64) -> Vec<corp_trace::JobSpec> {
-        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, ..WorkloadConfig::default() }, seed)
-            .generate()
+        WorkloadGenerator::new(
+            WorkloadConfig {
+                num_jobs: n,
+                ..WorkloadConfig::default()
+            },
+            seed,
+        )
+        .generate()
     }
 
     fn run(provisioner: &mut dyn Provisioner, n: usize, seed: u64) -> corp_sim::SimulationReport {
@@ -699,7 +760,10 @@ mod tests {
         let mut sim = Simulation::new(
             cluster,
             workload(n, seed),
-            SimulationOptions { measure_decision_time: false, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
         );
         sim.run(provisioner)
     }
@@ -718,7 +782,10 @@ mod tests {
         let mut sim = Simulation::new(
             contended_cluster(),
             workload(n, seed),
-            SimulationOptions { measure_decision_time: false, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
         );
         sim.run(provisioner)
     }
@@ -745,7 +812,10 @@ mod tests {
         let report = run(&mut corp, 60, 1);
         assert_eq!(report.completed + report.unfinished, 60, "{report:?}");
         assert_eq!(report.invalid_actions, 0, "{report:?}");
-        assert!(report.completed >= 55, "most jobs must complete: {report:?}");
+        assert!(
+            report.completed >= 55,
+            "most jobs must complete: {report:?}"
+        );
     }
 
     #[test]
@@ -821,8 +891,9 @@ mod tests {
     #[test]
     fn corp_pretrain_marks_predictor_trained() {
         let mut corp = CorpProvisioner::new(CorpConfig::fast());
-        let histories: Vec<Vec<f64>> =
-            (0..10).map(|j| (0..30).map(|t| 3.0 + ((t + j) % 4) as f64 * 0.2).collect()).collect();
+        let histories: Vec<Vec<f64>> = (0..10)
+            .map(|j| (0..30).map(|t| 3.0 + ((t + j) % 4) as f64 * 0.2).collect())
+            .collect();
         corp.pretrain(&[histories.clone(), histories.clone(), histories]);
         assert!(corp.predictor().is_trained());
     }

@@ -100,8 +100,8 @@ mod tests {
         let eps = 1e-6;
         for &x in &[-2.0, -0.5, 0.5, 2.0] {
             let g = Activation::Relu.apply(x);
-            let numeric = (Activation::Relu.apply(x + eps) - Activation::Relu.apply(x - eps))
-                / (2.0 * eps);
+            let numeric =
+                (Activation::Relu.apply(x + eps) - Activation::Relu.apply(x - eps)) / (2.0 * eps);
             assert!((numeric - Activation::Relu.derivative_from_output(g)).abs() < 1e-5);
         }
     }

@@ -88,7 +88,11 @@ mod tests {
         let mut ae = Autoencoder::new(4, 3, 1);
         let report = ae.train(
             &inputs,
-            TrainConfig { max_epochs: 400, learning_rate: 0.1, ..TrainConfig::default() },
+            TrainConfig {
+                max_epochs: 400,
+                learning_rate: 0.1,
+                ..TrainConfig::default()
+            },
         );
         assert!(
             report.final_validation_mse < 0.02,
@@ -105,7 +109,11 @@ mod tests {
         let mut ae = Autoencoder::new(4, 3, 2);
         ae.train(
             &inputs,
-            TrainConfig { max_epochs: 400, learning_rate: 0.1, ..TrainConfig::default() },
+            TrainConfig {
+                max_epochs: 400,
+                learning_rate: 0.1,
+                ..TrainConfig::default()
+            },
         );
         let typical = ae.reconstruction_error(&inputs[30]);
         let anomaly = ae.reconstruction_error(&[5.0, -3.0, 9.0, -7.0]);

@@ -24,8 +24,15 @@ impl Matrix {
     ///
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive: {rows}x{cols}");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        assert!(
+            rows > 0 && cols > 0,
+            "matrix dimensions must be positive: {rows}x{cols}"
+        );
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -69,7 +76,12 @@ impl Matrix {
     /// Panics on out-of-bounds indices.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -80,7 +92,12 @@ impl Matrix {
     /// Panics on out-of-bounds indices.
     #[inline]
     pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 
@@ -168,7 +185,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }

@@ -59,8 +59,7 @@ impl Network {
         for w in sizes.windows(2) {
             let (fan_in, fan_out) = (w[0], w[1]);
             let bound = 1.0 / (fan_in as f64).sqrt();
-            let weights =
-                Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
+            let weights = Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
             let is_output = layers.len() == sizes.len() - 2;
             layers.push(Layer {
                 weights,
@@ -72,7 +71,11 @@ impl Network {
         }
         let activations = sizes.iter().map(|&s| vec![0.0; s]).collect();
         let errors = sizes[1..].iter().map(|&s| vec![0.0; s]).collect();
-        Network { layers, activations, errors }
+        Network {
+            layers,
+            activations,
+            errors,
+        }
     }
 
     /// Convenience constructor for the paper's Table II architecture:
@@ -171,7 +174,9 @@ impl Network {
             let (lower_errs, upper_errs) = self.errors.split_at_mut(d + 1);
             let e_cur = &mut lower_errs[d];
             let e_up = &upper_errs[0];
-            self.layers[d + 1].weights.mul_vec_transposed_into(e_up, e_cur);
+            self.layers[d + 1]
+                .weights
+                .mul_vec_transposed_into(e_up, e_cur);
             let act = self.layers[d].activation;
             for (e, &g) in e_cur.iter_mut().zip(&self.activations[d + 1]) {
                 *e *= act.derivative_from_output(g);
@@ -187,8 +192,11 @@ impl Network {
                 layer.weight_velocity.scale(momentum);
                 layer.weight_velocity.add_outer_scaled(errs, g_prev, mu);
                 layer.weights.add_assign(&layer.weight_velocity);
-                for ((b, v), e) in
-                    layer.biases.iter_mut().zip(&mut layer.bias_velocity).zip(errs)
+                for ((b, v), e) in layer
+                    .biases
+                    .iter_mut()
+                    .zip(&mut layer.bias_velocity)
+                    .zip(errs)
                 {
                     *v = momentum * *v + mu * e;
                     *b += *v;
@@ -318,7 +326,10 @@ mod tests {
         let t = [0.2, -0.1];
         let loss = |n: &mut Network| {
             let y = n.forward(&x);
-            y.iter().zip(&t).map(|(a, b)| 0.5 * (a - b) * (a - b)).sum::<f64>()
+            y.iter()
+                .zip(&t)
+                .map(|(a, b)| 0.5 * (a - b) * (a - b))
+                .sum::<f64>()
         };
         // Analytic gradient: train_on applies dw = mu * E * g with
         // E = (t-y)F', which is exactly -d(loss)/dw, so compare the weight

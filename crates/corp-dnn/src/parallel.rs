@@ -71,7 +71,10 @@ impl ParallelTrainer {
         let val_len = ((inputs.len() as f64) * self.config.validation_fraction).round() as usize;
         let val_len = val_len.clamp(1, inputs.len().saturating_sub(1).max(1));
         let (train_idx, val_idx) = order.split_at(inputs.len() - val_len);
-        assert!(!train_idx.is_empty(), "dataset too small for the validation split");
+        assert!(
+            !train_idx.is_empty(),
+            "dataset too small for the validation split"
+        );
 
         let val_inputs: Vec<Vec<f64>> = val_idx.iter().map(|&i| inputs[i].clone()).collect();
         let val_targets: Vec<Vec<f64>> = val_idx.iter().map(|&i| targets[i].clone()).collect();
@@ -168,8 +171,11 @@ fn average_into(master: &mut Network, replicas: &[Network]) {
         let rows = master.layer_weights(d).rows();
         for r in 0..rows {
             for c in 0..cols {
-                let avg: f64 =
-                    replicas.iter().map(|n| n.layer_weights(d).get(r, c)).sum::<f64>() * scale;
+                let avg: f64 = replicas
+                    .iter()
+                    .map(|n| n.layer_weights(d).get(r, c))
+                    .sum::<f64>()
+                    * scale;
                 *master.layer_weights_mut(d).get_mut(r, c) = avg;
             }
         }
@@ -186,10 +192,13 @@ mod tests {
     use crate::activation::Activation;
 
     fn toy_dataset(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        let inputs: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![(i as f64 / n as f64), ((i * 3 % n) as f64 / n as f64)]).collect();
-        let targets: Vec<Vec<f64>> =
-            inputs.iter().map(|x| vec![0.6 * x[0] - 0.3 * x[1]]).collect();
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 / n as f64), ((i * 3 % n) as f64 / n as f64)])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![0.6 * x[0] - 0.3 * x[1]])
+            .collect();
         (inputs, targets)
     }
 
@@ -197,8 +206,13 @@ mod tests {
     fn parallel_training_converges() {
         let (inputs, targets) = toy_dataset(120);
         let mut net = Network::new(&[2, 10, 1], Activation::Sigmoid, Activation::Identity, 2);
-        let trainer =
-            ParallelTrainer::new(TrainConfig { max_epochs: 200, ..TrainConfig::default() }, 4);
+        let trainer = ParallelTrainer::new(
+            TrainConfig {
+                max_epochs: 200,
+                ..TrainConfig::default()
+            },
+            4,
+        );
         let report = trainer.train(&mut net, &inputs, &targets);
         assert!(
             report.final_validation_mse < 0.01,
@@ -212,11 +226,19 @@ mod tests {
         let (inputs, targets) = toy_dataset(60);
         let mut net = Network::new(&[2, 6, 1], Activation::Sigmoid, Activation::Identity, 3);
         let trainer = ParallelTrainer::new(
-            TrainConfig { max_epochs: 300, patience: 50, ..TrainConfig::default() },
+            TrainConfig {
+                max_epochs: 300,
+                patience: 50,
+                ..TrainConfig::default()
+            },
             1,
         );
         let report = trainer.train(&mut net, &inputs, &targets);
-        assert!(report.final_validation_mse < 0.03, "MSE {}", report.final_validation_mse);
+        assert!(
+            report.final_validation_mse < 0.03,
+            "MSE {}",
+            report.final_validation_mse
+        );
     }
 
     #[test]
@@ -225,10 +247,13 @@ mod tests {
         // must produce bit-identical networks despite the thread fan-out.
         let (inputs, targets) = toy_dataset(80);
         let run = || {
-            let mut net =
-                Network::new(&[2, 8, 1], Activation::Sigmoid, Activation::Identity, 5);
+            let mut net = Network::new(&[2, 8, 1], Activation::Sigmoid, Activation::Identity, 5);
             let trainer = ParallelTrainer::new(
-                TrainConfig { max_epochs: 12, patience: 100, ..TrainConfig::default() },
+                TrainConfig {
+                    max_epochs: 12,
+                    patience: 100,
+                    ..TrainConfig::default()
+                },
                 4,
             );
             trainer.train(&mut net, &inputs, &targets);
@@ -241,8 +266,13 @@ mod tests {
     fn more_workers_than_examples_is_fine() {
         let (inputs, targets) = toy_dataset(6);
         let mut net = Network::new(&[2, 4, 1], Activation::Sigmoid, Activation::Identity, 7);
-        let trainer =
-            ParallelTrainer::new(TrainConfig { max_epochs: 5, ..TrainConfig::default() }, 64);
+        let trainer = ParallelTrainer::new(
+            TrainConfig {
+                max_epochs: 5,
+                ..TrainConfig::default()
+            },
+            64,
+        );
         let report = trainer.train(&mut net, &inputs, &targets);
         assert_eq!(report.epochs_run, report.validation_history.len());
     }

@@ -78,7 +78,11 @@ impl UnusedResourcePredictor {
             crate::activation::Activation::Identity,
             config.seed,
         );
-        UnusedResourcePredictor { config, net, trained: false }
+        UnusedResourcePredictor {
+            config,
+            net,
+            trained: false,
+        }
     }
 
     /// The active configuration.
@@ -120,7 +124,8 @@ impl UnusedResourcePredictor {
         if inputs.len() < 4 {
             return None;
         }
-        let report = Trainer::new(self.config.train.clone()).train(&mut self.net, &inputs, &targets);
+        let report =
+            Trainer::new(self.config.train.clone()).train(&mut self.net, &inputs, &targets);
         self.trained = true;
         Some(report)
     }
@@ -175,7 +180,11 @@ mod tests {
             horizon: 2,
             units: 12,
             hidden_layers: 2,
-            train: TrainConfig { max_epochs: 150, learning_rate: 0.1, ..TrainConfig::default() },
+            train: TrainConfig {
+                max_epochs: 150,
+                learning_rate: 0.1,
+                ..TrainConfig::default()
+            },
             seed: 3,
         }
     }
@@ -221,7 +230,10 @@ mod tests {
         p.fit(&histories).unwrap();
         let low = p.predict(&[2.0, 2.1, 2.0, 2.1]);
         let high = p.predict(&[8.0, 8.1, 8.0, 8.1]);
-        assert!(high > low + 3.0, "level separation lost: low={low} high={high}");
+        assert!(
+            high > low + 3.0,
+            "level separation lost: low={low} high={high}"
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl Trainer {
         let val_len = ((inputs.len() as f64) * self.config.validation_fraction).round() as usize;
         let val_len = val_len.clamp(1, inputs.len().saturating_sub(1).max(1));
         let (train_idx, val_idx) = order.split_at(inputs.len() - val_len);
-        assert!(!train_idx.is_empty(), "dataset too small for the validation split");
+        assert!(
+            !train_idx.is_empty(),
+            "dataset too small for the validation split"
+        );
 
         let val_inputs: Vec<Vec<f64>> = val_idx.iter().map(|&i| inputs[i].clone()).collect();
         let val_targets: Vec<Vec<f64>> = val_idx.iter().map(|&i| targets[i].clone()).collect();
@@ -176,10 +179,13 @@ mod tests {
     use crate::activation::Activation;
 
     fn toy_dataset(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        let inputs: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![(i as f64 / n as f64), ((i * 7 % n) as f64 / n as f64)]).collect();
-        let targets: Vec<Vec<f64>> =
-            inputs.iter().map(|x| vec![0.7 * x[0] + 0.2 * x[1]]).collect();
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 / n as f64), ((i * 7 % n) as f64 / n as f64)])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![0.7 * x[0] + 0.2 * x[1]])
+            .collect();
         (inputs, targets)
     }
 
@@ -187,7 +193,10 @@ mod tests {
     fn training_converges_on_learnable_task() {
         let (inputs, targets) = toy_dataset(80);
         let mut net = Network::new(&[2, 10, 1], Activation::Sigmoid, Activation::Identity, 2);
-        let trainer = Trainer::new(TrainConfig { max_epochs: 300, ..TrainConfig::default() });
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 300,
+            ..TrainConfig::default()
+        });
         let report = trainer.train(&mut net, &inputs, &targets);
         assert!(
             report.final_validation_mse < 0.01,
@@ -217,20 +226,33 @@ mod tests {
     fn report_history_matches_epochs() {
         let (inputs, targets) = toy_dataset(30);
         let mut net = Network::new(&[2, 4, 1], Activation::Sigmoid, Activation::Identity, 4);
-        let trainer = Trainer::new(TrainConfig { max_epochs: 10, patience: 100, ..TrainConfig::default() });
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 10,
+            patience: 100,
+            ..TrainConfig::default()
+        });
         let report = trainer.train(&mut net, &inputs, &targets);
         assert_eq!(report.epochs_run, report.validation_history.len());
-        assert_eq!(report.epochs_run, 10, "patience 100 cannot trigger in 10 epochs");
+        assert_eq!(
+            report.epochs_run, 10,
+            "patience 100 cannot trigger in 10 epochs"
+        );
     }
 
     #[test]
     fn training_is_deterministic_per_seed() {
         let (inputs, targets) = toy_dataset(40);
         let run = |seed| {
-            let mut net =
-                Network::new(&[2, 6, 1], Activation::Sigmoid, Activation::Identity, 5);
-            let trainer = Trainer::new(TrainConfig { seed, max_epochs: 20, patience: 50, ..TrainConfig::default() });
-            trainer.train(&mut net, &inputs, &targets).final_validation_mse
+            let mut net = Network::new(&[2, 6, 1], Activation::Sigmoid, Activation::Identity, 5);
+            let trainer = Trainer::new(TrainConfig {
+                seed,
+                max_epochs: 20,
+                patience: 50,
+                ..TrainConfig::default()
+            });
+            trainer
+                .train(&mut net, &inputs, &targets)
+                .final_validation_mse
         };
         assert_eq!(run(7), run(7));
     }
@@ -245,6 +267,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn bad_validation_fraction_rejected() {
-        Trainer::new(TrainConfig { validation_fraction: 1.5, ..TrainConfig::default() });
+        Trainer::new(TrainConfig {
+            validation_fraction: 1.5,
+            ..TrainConfig::default()
+        });
     }
 }

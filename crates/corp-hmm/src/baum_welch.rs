@@ -79,10 +79,7 @@ pub fn baum_welch(hmm: &mut Hmm, obs: &[usize], max_iters: usize, tol: f64) -> B
             let mut sum = 0.0;
             for i in 0..h {
                 for j in 0..h {
-                    let v = fwd.alpha[t][i]
-                        * hmm.a[i][j]
-                        * hmm.b[j][obs[t + 1]]
-                        * beta[t + 1][j];
+                    let v = fwd.alpha[t][i] * hmm.a[i][j] * hmm.b[j][obs[t + 1]] * beta[t + 1][j];
                     xi[i][j] = v;
                     sum += v;
                 }
@@ -142,7 +139,11 @@ pub fn baum_welch(hmm: &mut Hmm, obs: &[usize], max_iters: usize, tol: f64) -> B
         lls.push(ll);
     }
 
-    BaumWelchReport { iterations: lls.len(), log_likelihoods: lls, converged }
+    BaumWelchReport {
+        iterations: lls.len(),
+        log_likelihoods: lls,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -205,8 +206,16 @@ mod tests {
         // One state must strongly prefer symbol 0 and the other symbol 1.
         let prefers_0 = hmm.b.iter().position(|r| r[0] > 0.9);
         let prefers_1 = hmm.b.iter().position(|r| r[1] > 0.9);
-        assert!(prefers_0.is_some(), "no state specialized on symbol 0: {:?}", hmm.b);
-        assert!(prefers_1.is_some(), "no state specialized on symbol 1: {:?}", hmm.b);
+        assert!(
+            prefers_0.is_some(),
+            "no state specialized on symbol 0: {:?}",
+            hmm.b
+        );
+        assert!(
+            prefers_1.is_some(),
+            "no state specialized on symbol 1: {:?}",
+            hmm.b
+        );
         assert_ne!(prefers_0, prefers_1);
         // And both learned transitions should be sticky.
         for i in 0..2 {

@@ -50,7 +50,11 @@ impl ProvisioningState {
     ///
     /// Panics if `i >= 3`.
     pub fn from_index(i: usize) -> Self {
-        [ProvisioningState::Over, ProvisioningState::Normal, ProvisioningState::Under][i]
+        [
+            ProvisioningState::Over,
+            ProvisioningState::Normal,
+            ProvisioningState::Under,
+        ][i]
     }
 }
 
@@ -160,7 +164,9 @@ impl FluctuationPredictor {
             return None;
         }
         let path = viterbi(&self.hmm, &obs);
-        Some(ProvisioningState::from_index(*path.states.last().expect("non-empty")))
+        Some(ProvisioningState::from_index(
+            *path.states.last().expect("non-empty"),
+        ))
     }
 
     /// The conservative correction magnitude `min(h - m, m - l)` computed
@@ -201,8 +207,8 @@ mod tests {
             .map(|t| {
                 let phase = (t / 20) % 3;
                 match phase {
-                    0 => 5.0 + (t % 2) as f64 * 0.1,           // calm -> valley spreads
-                    1 => 5.0 + ((t % 4) as f64) * 1.2,         // moderate -> center
+                    0 => 5.0 + (t % 2) as f64 * 0.1,   // calm -> valley spreads
+                    1 => 5.0 + ((t % 4) as f64) * 1.2, // moderate -> center
                     _ => {
                         if t % 2 == 0 {
                             0.5
@@ -232,7 +238,10 @@ mod tests {
     #[test]
     fn unfitted_predictor_predicts_center() {
         let p = FluctuationPredictor::new(4);
-        assert_eq!(p.predict_next_symbol(&[1.0, 2.0, 3.0, 4.0]), FluctuationSymbol::Center);
+        assert_eq!(
+            p.predict_next_symbol(&[1.0, 2.0, 3.0, 4.0]),
+            FluctuationSymbol::Center
+        );
     }
 
     #[test]
@@ -243,17 +252,26 @@ mod tests {
         // sticky model should not predict a peak next.
         let calm = vec![5.0; 40];
         let sym = p.predict_next_symbol(&calm);
-        assert_ne!(sym, FluctuationSymbol::Peak, "calm series must not forecast a peak");
+        assert_ne!(
+            sym,
+            FluctuationSymbol::Peak,
+            "calm series must not forecast a peak"
+        );
     }
 
     #[test]
     fn violent_recent_series_does_not_predict_valley() {
         let mut p = FluctuationPredictor::new(4);
         p.fit(&mixed_history(240)).unwrap();
-        let violent: Vec<f64> =
-            (0..40).map(|t| if t % 2 == 0 { 0.5 } else { 11.0 }).collect();
+        let violent: Vec<f64> = (0..40)
+            .map(|t| if t % 2 == 0 { 0.5 } else { 11.0 })
+            .collect();
         let sym = p.predict_next_symbol(&violent);
-        assert_ne!(sym, FluctuationSymbol::Valley, "violent series must not forecast a valley");
+        assert_ne!(
+            sym,
+            FluctuationSymbol::Valley,
+            "violent series must not forecast a valley"
+        );
     }
 
     #[test]
@@ -292,7 +310,11 @@ mod tests {
 
     #[test]
     fn provisioning_state_round_trip() {
-        for s in [ProvisioningState::Over, ProvisioningState::Normal, ProvisioningState::Under] {
+        for s in [
+            ProvisioningState::Over,
+            ProvisioningState::Normal,
+            ProvisioningState::Under,
+        ] {
             assert_eq!(ProvisioningState::from_index(s.index()), s);
         }
     }

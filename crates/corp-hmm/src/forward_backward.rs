@@ -78,7 +78,11 @@ fn normalize_row(row: &mut [f64], scale_out: &mut f64) {
 ///
 /// Panics if shapes mismatch the forward result.
 pub fn backward_scaled(hmm: &Hmm, obs: &[usize], scale: &[f64]) -> Vec<Vec<f64>> {
-    assert_eq!(obs.len(), scale.len(), "scale factors must match sequence length");
+    assert_eq!(
+        obs.len(),
+        scale.len(),
+        "scale factors must match sequence length"
+    );
     hmm.check_observations(obs);
     let h = hmm.num_states;
     let t_len = obs.len();

@@ -45,15 +45,30 @@ impl Hmm {
         assert_eq!(b.len(), h, "B must have one row per state");
         let m = b[0].len();
         assert!(m > 0, "need at least one symbol");
-        assert!(b.iter().all(|r| r.len() == m), "B rows must agree on symbol count");
+        assert!(
+            b.iter().all(|r| r.len() == m),
+            "B rows must agree on symbol count"
+        );
         assert!(is_distribution(&pi), "pi must be a distribution: {pi:?}");
         for (i, row) in a.iter().enumerate() {
-            assert!(is_distribution(row), "A row {i} is not a distribution: {row:?}");
+            assert!(
+                is_distribution(row),
+                "A row {i} is not a distribution: {row:?}"
+            );
         }
         for (j, row) in b.iter().enumerate() {
-            assert!(is_distribution(row), "B row {j} is not a distribution: {row:?}");
+            assert!(
+                is_distribution(row),
+                "B row {j} is not a distribution: {row:?}"
+            );
         }
-        Hmm { num_states: h, num_symbols: m, a, b, pi }
+        Hmm {
+            num_states: h,
+            num_symbols: m,
+            a,
+            b,
+            pi,
+        }
     }
 
     /// A uniform model: every transition, emission, and initial probability
@@ -179,7 +194,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_shape_mismatch() {
-        Hmm::new(vec![vec![1.0]], vec![vec![0.5, 0.5], vec![0.5, 0.5]], vec![1.0]);
+        Hmm::new(
+            vec![vec![1.0]],
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            vec![1.0],
+        );
     }
 
     #[test]

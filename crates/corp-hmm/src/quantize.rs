@@ -30,8 +30,11 @@ pub enum FluctuationSymbol {
 
 impl FluctuationSymbol {
     /// All symbols, in alphabet order.
-    pub const ALL: [FluctuationSymbol; 3] =
-        [FluctuationSymbol::Peak, FluctuationSymbol::Center, FluctuationSymbol::Valley];
+    pub const ALL: [FluctuationSymbol; 3] = [
+        FluctuationSymbol::Peak,
+        FluctuationSymbol::Center,
+        FluctuationSymbol::Valley,
+    ];
 
     /// Alphabet index (`M = 3` in Table II).
     #[inline]
@@ -144,9 +147,17 @@ mod tests {
             hist_max: 10.0,
         };
         assert_eq!(q.classify(0.0), FluctuationSymbol::Valley);
-        assert_eq!(q.classify(2.0), FluctuationSymbol::Valley, "low edge inclusive");
+        assert_eq!(
+            q.classify(2.0),
+            FluctuationSymbol::Valley,
+            "low edge inclusive"
+        );
         assert_eq!(q.classify(3.0), FluctuationSymbol::Center);
-        assert_eq!(q.classify(7.0), FluctuationSymbol::Peak, "high edge is peak");
+        assert_eq!(
+            q.classify(7.0),
+            FluctuationSymbol::Peak,
+            "high edge is peak"
+        );
         assert_eq!(q.classify(100.0), FluctuationSymbol::Peak);
     }
 

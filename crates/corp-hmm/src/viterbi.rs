@@ -105,8 +105,13 @@ mod tests {
     #[test]
     fn viterbi_matches_brute_force() {
         let hmm = test_model();
-        for obs in [vec![0], vec![1, 0], vec![0, 1, 1], vec![1, 1, 0, 0, 1], vec![0, 0, 0, 1, 1, 1]]
-        {
+        for obs in [
+            vec![0],
+            vec![1, 0],
+            vec![0, 1, 1],
+            vec![1, 1, 0, 0, 1],
+            vec![0, 0, 0, 1, 1, 1],
+        ] {
             let v = viterbi(&hmm, &obs);
             let (path, p) = best_path_brute(&hmm, &obs);
             assert!((v.log_prob - p).abs() < 1e-9, "obs {obs:?}");
@@ -156,11 +161,7 @@ mod tests {
     #[test]
     fn impossible_observation_yields_neg_infinity() {
         // State emissions that cannot produce symbol 1 at all.
-        let hmm = Hmm::new(
-            vec![vec![1.0]],
-            vec![vec![1.0, 0.0]],
-            vec![1.0],
-        );
+        let hmm = Hmm::new(vec![vec![1.0]], vec![vec![1.0, 0.0]], vec![1.0]);
         let v = viterbi(&hmm, &[0, 1]);
         assert_eq!(v.log_prob, f64::NEG_INFINITY);
     }

@@ -111,7 +111,11 @@ impl Cluster {
         let mut vms = Vec::with_capacity(profile.num_vms());
         for pm in 0..profile.num_pms {
             for _ in 0..profile.vms_per_pm {
-                vms.push(VmDescriptor { id: vms.len(), pm, capacity: vm_capacity });
+                vms.push(VmDescriptor {
+                    id: vms.len(),
+                    pm,
+                    capacity: vm_capacity,
+                });
             }
         }
         Cluster { profile, vms }
@@ -185,9 +189,7 @@ mod tests {
 
     #[test]
     fn with_num_pms_scales_fleet() {
-        let c = Cluster::from_profile(
-            EnvironmentProfile::palmetto_cluster().with_num_pms(30),
-        );
+        let c = Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(30));
         assert_eq!(c.vms.len(), 120);
     }
 }

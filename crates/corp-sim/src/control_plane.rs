@@ -1,0 +1,112 @@
+//! Control-plane telemetry for sharded (multi-scheduler) provisioners.
+//!
+//! A distributed control plane — several scheduler shards racing to place
+//! jobs through a shared capacity arbiter — has health metrics a monolithic
+//! scheduler does not: how often optimistic reservations conflict, how many
+//! placements abort after exhausting retries, how deep each shard's queue
+//! runs. [`ControlPlaneStats`] carries those counters into the
+//! [`SimulationReport`](crate::SimulationReport) so scalability experiments
+//! can report commit-conflict rates alongside utilization and SLO metrics.
+//!
+//! The types live here (rather than in the control-plane crate) so the
+//! engine can embed them in its report without depending on any particular
+//! control-plane implementation; provisioners surface them through
+//! [`Provisioner::control_plane_stats`](crate::Provisioner::control_plane_stats),
+//! which defaults to `None` for monolithic schedulers.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one scheduler shard.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Placement proposals this shard emitted.
+    pub proposals: u64,
+    /// Proposals that committed (possibly after retries).
+    pub commits: u64,
+    /// Reservation conflicts this shard's proposals hit.
+    pub conflicts: u64,
+    /// Retry attempts after a conflict.
+    pub retries: u64,
+    /// Proposals abandoned after the retry budget was exhausted.
+    pub aborts: u64,
+    /// Deepest pending-job queue this shard saw in any slot.
+    pub max_queue_depth: usize,
+}
+
+/// Aggregate counters for a sharded control plane plus its shared store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneStats {
+    /// Number of scheduler shards.
+    pub shards: usize,
+    /// Reservations opened on the placement store (phase 1 of 2PC).
+    pub reservations: u64,
+    /// Reservations confirmed (phase 2 commit).
+    pub commits: u64,
+    /// Reservation attempts refused because they would overcommit a VM.
+    pub conflicts: u64,
+    /// Reservations explicitly rolled back.
+    pub aborts: u64,
+    /// Placement retries across all shards.
+    pub retries: u64,
+    /// Deepest store-wide pending queue observed in any slot.
+    pub max_queue_depth: usize,
+    /// Per-shard breakdowns, shard-index ordered.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl ControlPlaneStats {
+    /// Fraction of reservation attempts that conflicted:
+    /// `conflicts / (reservations + conflicts)`. Zero when no attempts were
+    /// made.
+    pub fn conflict_rate(&self) -> f64 {
+        let attempts = self.reservations + self.conflicts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_rate_handles_zero_attempts() {
+        assert_eq!(ControlPlaneStats::default().conflict_rate(), 0.0);
+    }
+
+    #[test]
+    fn conflict_rate_is_fraction_of_attempts() {
+        let stats = ControlPlaneStats {
+            reservations: 75,
+            conflicts: 25,
+            ..Default::default()
+        };
+        assert!((stats.conflict_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_serialize_with_per_shard_breakdown() {
+        let stats = ControlPlaneStats {
+            shards: 2,
+            reservations: 10,
+            commits: 9,
+            conflicts: 1,
+            aborts: 1,
+            retries: 1,
+            max_queue_depth: 4,
+            per_shard: vec![ShardStats {
+                shard: 0,
+                proposals: 5,
+                ..Default::default()
+            }],
+        };
+        let json = serde::json::to_string(&stats);
+        assert!(json.contains("\"per_shard\":[{\"shard\":0"), "{json}");
+        assert!(json.contains("\"conflicts\":1"), "{json}");
+    }
+}

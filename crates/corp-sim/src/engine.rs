@@ -18,9 +18,7 @@
 use crate::cluster::Cluster;
 use crate::job::{JobId, JobState, RunningJob};
 use crate::metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};
-use crate::provisioner::{
-    PendingJobView, PredictionRecord, Provisioner, SlotContext, VmView,
-};
+use crate::provisioner::{PendingJobView, PredictionRecord, Provisioner, SlotContext, VmView};
 use crate::resources::ResourceVector;
 use corp_trace::{JobSpec, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
@@ -90,6 +88,9 @@ pub struct SimulationReport {
     /// Dropped invalid plan actions (diagnostics; 0 for well-behaved
     /// provisioners).
     pub invalid_actions: usize,
+    /// Control-plane counters when the run used a sharded multi-scheduler
+    /// provisioner; `None` for monolithic schedulers.
+    pub control_plane: Option<crate::control_plane::ControlPlaneStats>,
 }
 
 /// The simulator.
@@ -111,8 +112,11 @@ impl Simulation {
     pub fn new(cluster: Cluster, specs: Vec<JobSpec>, options: SimulationOptions) -> Self {
         let jobs: Vec<RunningJob> = specs.into_iter().map(RunningJob::new).collect();
         let index_of = jobs.iter().enumerate().map(|(i, j)| (j.id(), i)).collect();
-        let mut arrivals: Vec<(u64, usize)> =
-            jobs.iter().enumerate().map(|(i, j)| (j.spec.arrival_slot, i)).collect();
+        let mut arrivals: Vec<(u64, usize)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.spec.arrival_slot, i))
+            .collect();
         arrivals.sort_by_key(|&(slot, _)| slot);
         let num_vms = cluster.vms.len();
         Simulation {
@@ -181,9 +185,9 @@ impl Simulation {
                             .map(|&ji| {
                                 let j = &self.jobs[ji];
                                 let tail = |v: &Vec<ResourceVector>| {
-                                    let start = v.len().saturating_sub(
-                                        crate::provisioner::VIEW_HISTORY_CAP,
-                                    );
+                                    let start = v
+                                        .len()
+                                        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
                                     v[start..].to_vec()
                                 };
                                 crate::provisioner::RunningJobView {
@@ -197,9 +201,8 @@ impl Simulation {
                             .collect(),
                         unused_history: {
                             let h = &self.vm_unused_history[vm.id];
-                            let start = h
-                                .len()
-                                .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                            let start =
+                                h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
                             h[start..].to_vec()
                         },
                     })
@@ -230,8 +233,7 @@ impl Simulation {
                 plan
             };
             let messages = plan.adjustments.len() + plan.placements.len();
-            self.metrics.overhead_us +=
-                messages as f64 * self.cluster.profile.comm_latency_us;
+            self.metrics.overhead_us += messages as f64 * self.cluster.profile.comm_latency_us;
             self.pending_predictions.extend(plan.predictions);
 
             // 3. Apply allocation adjustments to running jobs. Shrinking
@@ -263,7 +265,10 @@ impl Simulation {
                 let new_alloc = new_alloc.clamp_nonnegative();
                 let old = self.jobs[ji].allocation;
                 let candidate = vm_committed[vm] - old + new_alloc;
-                if candidate.clamp_nonnegative().fits_within(&self.cluster.vms[vm].capacity) {
+                if candidate
+                    .clamp_nonnegative()
+                    .fits_within(&self.cluster.vms[vm].capacity)
+                {
                     vm_committed[vm] = candidate.clamp_nonnegative();
                     self.jobs[ji].allocation = new_alloc;
                 } else {
@@ -277,16 +282,16 @@ impl Simulation {
                     self.invalid_actions += 1;
                     continue;
                 };
-                let is_pending = matches!(self.jobs[ji].state, JobState::Pending)
-                    && pending.contains(&ji);
-                if !is_pending || p.vm >= self.cluster.vms.len() || !p.allocation.is_nonnegative()
-                {
+                let is_pending =
+                    matches!(self.jobs[ji].state, JobState::Pending) && pending.contains(&ji);
+                if !is_pending || p.vm >= self.cluster.vms.len() || !p.allocation.is_nonnegative() {
                     self.invalid_actions += 1;
                     continue;
                 }
                 let alloc = p.allocation.clamp_nonnegative();
-                let free =
-                    self.cluster.vms[p.vm].capacity.saturating_sub(&vm_committed[p.vm]);
+                let free = self.cluster.vms[p.vm]
+                    .capacity
+                    .saturating_sub(&vm_committed[p.vm]);
                 if !alloc.fits_within(&free) {
                     self.invalid_actions += 1;
                     continue;
@@ -388,11 +393,14 @@ impl Simulation {
                         vm_committed[vm_id] =
                             (vm_committed[vm_id] - self.jobs[ji].allocation).clamp_nonnegative();
                         self.jobs[ji].allocation = ResourceVector::ZERO;
-                        self.jobs[ji].state =
-                            JobState::Completed { finish_slot: slot, violated };
+                        self.jobs[ji].state = JobState::Completed {
+                            finish_slot: slot,
+                            violated,
+                        };
                         self.metrics.record_completion(response, violated);
-                        let histories: Vec<Vec<f64>> =
-                            (0..NUM_RESOURCES).map(|r| self.jobs[ji].unused_series(r)).collect();
+                        let histories: Vec<Vec<f64>> = (0..NUM_RESOURCES)
+                            .map(|r| self.jobs[ji].unused_series(r))
+                            .collect();
                         provisioner.on_job_completed(self.jobs[ji].id(), &histories);
                         jobs_here.swap_remove(i);
                         active -= 1;
@@ -452,6 +460,7 @@ impl Simulation {
             slots_run: slot,
             mean_response_slots: self.metrics.mean_response_slots(),
             invalid_actions: self.invalid_actions,
+            control_plane: provisioner.control_plane_stats(),
         }
     }
 }
@@ -464,8 +473,14 @@ mod tests {
     use corp_trace::{WorkloadConfig, WorkloadGenerator};
 
     fn small_workload(n: usize, seed: u64) -> Vec<JobSpec> {
-        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, ..WorkloadConfig::default() }, seed)
-            .generate()
+        WorkloadGenerator::new(
+            WorkloadConfig {
+                num_jobs: n,
+                ..WorkloadConfig::default()
+            },
+            seed,
+        )
+        .generate()
     }
 
     fn cluster() -> Cluster {
@@ -476,7 +491,11 @@ mod tests {
     fn static_peak_completes_all_jobs_without_violations() {
         // Full-peak reservations never throttle execution, so with ample
         // capacity every job completes within its SLO.
-        let mut sim = Simulation::new(cluster(), small_workload(40, 1), SimulationOptions::default());
+        let mut sim = Simulation::new(
+            cluster(),
+            small_workload(40, 1),
+            SimulationOptions::default(),
+        );
         let report = sim.run(&mut StaticPeakProvisioner);
         assert_eq!(report.completed, 40);
         assert_eq!(report.unfinished, 0);
@@ -489,14 +508,21 @@ mod tests {
     fn static_peak_utilization_is_materially_below_one() {
         // Peak reservations waste the gap between peak and actual demand —
         // the premise of the whole paper.
-        let mut sim = Simulation::new(cluster(), small_workload(60, 2), SimulationOptions::default());
+        let mut sim = Simulation::new(
+            cluster(),
+            small_workload(60, 2),
+            SimulationOptions::default(),
+        );
         let report = sim.run(&mut StaticPeakProvisioner);
         assert!(
             report.overall_utilization < 0.95,
             "peak reservation should waste resources: {}",
             report.overall_utilization
         );
-        assert!(report.overall_utilization > 0.2, "but demand is not negligible");
+        assert!(
+            report.overall_utilization > 0.2,
+            "but demand is not negligible"
+        );
     }
 
     #[test]
@@ -507,7 +533,10 @@ mod tests {
         let report = sim.run(&mut StaticPeakProvisioner);
         assert_eq!(report.rejected, 1);
         assert_eq!(report.completed, 1);
-        assert!(report.slo_violation_rate > 0.0, "rejection counts as violation");
+        assert!(
+            report.slo_violation_rate > 0.0,
+            "rejection counts as violation"
+        );
     }
 
     #[test]
@@ -524,18 +553,27 @@ mod tests {
         let mut sim = Simulation::new(
             cluster(),
             jobs,
-            SimulationOptions { measure_decision_time: false, ..SimulationOptions::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..SimulationOptions::default()
+            },
         );
         let report = sim.run(&mut StaticPeakProvisioner);
         // 20 placements at 100us each = 2ms, exactly (no decision time).
-        assert!((report.overhead_ms - 2.0).abs() < 1e-9, "got {}", report.overhead_ms);
+        assert!(
+            (report.overhead_ms - 2.0).abs() < 1e-9,
+            "got {}",
+            report.overhead_ms
+        );
     }
 
     #[test]
     fn ec2_overhead_exceeds_cluster_overhead_for_same_workload() {
         let jobs = small_workload(20, 5);
-        let opts =
-            SimulationOptions { measure_decision_time: false, ..SimulationOptions::default() };
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
         let mut sim_c = Simulation::new(cluster(), jobs.clone(), opts.clone());
         let rep_c = sim_c.run(&mut StaticPeakProvisioner);
         // Scale demands down so jobs fit EC2's small nodes.
@@ -570,7 +608,10 @@ mod tests {
             let mut sim = Simulation::new(
                 cluster(),
                 small_workload(30, 7),
-                SimulationOptions { measure_decision_time: false, ..Default::default() },
+                SimulationOptions {
+                    measure_decision_time: false,
+                    ..Default::default()
+                },
             );
             let r = sim.run(&mut StaticPeakProvisioner);
             (r.completed, r.overall_utilization.to_bits(), r.slots_run)
@@ -587,7 +628,8 @@ mod tests {
         fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
             let mut plan = crate::provisioner::ProvisionPlan::default();
             // Bogus adjustment for a job that does not exist.
-            plan.adjustments.push((u64::MAX, ResourceVector::splat(1.0)));
+            plan.adjustments
+                .push((u64::MAX, ResourceVector::splat(1.0)));
             // Place pending jobs on a bogus VM id, then correctly.
             for j in ctx.pending {
                 plan.placements.push(crate::provisioner::Placement {
@@ -615,7 +657,10 @@ mod tests {
         let mut sim = Simulation::new(cluster(), jobs, SimulationOptions::default());
         let report = sim.run(&mut Chaotic);
         assert!(report.invalid_actions > 0);
-        assert_eq!(report.completed, 3, "valid placements still apply: {report:?}");
+        assert_eq!(
+            report.completed, 3,
+            "valid placements still apply: {report:?}"
+        );
     }
 
     /// A provisioner that places jobs but allocates only 35% of the
@@ -647,8 +692,11 @@ mod tests {
 
     #[test]
     fn under_allocation_causes_slo_violations() {
-        let mut sim =
-            Simulation::new(cluster(), small_workload(40, 9), SimulationOptions::default());
+        let mut sim = Simulation::new(
+            cluster(),
+            small_workload(40, 9),
+            SimulationOptions::default(),
+        );
         let report = sim.run(&mut HalfAllocator);
         // 35% allocation against ~50%-of-request demand => coverage ~0.7
         // on the binding resource, stretching response times past the SLO
@@ -663,10 +711,12 @@ mod tests {
     fn under_allocation_raises_utilization() {
         // The flip side: allocating closer to demand raises utilization.
         let jobs = small_workload(40, 10);
-        let opts =
-            SimulationOptions { measure_decision_time: false, ..SimulationOptions::default() };
-        let full = Simulation::new(cluster(), jobs.clone(), opts.clone())
-            .run(&mut StaticPeakProvisioner);
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let full =
+            Simulation::new(cluster(), jobs.clone(), opts.clone()).run(&mut StaticPeakProvisioner);
         let half = Simulation::new(cluster(), jobs, opts).run(&mut HalfAllocator);
         assert!(
             half.overall_utilization > full.overall_utilization,
@@ -698,8 +748,11 @@ mod tests {
 
     #[test]
     fn predictions_are_resolved_against_actuals() {
-        let mut sim =
-            Simulation::new(cluster(), small_workload(30, 11), SimulationOptions::default());
+        let mut sim = Simulation::new(
+            cluster(),
+            small_workload(30, 11),
+            SimulationOptions::default(),
+        );
         let report = sim.run(&mut ZeroPredictor(StaticPeakProvisioner));
         assert!(report.predictions_resolved > 0);
         // Zero-unused predictions on a peak-allocated VM are mostly wrong.
@@ -735,8 +788,11 @@ mod tests {
 
     #[test]
     fn job_targeted_predictions_resolve_against_the_job() {
-        let mut sim =
-            Simulation::new(cluster(), small_workload(30, 14), SimulationOptions::default());
+        let mut sim = Simulation::new(
+            cluster(),
+            small_workload(30, 14),
+            SimulationOptions::default(),
+        );
         let report = sim.run(&mut JobPersistencePredictor(StaticPeakProvisioner));
         assert!(report.predictions_resolved > 0, "{report:?}");
         // Persistence on a per-job unused series has symmetric errors, and
@@ -779,9 +835,15 @@ mod tests {
                 self.inner.provision(ctx)
             }
         }
-        let mut p = Inspect { inner: StaticPeakProvisioner, saw_history: false };
-        let mut sim =
-            Simulation::new(cluster(), small_workload(20, 15), SimulationOptions::default());
+        let mut p = Inspect {
+            inner: StaticPeakProvisioner,
+            saw_history: false,
+        };
+        let mut sim = Simulation::new(
+            cluster(),
+            small_workload(20, 15),
+            SimulationOptions::default(),
+        );
         let report = sim.run(&mut p);
         assert!(p.saw_history, "views must carry usage history");
         assert_eq!(report.completed, 20);
@@ -808,7 +870,10 @@ mod tests {
         let mut sim = Simulation::new(
             cluster(),
             small_workload(5, 12),
-            SimulationOptions { max_slots: 50, ..SimulationOptions::default() },
+            SimulationOptions {
+                max_slots: 50,
+                ..SimulationOptions::default()
+            },
         );
         let report = sim.run(&mut DoNothing);
         assert_eq!(report.unfinished, 5);

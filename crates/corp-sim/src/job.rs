@@ -117,7 +117,10 @@ mod tests {
 
     fn sample_job() -> RunningJob {
         let mut g = WorkloadGenerator::new(
-            WorkloadConfig { num_jobs: 1, ..WorkloadConfig::default() },
+            WorkloadConfig {
+                num_jobs: 1,
+                ..WorkloadConfig::default()
+            },
             1,
         );
         RunningJob::new(g.generate().remove(0))
@@ -145,7 +148,11 @@ mod tests {
     fn response_time_counts_inclusive_slots() {
         let mut j = sample_job();
         j.spec.arrival_slot = 10;
-        assert_eq!(j.response_slots(10), 1, "arriving and finishing same slot = 1 slot");
+        assert_eq!(
+            j.response_slots(10),
+            1,
+            "arriving and finishing same slot = 1 slot"
+        );
         assert_eq!(j.response_slots(14), 5);
     }
 

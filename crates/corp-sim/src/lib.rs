@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod control_plane;
 pub mod engine;
 pub mod job;
 pub mod metrics;
@@ -43,6 +44,7 @@ pub mod provisioner;
 pub mod resources;
 
 pub use cluster::{Cluster, EnvironmentProfile};
+pub use control_plane::{ControlPlaneStats, ShardStats};
 pub use engine::{Simulation, SimulationOptions, SimulationReport};
 pub use job::{JobId, JobState, RunningJob};
 pub use metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};

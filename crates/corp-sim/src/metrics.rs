@@ -149,7 +149,11 @@ impl MetricsCollector {
         }
         let mut out = [0.0; NUM_RESOURCES];
         for k in 0..NUM_RESOURCES {
-            out[k] = if alloc[k] > 0.0 { dem[k] / alloc[k] } else { 1.0 };
+            out[k] = if alloc[k] > 0.0 {
+                dem[k] / alloc[k]
+            } else {
+                1.0
+            };
         }
         out
     }
@@ -193,8 +197,11 @@ impl MetricsCollector {
         if self.predictions.is_empty() {
             return 0.0;
         }
-        let wrong =
-            self.predictions.iter().filter(|p| !p.correct(eps[p.resource])).count();
+        let wrong = self
+            .predictions
+            .iter()
+            .filter(|p| !p.correct(eps[p.resource]))
+            .count();
         wrong as f64 / self.predictions.len() as f64
     }
 
@@ -236,7 +243,11 @@ mod tests {
     #[test]
     fn utilization_caps_at_one_under_overcommit() {
         let s = sample([2.0, 2.0, 2.0], [4.0, 2.0, 1.0]);
-        assert_eq!(s.utilization()[0], 1.0, "demand beyond allocation is unserved");
+        assert_eq!(
+            s.utilization()[0],
+            1.0,
+            "demand beyond allocation is unserved"
+        );
     }
 
     #[test]
@@ -275,9 +286,18 @@ mod tests {
             actual: act,
         };
         assert!(mk(5.0, 5.0).correct(0.5), "exact prediction is correct");
-        assert!(mk(5.0, 5.4).correct(0.5), "small under-estimation is correct");
-        assert!(!mk(5.0, 5.5).correct(0.5), "error == eps is incorrect (half-open)");
-        assert!(!mk(5.0, 4.9).correct(0.5), "over-estimation is always incorrect");
+        assert!(
+            mk(5.0, 5.4).correct(0.5),
+            "small under-estimation is correct"
+        );
+        assert!(
+            !mk(5.0, 5.5).correct(0.5),
+            "error == eps is incorrect (half-open)"
+        );
+        assert!(
+            !mk(5.0, 4.9).correct(0.5),
+            "over-estimation is always incorrect"
+        );
     }
 
     #[test]

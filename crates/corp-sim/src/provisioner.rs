@@ -148,6 +148,13 @@ pub trait Provisioner {
     fn on_job_completed(&mut self, job: JobId, unused_history: &[Vec<f64>]) {
         let _ = (job, unused_history);
     }
+
+    /// Control-plane counters for sharded (multi-scheduler) provisioners,
+    /// folded into the [`SimulationReport`](crate::SimulationReport) after
+    /// a run. Monolithic schedulers have no control plane; default `None`.
+    fn control_plane_stats(&self) -> Option<crate::control_plane::ControlPlaneStats> {
+        None
+    }
 }
 
 /// Reservation-based first-fit: allocate every job its full peak request on
@@ -169,7 +176,11 @@ impl Provisioner for StaticPeakProvisioner {
         for job in ctx.pending {
             if let Some(vm) = free.iter().position(|f| job.requested.fits_within(f)) {
                 free[vm] -= job.requested;
-                plan.placements.push(Placement { job: job.id, vm, allocation: job.requested });
+                plan.placements.push(Placement {
+                    job: job.id,
+                    vm,
+                    allocation: job.requested,
+                });
             }
         }
         plan
@@ -192,7 +203,12 @@ mod tests {
     }
 
     fn pending(id: JobId, req: [f64; 3]) -> PendingJobView {
-        PendingJobView { id, requested: ResourceVector::new(req), arrival_slot: 0, slo_slots: 10 }
+        PendingJobView {
+            id,
+            requested: ResourceVector::new(req),
+            arrival_slot: 0,
+            slo_slots: 10,
+        }
     }
 
     #[test]
@@ -208,7 +224,10 @@ mod tests {
         let plan = StaticPeakProvisioner.provision(&ctx);
         assert_eq!(plan.placements.len(), 1);
         assert_eq!(plan.placements[0].vm, 1, "VM 0 lacks room");
-        assert_eq!(plan.placements[0].allocation, ResourceVector::new([2.0, 2.0, 2.0]));
+        assert_eq!(
+            plan.placements[0].allocation,
+            ResourceVector::new([2.0, 2.0, 2.0])
+        );
     }
 
     #[test]

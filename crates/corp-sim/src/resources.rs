@@ -98,7 +98,11 @@ impl ResourceVector {
     /// Weighted sum with the paper's resource weights (numerators and
     /// denominators of Eqs. 2 and 4).
     pub fn weighted_total(&self) -> f64 {
-        self.0.iter().zip(&RESOURCE_WEIGHTS).map(|(a, w)| a * w).sum()
+        self.0
+            .iter()
+            .zip(&RESOURCE_WEIGHTS)
+            .map(|(a, w)| a * w)
+            .sum()
     }
 
     /// Index of the largest component *relative to* `reference` — the
@@ -219,7 +223,10 @@ mod tests {
         assert!(small.fits_within(&big));
         assert!(!big.fits_within(&small));
         let mixed = ResourceVector::new([0.5, 3.0, 0.5]);
-        assert!(!mixed.fits_within(&big), "one oversized component must fail");
+        assert!(
+            !mixed.fits_within(&big),
+            "one oversized component must fail"
+        );
     }
 
     #[test]

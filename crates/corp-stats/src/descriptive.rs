@@ -39,7 +39,11 @@ pub fn stddev(xs: &[f64]) -> f64 {
 /// Minimum of `xs`; 0.0 when empty. NaNs are skipped.
 #[inline]
 pub fn min(xs: &[f64]) -> f64 {
-    let v = xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min);
+    let v = xs
+        .iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::INFINITY, f64::min);
     if v.is_finite() {
         v
     } else {
@@ -50,7 +54,11 @@ pub fn min(xs: &[f64]) -> f64 {
 /// Maximum of `xs`; 0.0 when empty. NaNs are skipped.
 #[inline]
 pub fn max(xs: &[f64]) -> f64 {
-    let v = xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::NEG_INFINITY, f64::max);
+    let v = xs
+        .iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max);
     if v.is_finite() {
         v
     } else {
@@ -104,7 +112,13 @@ impl Default for Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, m2: 0.0 }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            m2: 0.0,
+        }
     }
 
     /// Accumulates one sample.

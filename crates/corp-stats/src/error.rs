@@ -30,7 +30,10 @@ impl ErrorWindow {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "error window needs capacity >= 1");
-        ErrorWindow { capacity, errors: VecDeque::with_capacity(capacity) }
+        ErrorWindow {
+            capacity,
+            errors: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Records one error sample, evicting the oldest if full.
@@ -123,8 +126,15 @@ impl PredictionErrorTracker {
     /// Panics if `capacity == 0`, `eps <= 0`, or `p_th` is outside `[0, 1]`.
     pub fn new(capacity: usize, eps: f64, p_th: f64) -> Self {
         assert!(eps > 0.0, "tolerance must be positive, got {eps}");
-        assert!((0.0..=1.0).contains(&p_th), "P_th must be in [0,1], got {p_th}");
-        PredictionErrorTracker { window: ErrorWindow::new(capacity), tolerance: eps, threshold: p_th }
+        assert!(
+            (0.0..=1.0).contains(&p_th),
+            "P_th must be in [0,1], got {p_th}"
+        );
+        PredictionErrorTracker {
+            window: ErrorWindow::new(capacity),
+            tolerance: eps,
+            threshold: p_th,
+        }
     }
 
     /// Replaces the tolerance `eps` without discarding accumulated error

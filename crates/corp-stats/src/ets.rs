@@ -31,7 +31,10 @@ impl SimpleExp {
     ///
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
         SimpleExp { alpha, level: None }
     }
 
@@ -79,9 +82,20 @@ impl DoubleExp {
     ///
     /// Panics if either factor is outside `(0, 1]`.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
-        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1], got {beta}");
-        DoubleExp { alpha, beta, state: None, prev: None }
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "beta must be in (0,1], got {beta}"
+        );
+        DoubleExp {
+            alpha,
+            beta,
+            state: None,
+            prev: None,
+        }
     }
 
     /// Folds one observation into level and trend.
@@ -137,7 +151,10 @@ impl HoltWinters {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
         assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
-        assert!(period >= 2, "seasonal period must be at least 2, got {period}");
+        assert!(
+            period >= 2,
+            "seasonal period must be at least 2, got {period}"
+        );
         HoltWinters {
             alpha,
             beta,
@@ -256,7 +273,10 @@ mod tests {
         // A linear series should be extrapolated almost exactly.
         let f = s.forecast(5).unwrap();
         let expected = 2.0 * 104.0 + 1.0;
-        assert!((f - expected).abs() < 0.5, "forecast {f} vs expected {expected}");
+        assert!(
+            (f - expected).abs() < 0.5,
+            "forecast {f} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl Complex {
 /// Panics if `buf.len()` is not a power of two.
 pub fn fft_in_place(buf: &mut [Complex]) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -166,14 +169,25 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft() {
-        let signal: Vec<Complex> =
-            (0..16).map(|i| Complex::new((i as f64 * 0.7).sin() + 0.3 * i as f64, 0.0)).collect();
+        let signal: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin() + 0.3 * i as f64, 0.0))
+            .collect();
         let mut fast = signal.clone();
         fft_in_place(&mut fast);
         let slow = dft_naive(&signal);
         for (f, s) in fast.iter().zip(slow.iter()) {
-            assert!((f.re - s.re).abs() < 1e-9, "re mismatch: {} vs {}", f.re, s.re);
-            assert!((f.im - s.im).abs() < 1e-9, "im mismatch: {} vs {}", f.im, s.im);
+            assert!(
+                (f.re - s.re).abs() < 1e-9,
+                "re mismatch: {} vs {}",
+                f.re,
+                s.re
+            );
+            assert!(
+                (f.im - s.im).abs() < 1e-9,
+                "im mismatch: {} vs {}",
+                f.im,
+                s.im
+            );
         }
     }
 
@@ -206,8 +220,9 @@ mod tests {
 
     #[test]
     fn dominant_period_of_square_wave() {
-        let signal: Vec<f64> =
-            (0..128).map(|t| if (t / 8) % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let signal: Vec<f64> = (0..128)
+            .map(|t| if (t / 8) % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let period = dominant_period(&signal, 0.3).expect("square wave is periodic");
         assert_eq!(period, 16);
     }
@@ -225,7 +240,9 @@ mod tests {
         let mut x: u64 = 0x2545F4914F6CDD1D;
         let signal: Vec<f64> = (0..256)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect();

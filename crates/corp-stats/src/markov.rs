@@ -30,7 +30,13 @@ impl MarkovChain {
     pub fn new(bins: usize, lo: f64, hi: f64) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(hi > lo, "range must be non-empty: [{lo}, {hi}]");
-        MarkovChain { bins, lo, hi, counts: vec![0.0; bins * bins], last_bin: None }
+        MarkovChain {
+            bins,
+            lo,
+            hi,
+            counts: vec![0.0; bins * bins],
+            last_bin: None,
+        }
     }
 
     /// Number of states (bins).
@@ -98,7 +104,12 @@ impl MarkovChain {
             }
             std::mem::swap(&mut dist, &mut next);
         }
-        Some(dist.iter().enumerate().map(|(b, &p)| p * self.midpoint(b)).sum())
+        Some(
+            dist.iter()
+                .enumerate()
+                .map(|(b, &p)| p * self.midpoint(b))
+                .sum(),
+        )
     }
 
     /// The most likely next bin from the current state, if any observation
@@ -156,7 +167,10 @@ mod tests {
         // Last observation was bin 2, so the next most-likely bin is 0.
         assert_eq!(mc.most_likely_next_bin(), Some(0));
         let f = mc.forecast(1).unwrap();
-        assert!((f - 0.5).abs() < 0.5, "forecast {f} should be near bin-0 midpoint");
+        assert!(
+            (f - 0.5).abs() < 0.5,
+            "forecast {f} should be near bin-0 midpoint"
+        );
     }
 
     #[test]

@@ -29,9 +29,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -47,7 +46,10 @@ fn erfc(x: f64) -> f64 {
 ///
 /// Panics if `p` is not in the open interval `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
 
     // Coefficients for the rational approximations.
     const A: [f64; 6] = [
@@ -117,7 +119,10 @@ pub fn normal_quantile(p: f64) -> f64 {
 ///
 /// Panics if `eta` is not in `(0, 1)`.
 pub fn z_for_confidence(eta: f64) -> f64 {
-    assert!(eta > 0.0 && eta < 1.0, "confidence level must lie in (0,1), got {eta}");
+    assert!(
+        eta > 0.0 && eta < 1.0,
+        "confidence level must lie in (0,1), got {eta}"
+    );
     let theta = 1.0 - eta;
     // z_{theta/2} is the (1 - theta/2) quantile.
     normal_quantile(1.0 - theta / 2.0)
@@ -156,7 +161,10 @@ mod tests {
         for i in 1..100 {
             let p = i as f64 / 100.0;
             let z = normal_quantile(p);
-            assert!((normal_cdf(z) - p).abs() < 1e-7, "round trip failed at p={p}");
+            assert!(
+                (normal_cdf(z) - p).abs() < 1e-7,
+                "round trip failed at p={p}"
+            );
         }
     }
 

@@ -32,7 +32,10 @@ impl PoissonArrivals {
     /// Panics if `mean_gap_slots <= 0`.
     pub fn new(mean_gap_slots: f64, seed: u64) -> Self {
         assert!(mean_gap_slots > 0.0, "mean gap must be positive");
-        PoissonArrivals { mean_gap_slots, rng: StdRng::seed_from_u64(seed) }
+        PoissonArrivals {
+            mean_gap_slots,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -67,9 +70,16 @@ impl BurstyArrivals {
     ///
     /// Panics if either mean is not positive.
     pub fn new(mean_burst_size: f64, mean_gap_slots: f64, seed: u64) -> Self {
-        assert!(mean_burst_size >= 1.0, "bursts must average at least one job");
+        assert!(
+            mean_burst_size >= 1.0,
+            "bursts must average at least one job"
+        );
         assert!(mean_gap_slots > 0.0, "gap must be positive");
-        BurstyArrivals { mean_burst_size, mean_gap_slots, rng: StdRng::seed_from_u64(seed) }
+        BurstyArrivals {
+            mean_burst_size,
+            mean_gap_slots,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

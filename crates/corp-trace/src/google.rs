@@ -95,10 +95,14 @@ pub fn parse_csv(input: &str) -> Result<Vec<TaskRecord>, TraceError> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 7 {
-            return Err(TraceError::FieldCount { line: line_no, found: fields.len() });
+            return Err(TraceError::FieldCount {
+                line: line_no,
+                found: fields.len(),
+            });
         }
         fn num<T: std::str::FromStr>(s: &str, line: usize, field: usize) -> Result<T, TraceError> {
-            s.parse::<T>().map_err(|_| TraceError::BadField { line, field })
+            s.parse::<T>()
+                .map_err(|_| TraceError::BadField { line, field })
         }
         let rec = TaskRecord {
             start_secs: num(fields[0], line_no, 0)?,
@@ -193,7 +197,11 @@ pub fn resample_trace(records: &[TaskRecord], target_slot_secs: u64) -> Vec<Task
                 let w = ((mid - cur.start_secs as f64) / coarse_len).clamp(0.0, 1.0);
                 let lerp = |a: f64, b: f64| a + (b - a) * w;
                 let (cpu, memory, storage) = match next {
-                    Some(n) => (lerp(cur.cpu, n.cpu), lerp(cur.memory, n.memory), lerp(cur.storage, n.storage)),
+                    Some(n) => (
+                        lerp(cur.cpu, n.cpu),
+                        lerp(cur.memory, n.memory),
+                        lerp(cur.storage, n.storage),
+                    ),
                     None => (cur.cpu, cur.memory, cur.storage),
                 };
                 out.push(TaskRecord {
@@ -231,7 +239,11 @@ mod tests {
 
     #[test]
     fn csv_round_trip() {
-        let records = vec![rec(0, 300, 1, 0.5), rec(300, 600, 1, 0.7), rec(0, 300, 2, 1.5)];
+        let records = vec![
+            rec(0, 300, 1, 0.5),
+            rec(300, 600, 1, 0.7),
+            rec(0, 300, 2, 1.5),
+        ];
         let csv = to_csv(&records);
         let parsed = parse_csv(&csv).unwrap();
         assert_eq!(parsed, records);
@@ -307,13 +319,15 @@ mod tests {
         // the first window should climb from ~0 toward ~1.
         let records = vec![rec(0, 300, 1, 0.0), rec(300, 600, 1, 1.0)];
         let fine = resample_trace(&records, 10);
-        let first_window: Vec<&TaskRecord> =
-            fine.iter().filter(|r| r.start_secs < 300).collect();
+        let first_window: Vec<&TaskRecord> = fine.iter().filter(|r| r.start_secs < 300).collect();
         assert_eq!(first_window.len(), 30);
         assert!(first_window[0].cpu < 0.1);
         assert!(first_window[29].cpu > 0.9);
         for w in first_window.windows(2) {
-            assert!(w[0].cpu <= w[1].cpu + 1e-12, "interpolation must be monotone here");
+            assert!(
+                w[0].cpu <= w[1].cpu + 1e-12,
+                "interpolation must be monotone here"
+            );
         }
     }
 
@@ -334,8 +348,11 @@ mod tests {
 
     #[test]
     fn resample_preserves_total_coverage() {
-        let records =
-            vec![rec(0, 300, 1, 0.5), rec(300, 600, 1, 0.7), rec(0, 300, 2, 0.2)];
+        let records = vec![
+            rec(0, 300, 1, 0.5),
+            rec(300, 600, 1, 0.7),
+            rec(0, 300, 2, 0.2),
+        ];
         let fine = resample_trace(&records, 10);
         let coarse_secs: u64 = records.iter().map(|r| r.end_secs - r.start_secs).sum();
         let fine_secs: u64 = fine.iter().map(|r| r.end_secs - r.start_secs).sum();
@@ -350,8 +367,14 @@ mod tests {
         b.task_index = 1;
         let fine = resample_trace(&[a, b], 100);
         assert_eq!(fine.len(), 6);
-        assert!(fine.iter().filter(|r| r.task_index == 0).all(|r| (r.cpu - 0.5).abs() < 1e-12));
-        assert!(fine.iter().filter(|r| r.task_index == 1).all(|r| (r.cpu - 0.9).abs() < 1e-12));
+        assert!(fine
+            .iter()
+            .filter(|r| r.task_index == 0)
+            .all(|r| (r.cpu - 0.5).abs() < 1e-12));
+        assert!(fine
+            .iter()
+            .filter(|r| r.task_index == 1)
+            .all(|r| (r.cpu - 0.9).abs() < 1e-12));
     }
 
     #[test]

@@ -69,13 +69,20 @@ impl LongLivedGenerator {
     /// Creates a generator. Job ids start at `id_base` so a long-lived
     /// population can coexist with a short-lived one without collisions.
     pub fn new(config: LongLivedConfig, seed: u64, id_base: u64) -> Self {
-        assert!(config.min_duration_slots >= 2, "long jobs need at least two slots");
+        assert!(
+            config.min_duration_slots >= 2,
+            "long jobs need at least two slots"
+        );
         assert!(
             config.max_duration_slots >= config.min_duration_slots,
             "duration range inverted"
         );
         assert!(config.cycle_slots >= 2, "cycles need at least two slots");
-        LongLivedGenerator { config, rng: StdRng::seed_from_u64(seed), next_id: id_base }
+        LongLivedGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: id_base,
+        }
     }
 
     /// Generates the configured number of jobs, arrival-ordered.
@@ -105,8 +112,9 @@ impl LongLivedGenerator {
             IntensityClass::Balanced => [0.8, 2.5, 25.0],
         };
         let scale: f64 = self.rng.gen_range(0.6..1.4) * cfg.demand_scale;
-        let duration =
-            self.rng.gen_range(cfg.min_duration_slots..=cfg.max_duration_slots);
+        let duration = self
+            .rng
+            .gen_range(cfg.min_duration_slots..=cfg.max_duration_slots);
         let phase: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
 
         let mut requested = [0.0f64; NUM_RESOURCES];
@@ -148,14 +156,25 @@ mod tests {
     use corp_stats::dominant_period;
 
     fn gen(n: usize, seed: u64) -> Vec<JobSpec> {
-        LongLivedGenerator::new(LongLivedConfig { num_jobs: n, ..Default::default() }, seed, 10_000)
-            .generate()
+        LongLivedGenerator::new(
+            LongLivedConfig {
+                num_jobs: n,
+                ..Default::default()
+            },
+            seed,
+            10_000,
+        )
+        .generate()
     }
 
     #[test]
     fn long_jobs_are_long() {
         for j in gen(8, 1) {
-            assert!(j.duration_slots >= 180, "long-lived job too short: {}", j.duration_slots);
+            assert!(
+                j.duration_slots >= 180,
+                "long-lived job too short: {}",
+                j.duration_slots
+            );
             assert_eq!(j.demand.len(), j.duration_slots);
         }
     }
@@ -194,7 +213,10 @@ mod tests {
                 detected += 1;
             }
         }
-        assert!(detected >= 4, "most long-lived jobs must show their cycle, got {detected}/6");
+        assert!(
+            detected >= 4,
+            "most long-lived jobs must show their cycle, got {detected}/6"
+        );
     }
 
     #[test]

@@ -10,7 +10,15 @@ use corp_trace::{
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = TaskRecord> {
-    (0u64..10_000, 1u64..500, 1u64..64, 0u32..8, 0.0f64..64.0, 0.0f64..64.0, 0.0f64..512.0)
+    (
+        0u64..10_000,
+        1u64..500,
+        1u64..64,
+        0u32..8,
+        0.0f64..64.0,
+        0.0f64..64.0,
+        0.0f64..512.0,
+    )
         .prop_map(|(start, len, job, task, cpu, mem, sto)| TaskRecord {
             start_secs: start,
             end_secs: start + len,

@@ -19,7 +19,10 @@ fn main() {
         "scheme", "utilization", "SLO viol.", "pred. error", "overhead (ms)"
     );
     for scheme in ALL_SCHEMES {
-        let params = SchemeParams { fast_dnn: true, ..Default::default() };
+        let params = SchemeParams {
+            fast_dnn: true,
+            ..Default::default()
+        };
         let r = run_cell(Environment::Cluster, scheme, num_jobs, &params, true);
         println!(
             "{:<12} {:>12.3} {:>11.1}% {:>13.1}% {:>14.1}",

@@ -29,7 +29,10 @@ fn main() {
     let packable: Vec<PackableJob> = jobs
         .iter()
         .take(8)
-        .map(|j| PackableJob { id: j.id, demand: ResourceVector::new(j.requested) })
+        .map(|j| PackableJob {
+            id: j.id,
+            demand: ResourceVector::new(j.requested),
+        })
         .collect();
     let entities = pack_complementary(&packable, &reference);
     println!("== Complementary packing of the first 8 arrivals ==");
@@ -42,7 +45,10 @@ fn main() {
 
     // Full consolidation run, packing on vs off.
     let hist = WorkloadGenerator::new(
-        WorkloadConfig { num_jobs: 40, ..config.clone() },
+        WorkloadConfig {
+            num_jobs: 40,
+            ..config.clone()
+        },
         77,
     )
     .generate();
@@ -59,12 +65,14 @@ fn main() {
         cfg.use_packing = packing;
         let mut corp = CorpProvisioner::new(cfg);
         corp.pretrain(&histories);
-        let cluster =
-            Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(6));
+        let cluster = Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(6));
         let mut sim = Simulation::new(
             cluster,
             jobs.clone(),
-            SimulationOptions { measure_decision_time: false, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
         );
         sim.run(&mut corp)
     };
@@ -72,7 +80,10 @@ fn main() {
     let with_packing = run(true);
     let without_packing = run(false);
     println!("\n== Consolidating 120 polarized jobs onto 24 VMs ==\n");
-    for (label, r) in [("packing on", &with_packing), ("packing off", &without_packing)] {
+    for (label, r) in [
+        ("packing on", &with_packing),
+        ("packing off", &without_packing),
+    ] {
         println!(
             "{:<12} overall utilization {:.3}   SLO violations {:>4.1}%   mean response {:>5.1} slots",
             label,

@@ -12,10 +12,10 @@
 //! ```
 
 use corp_core::{CorpConfig, CorpProvisioner};
-use corp_sim::{
-    Cluster, EnvironmentProfile, Simulation, SimulationOptions, StaticPeakProvisioner,
+use corp_sim::{Cluster, EnvironmentProfile, Simulation, SimulationOptions, StaticPeakProvisioner};
+use corp_trace::{
+    ArrivalProcess, BurstyArrivals, WorkloadConfig, WorkloadGenerator, NUM_RESOURCES,
 };
-use corp_trace::{ArrivalProcess, BurstyArrivals, WorkloadConfig, WorkloadGenerator, NUM_RESOURCES};
 
 fn main() {
     let config = WorkloadConfig {
@@ -32,12 +32,20 @@ fn main() {
     let mut arrivals = BurstyArrivals::new(12.0, 8.0, 99);
     let slots = arrivals.arrivals(config.num_jobs);
     let mut generator = WorkloadGenerator::new(config, 4242);
-    let jobs: Vec<_> = slots.into_iter().map(|slot| generator.generate_one(slot)).collect();
+    let jobs: Vec<_> = slots
+        .into_iter()
+        .map(|slot| generator.generate_one(slot))
+        .collect();
 
     // Pretraining history from a calmer period of the same service.
-    let hist =
-        WorkloadGenerator::new(WorkloadConfig { num_jobs: 40, ..WorkloadConfig::default() }, 17)
-            .generate();
+    let hist = WorkloadGenerator::new(
+        WorkloadConfig {
+            num_jobs: 40,
+            ..WorkloadConfig::default()
+        },
+        17,
+    )
+    .generate();
     let histories: Vec<Vec<Vec<f64>>> = (0..NUM_RESOURCES)
         .map(|k| {
             hist.iter()
@@ -47,13 +55,15 @@ fn main() {
         .collect();
 
     let cluster = || Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(6));
-    let opts = SimulationOptions { measure_decision_time: false, ..Default::default() };
+    let opts = SimulationOptions {
+        measure_decision_time: false,
+        ..Default::default()
+    };
 
     let mut corp = CorpProvisioner::new(CorpConfig::fast());
     corp.pretrain(&histories);
     let corp_report = Simulation::new(cluster(), jobs.clone(), opts.clone()).run(&mut corp);
-    let peak_report =
-        Simulation::new(cluster(), jobs, opts).run(&mut StaticPeakProvisioner);
+    let peak_report = Simulation::new(cluster(), jobs, opts).run(&mut StaticPeakProvisioner);
 
     println!("== IoT flash crowd: 250 second-scale queries, bursty arrivals, 24 VMs ==\n");
     for r in [&corp_report, &peak_report] {

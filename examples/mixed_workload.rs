@@ -11,22 +11,27 @@
 //! ```
 
 use corp_core::{CooperativeProvisioner, CorpConfig, CorpProvisioner};
-use corp_sim::{
-    Cluster, EnvironmentProfile, Simulation, SimulationOptions, StaticPeakProvisioner,
-};
+use corp_sim::{Cluster, EnvironmentProfile, Simulation, SimulationOptions, StaticPeakProvisioner};
 use corp_trace::{
     LongLivedConfig, LongLivedGenerator, WorkloadConfig, WorkloadGenerator, NUM_RESOURCES,
 };
 
 fn mixed_jobs(seed: u64) -> Vec<corp_trace::JobSpec> {
     let mut jobs = WorkloadGenerator::new(
-        WorkloadConfig { num_jobs: 120, ..WorkloadConfig::default() },
+        WorkloadConfig {
+            num_jobs: 120,
+            ..WorkloadConfig::default()
+        },
         seed,
     )
     .generate();
     jobs.extend(
         LongLivedGenerator::new(
-            LongLivedConfig { num_jobs: 8, cycle_slots: 30, ..Default::default() },
+            LongLivedConfig {
+                num_jobs: 8,
+                cycle_slots: 30,
+                ..Default::default()
+            },
             seed + 1,
             1_000_000,
         )
@@ -38,12 +43,20 @@ fn mixed_jobs(seed: u64) -> Vec<corp_trace::JobSpec> {
 
 fn main() {
     let cluster = || Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(10));
-    let opts = SimulationOptions { measure_decision_time: false, ..Default::default() };
+    let opts = SimulationOptions {
+        measure_decision_time: false,
+        ..Default::default()
+    };
 
     // History for the short-lived DNN.
-    let hist =
-        WorkloadGenerator::new(WorkloadConfig { num_jobs: 40, ..WorkloadConfig::default() }, 5)
-            .generate();
+    let hist = WorkloadGenerator::new(
+        WorkloadConfig {
+            num_jobs: 40,
+            ..WorkloadConfig::default()
+        },
+        5,
+    )
+    .generate();
     let histories: Vec<Vec<Vec<f64>>> = (0..NUM_RESOURCES)
         .map(|k| {
             hist.iter()

@@ -6,9 +6,7 @@
 //! ```
 
 use corp_core::{CorpConfig, CorpProvisioner};
-use corp_sim::{
-    Cluster, EnvironmentProfile, Simulation, SimulationOptions, StaticPeakProvisioner,
-};
+use corp_sim::{Cluster, EnvironmentProfile, Simulation, SimulationOptions, StaticPeakProvisioner};
 use corp_trace::{WorkloadConfig, WorkloadGenerator, NUM_RESOURCES};
 
 fn main() {
@@ -18,15 +16,26 @@ fn main() {
     // 2. A workload of 150 short-lived jobs (10 s - 5 min, fluctuating
     //    demand, mixed resource intensities), deterministic by seed.
     let workload = || {
-        WorkloadGenerator::new(WorkloadConfig { num_jobs: 150, ..WorkloadConfig::default() }, 42)
-            .generate()
+        WorkloadGenerator::new(
+            WorkloadConfig {
+                num_jobs: 150,
+                ..WorkloadConfig::default()
+            },
+            42,
+        )
+        .generate()
     };
 
     // 3. Historical data to pretrain CORP's DNN + HMM + preemption gate —
     //    the stand-in for the paper's Google-trace history.
-    let history_jobs =
-        WorkloadGenerator::new(WorkloadConfig { num_jobs: 40, ..WorkloadConfig::default() }, 7)
-            .generate();
+    let history_jobs = WorkloadGenerator::new(
+        WorkloadConfig {
+            num_jobs: 40,
+            ..WorkloadConfig::default()
+        },
+        7,
+    )
+    .generate();
     let histories: Vec<Vec<Vec<f64>>> = (0..NUM_RESOURCES)
         .map(|k| {
             history_jobs
@@ -41,10 +50,12 @@ fn main() {
     let mut corp = CorpProvisioner::new(CorpConfig::fast());
     corp.pretrain(&histories);
 
-    let opts = SimulationOptions { measure_decision_time: false, ..Default::default() };
+    let opts = SimulationOptions {
+        measure_decision_time: false,
+        ..Default::default()
+    };
     let corp_report = Simulation::new(cluster(), workload(), opts.clone()).run(&mut corp);
-    let peak_report =
-        Simulation::new(cluster(), workload(), opts).run(&mut StaticPeakProvisioner);
+    let peak_report = Simulation::new(cluster(), workload(), opts).run(&mut StaticPeakProvisioner);
 
     println!("== CORP quickstart: 150 short-lived jobs on 32 VMs ==\n");
     for r in [&corp_report, &peak_report] {

@@ -7,7 +7,11 @@ use corp_sim::{Cluster, EnvironmentProfile, Simulation, SimulationOptions, Stati
 use corp_trace::{WorkloadConfig, WorkloadGenerator};
 
 fn fast_params(seed: u64) -> SchemeParams {
-    SchemeParams { fast_dnn: true, seed, ..Default::default() }
+    SchemeParams {
+        fast_dnn: true,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -20,7 +24,10 @@ fn every_scheme_terminates_all_jobs_in_both_environments() {
                 60,
                 "{scheme:?} on {env:?} lost jobs: {report:?}"
             );
-            assert_eq!(report.invalid_actions, 0, "{scheme:?} on {env:?}: {report:?}");
+            assert_eq!(
+                report.invalid_actions, 0,
+                "{scheme:?} on {env:?}: {report:?}"
+            );
             assert!(report.slots_run > 0);
         }
     }
@@ -28,7 +35,13 @@ fn every_scheme_terminates_all_jobs_in_both_environments() {
 
 #[test]
 fn reports_carry_consistent_metrics() {
-    let report = run_cell(Environment::Cluster, SchemeKind::Corp, 80, &fast_params(13), false);
+    let report = run_cell(
+        Environment::Cluster,
+        SchemeKind::Corp,
+        80,
+        &fast_params(13),
+        false,
+    );
     assert!((0.0..=1.0).contains(&report.overall_utilization));
     assert!((0.0..=1.0).contains(&report.slo_violation_rate));
     assert!((0.0..=1.0).contains(&report.prediction_error_rate));
@@ -39,9 +52,24 @@ fn reports_carry_consistent_metrics() {
 
 #[test]
 fn corp_run_is_deterministic() {
-    let a = run_cell(Environment::Cluster, SchemeKind::Corp, 50, &fast_params(17), false);
-    let b = run_cell(Environment::Cluster, SchemeKind::Corp, 50, &fast_params(17), false);
-    assert_eq!(a.overall_utilization.to_bits(), b.overall_utilization.to_bits());
+    let a = run_cell(
+        Environment::Cluster,
+        SchemeKind::Corp,
+        50,
+        &fast_params(17),
+        false,
+    );
+    let b = run_cell(
+        Environment::Cluster,
+        SchemeKind::Corp,
+        50,
+        &fast_params(17),
+        false,
+    );
+    assert_eq!(
+        a.overall_utilization.to_bits(),
+        b.overall_utilization.to_bits()
+    );
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.violated, b.violated);
     assert_eq!(a.predictions_resolved, b.predictions_resolved);
@@ -54,12 +82,18 @@ fn corp_reclaims_meaningfully_versus_static_peak() {
     let cluster = || Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(8));
     let jobs = || {
         WorkloadGenerator::new(
-            WorkloadConfig { num_jobs: 120, ..WorkloadConfig::default() },
+            WorkloadConfig {
+                num_jobs: 120,
+                ..WorkloadConfig::default()
+            },
             23,
         )
         .generate()
     };
-    let opts = SimulationOptions { measure_decision_time: false, ..Default::default() };
+    let opts = SimulationOptions {
+        measure_decision_time: false,
+        ..Default::default()
+    };
 
     let mut corp = CorpProvisioner::new(CorpConfig::fast());
     corp.pretrain(&corp_bench::historical_histories(Environment::Cluster, 40));
@@ -76,8 +110,20 @@ fn corp_reclaims_meaningfully_versus_static_peak() {
 
 #[test]
 fn overhead_is_reported_and_ec2_costs_more() {
-    let cluster = run_cell(Environment::Cluster, SchemeKind::Corp, 80, &fast_params(29), false);
-    let ec2 = run_cell(Environment::Ec2, SchemeKind::Corp, 80, &fast_params(29), false);
+    let cluster = run_cell(
+        Environment::Cluster,
+        SchemeKind::Corp,
+        80,
+        &fast_params(29),
+        false,
+    );
+    let ec2 = run_cell(
+        Environment::Ec2,
+        SchemeKind::Corp,
+        80,
+        &fast_params(29),
+        false,
+    );
     // Comm-only overhead (decision time disabled): EC2's per-message
     // latency is 12x the cluster's.
     assert!(cluster.overhead_ms > 0.0);

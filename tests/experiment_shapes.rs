@@ -6,7 +6,11 @@ use corp_bench::{env::run_cell, env::SchemeParams, Environment, SchemeKind};
 use corp_sim::SimulationReport;
 
 fn report(env: Environment, scheme: SchemeKind, jobs: usize, seed: u64) -> SimulationReport {
-    let params = SchemeParams { fast_dnn: true, seed, ..Default::default() };
+    let params = SchemeParams {
+        fast_dnn: true,
+        seed,
+        ..Default::default()
+    };
     run_cell(env, scheme, jobs, &params, false)
 }
 
@@ -89,7 +93,11 @@ fn fig9_shape_slo_levels_cluster() {
         corp.slo_violation_rate,
         dra.slo_violation_rate
     );
-    assert!(dra.slo_violation_rate > 0.02, "heavy load must hurt DRA: {}", dra.slo_violation_rate);
+    assert!(
+        dra.slo_violation_rate > 0.02,
+        "heavy load must hurt DRA: {}",
+        dra.slo_violation_rate
+    );
 }
 
 /// Fig. 8 shape: within CORP, loosening (eta, P_th) raises utilization.
@@ -99,14 +107,24 @@ fn fig8_shape_corp_frontier_moves_with_knob() {
         Environment::Cluster,
         SchemeKind::Corp,
         200,
-        &SchemeParams { fast_dnn: true, confidence: 0.95, prob_threshold: 0.99, ..Default::default() },
+        &SchemeParams {
+            fast_dnn: true,
+            confidence: 0.95,
+            prob_threshold: 0.99,
+            ..Default::default()
+        },
         false,
     );
     let aggressive = run_cell(
         Environment::Cluster,
         SchemeKind::Corp,
         200,
-        &SchemeParams { fast_dnn: true, confidence: 0.5, prob_threshold: 0.4, ..Default::default() },
+        &SchemeParams {
+            fast_dnn: true,
+            confidence: 0.5,
+            prob_threshold: 0.4,
+            ..Default::default()
+        },
         false,
     );
     assert!(
@@ -135,7 +153,10 @@ fn fig11_shape_utilization_ordering_ec2() {
 #[test]
 fn fig10_fig14_shape_ec2_overhead_exceeds_cluster() {
     for scheme in [SchemeKind::Corp, SchemeKind::Dra] {
-        let params = SchemeParams { fast_dnn: true, ..Default::default() };
+        let params = SchemeParams {
+            fast_dnn: true,
+            ..Default::default()
+        };
         let cluster = run_cell(Environment::Cluster, scheme, 100, &params, false);
         let ec2 = run_cell(Environment::Ec2, scheme, 100, &params, false);
         assert!(
@@ -155,6 +176,9 @@ fn storage_is_not_the_bottleneck() {
     // No strict per-resource assertion (workload mixes vary), but all
     // three utilizations must be in a sane band and reported.
     for (k, u) in dra.utilization.iter().enumerate() {
-        assert!((0.2..=1.0).contains(u), "resource {k} utilization {u} out of band");
+        assert!(
+            (0.2..=1.0).contains(u),
+            "resource {k} utilization {u} out of band"
+        );
     }
 }

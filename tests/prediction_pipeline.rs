@@ -19,7 +19,10 @@ fn pretraining_trains_and_warms_the_gate() {
     let p = pretrained();
     assert!(p.is_trained());
     for k in 0..NUM_RESOURCES {
-        assert!(p.gate().samples(k) > 0, "resource {k} gate got no warm-up evidence");
+        assert!(
+            p.gate().samples(k) > 0,
+            "resource {k} gate got no warm-up evidence"
+        );
     }
 }
 
@@ -69,7 +72,10 @@ fn gate_relocks_under_systematic_overestimation() {
         // Predictions of 10 when only 1 was unused: severe over-estimation.
         p.record_outcome_scaled(0, 1.0, 10.0, 8.0);
     }
-    assert!(!p.unlocked(0), "gate must close on bad evidence (was {initially_unlocked})");
+    assert!(
+        !p.unlocked(0),
+        "gate must close on bad evidence (was {initially_unlocked})"
+    );
 }
 
 #[test]
@@ -81,8 +87,9 @@ fn online_training_path_matches_pretraining_path() {
     let mut p = CorpJobPredictor::new(&cfg);
     let histories = historical_histories(Environment::Cluster, 12);
     for i in 0..12 {
-        let per_job: Vec<Vec<f64>> =
-            (0..NUM_RESOURCES).map(|k| histories[k][i].clone()).collect();
+        let per_job: Vec<Vec<f64>> = (0..NUM_RESOURCES)
+            .map(|k| histories[k][i].clone())
+            .collect();
         p.add_history(&per_job);
     }
     assert!(p.maybe_train());

@@ -35,7 +35,10 @@ fn jobs_to_records(jobs: &[JobSpec]) -> Vec<TaskRecord> {
 #[test]
 fn full_trace_pipeline_round_trips_through_csv() {
     let jobs = WorkloadGenerator::new(
-        WorkloadConfig { num_jobs: 20, ..WorkloadConfig::default() },
+        WorkloadConfig {
+            num_jobs: 20,
+            ..WorkloadConfig::default()
+        },
         31,
     )
     .generate();
@@ -50,7 +53,11 @@ fn full_trace_pipeline_round_trips_through_csv() {
     assert!(fine.iter().all(|r| r.end_secs - r.start_secs <= 10));
 
     // Every surviving job's fine records cover its full coarse span.
-    for job_id in short.iter().map(|r| r.job_id).collect::<std::collections::HashSet<_>>() {
+    for job_id in short
+        .iter()
+        .map(|r| r.job_id)
+        .collect::<std::collections::HashSet<_>>()
+    {
         let coarse: u64 = short
             .iter()
             .filter(|r| r.job_id == job_id)
@@ -61,16 +68,26 @@ fn full_trace_pipeline_round_trips_through_csv() {
             .filter(|r| r.job_id == job_id)
             .map(|r| r.end_secs - r.start_secs)
             .sum();
-        assert_eq!(coarse, fine_total, "job {job_id} lost coverage in re-slotting");
+        assert_eq!(
+            coarse, fine_total,
+            "job {job_id} lost coverage in re-slotting"
+        );
     }
 }
 
 #[test]
 fn generated_workload_runs_on_every_profile() {
-    for profile in [EnvironmentProfile::palmetto_cluster(), EnvironmentProfile::amazon_ec2()] {
+    for profile in [
+        EnvironmentProfile::palmetto_cluster(),
+        EnvironmentProfile::amazon_ec2(),
+    ] {
         let scale = if profile.vms_per_pm == 1 { 0.3 } else { 1.0 };
         let jobs = WorkloadGenerator::new(
-            WorkloadConfig { num_jobs: 40, demand_scale: scale, ..WorkloadConfig::default() },
+            WorkloadConfig {
+                num_jobs: 40,
+                demand_scale: scale,
+                ..WorkloadConfig::default()
+            },
             37,
         )
         .generate();
@@ -78,18 +95,31 @@ fn generated_workload_runs_on_every_profile() {
         let mut sim = Simulation::new(
             Cluster::from_profile(profile),
             jobs,
-            SimulationOptions { measure_decision_time: false, ..Default::default() },
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
         );
         let report = sim.run(&mut StaticPeakProvisioner);
-        assert_eq!(report.completed + report.rejected + report.unfinished, 40, "{name}");
-        assert_eq!(report.rejected, 0, "{name}: no job should exceed VM capacity");
+        assert_eq!(
+            report.completed + report.rejected + report.unfinished,
+            40,
+            "{name}"
+        );
+        assert_eq!(
+            report.rejected, 0,
+            "{name}: no job should exceed VM capacity"
+        );
     }
 }
 
 #[test]
 fn workload_statistics_match_the_papers_premises() {
     let jobs = WorkloadGenerator::new(
-        WorkloadConfig { num_jobs: 300, ..WorkloadConfig::default() },
+        WorkloadConfig {
+            num_jobs: 300,
+            ..WorkloadConfig::default()
+        },
         41,
     )
     .generate();

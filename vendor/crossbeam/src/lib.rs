@@ -1,0 +1,12 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::channel` module the workspace uses: Multi-
+//! Producer Multi-Consumer channels (both `unbounded` and `bounded`) built
+//! on a `Mutex<VecDeque>` + `Condvar`. Semantics match crossbeam-channel
+//! for the operations exposed: `send` fails once every receiver is gone,
+//! `recv` fails once every sender is gone and the queue is drained, and
+//! bounded `send` blocks while the queue is full.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

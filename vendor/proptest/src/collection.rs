@@ -1,0 +1,67 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// A length specification for [`vec`]: an exact size or a range of sizes.
+pub trait SizeSpec {
+    /// Half-open `[min, max)` bounds on the generated length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeSpec for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl SizeSpec for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SizeSpec for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a length drawn from
+/// the size spec.
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len_exclusive: usize,
+}
+
+/// Generates vectors whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeSpec) -> VecStrategy<S> {
+    let (min_len, max_len_exclusive) = size.bounds();
+    assert!(
+        min_len < max_len_exclusive,
+        "empty length range for collection strategy"
+    );
+    VecStrategy {
+        element,
+        min_len,
+        max_len_exclusive,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.max_len_exclusive - self.min_len == 1 {
+            self.min_len
+        } else {
+            rng.inner().gen_range(self.min_len..self.max_len_exclusive)
+        };
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}

@@ -1,0 +1,71 @@
+//! The case runner backing the `proptest!` macro.
+
+use crate::{ProptestConfig, TestCaseError, TestRng};
+
+/// Runs `case` until `config.cases` non-rejected executions pass, panicking
+/// on the first failure with the seed index needed to replay it.
+pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let target = config.cases.max(1);
+    // Rejection budget, matching proptest's spirit: give up rather than
+    // spin forever on an over-restrictive `prop_assume!`.
+    let max_attempts = (target as u64).saturating_mul(20).max(1024);
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    while passed < target {
+        if attempt >= max_attempts {
+            panic!(
+                "proptest `{name}`: too many rejected cases \
+                 ({passed}/{target} passed after {attempt} attempts)"
+            );
+        }
+        let mut rng = TestRng::for_case(name, attempt);
+        let outcome = case(&mut rng);
+        attempt += 1;
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at seed index {} \
+                     (case {} of {target}): {msg}",
+                    attempt - 1,
+                    passed + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut count = 0;
+        run("counting", &ProptestConfig::with_cases(17), |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn rejection_budget_is_finite() {
+        run("always_reject", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        run("failing", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

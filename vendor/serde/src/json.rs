@@ -1,0 +1,10 @@
+//! Rendering entry points (the stand-in for `serde_json`).
+
+use crate::Serialize;
+
+/// Renders `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    out
+}

@@ -1,0 +1,223 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of serde the workspace relies on:
+//!
+//! * a [`Serialize`] trait that renders a value directly as JSON (the only
+//!   format any caller here uses), with impls for the std types that appear
+//!   in workspace structs;
+//! * a marker [`Deserialize`] trait (no workspace code parses serialized
+//!   data back — reports flow one way, out);
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   crate, honouring `#[serde(skip)]` on fields.
+//!
+//! The JSON encoding follows serde_json's conventions: structs are objects
+//! in declaration order, unit enum variants are strings, data-carrying
+//! variants are single-key objects, newtype structs are transparent, and
+//! non-finite floats serialize as `null`. Output is byte-deterministic for
+//! a given value, which the determinism regression tests rely on.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+pub mod ser;
+
+/// A value that can render itself as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Marker for types whose serialized form could be parsed back. No
+/// workspace code deserializes, so this carries no methods.
+pub trait Deserialize {}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(itoa(*self as i128).as_str());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa(v: i128) -> String {
+    v.to_string()
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` prints the shortest representation that round-
+                    // trips, always with a decimal point or exponent —
+                    // deterministic and unambiguous.
+                    out.push_str(&format!("{:?}", self));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        ser::write_escaped_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        ser::write_escaped_str(out, self);
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        ser::write_escaped_str(out, self.encode_utf8(&mut buf));
+    }
+}
+impl Deserialize for char {}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_seq<'a, T: Serialize + 'a>(out: &mut String, items: impl IntoIterator<Item = &'a T>) {
+    out.push('[');
+    for (i, v) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(out, self);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(out, self);
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(out, self);
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(',');
+        self.2.write_json(out);
+        out.push(']');
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}
+
+/// Maps serialize as objects; keys must render as JSON strings, so only
+/// string-keyed maps are supported. `BTreeMap` iterates in key order, which
+/// keeps the encoding deterministic.
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser::write_escaped_str(out, k);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::json::to_string;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&3u32), "3");
+        assert_eq!(to_string(&-7i64), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&"a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_string(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(to_string(&[1.0f64, 2.0]), "[1.0,2.0]");
+        assert_eq!(to_string(&Some(5u8)), "5");
+        assert_eq!(to_string(&Option::<u8>::None), "null");
+        assert_eq!(to_string(&(1u8, "x")), "[1,\"x\"]");
+    }
+}

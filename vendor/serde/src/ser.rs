@@ -1,0 +1,40 @@
+//! Low-level helpers shared by the derive-generated code.
+
+use crate::Serialize;
+
+/// Writes `s` as a JSON string literal with the mandatory escapes.
+pub fn write_escaped_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `"key":` with a leading comma when `first` is false; used by the
+/// derive-generated struct serializers. Returns `false` so callers can
+/// thread it as the next `first`.
+pub fn write_field<T: Serialize + ?Sized>(
+    out: &mut String,
+    key: &str,
+    value: &T,
+    first: bool,
+) -> bool {
+    if !first {
+        out.push(',');
+    }
+    write_escaped_str(out, key);
+    out.push(':');
+    value.write_json(out);
+    false
+}

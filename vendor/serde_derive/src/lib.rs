@@ -1,0 +1,357 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` crate.
+//!
+//! The offline build has no `syn`/`quote`, so the item is parsed directly
+//! from the raw `proc_macro::TokenStream`. Supported shapes cover
+//! everything this workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`);
+//! * tuple structs (single unskipped field serializes transparently, like
+//!   serde newtypes; otherwise as an array);
+//! * enums with unit, tuple, and struct variants (externally tagged, as in
+//!   serde_json's default encoding).
+//!
+//! Generic types are intentionally unsupported — the parser panics with a
+//! clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct: per-positional-field skip flags.
+    TupleStruct(Vec<bool>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Emits `impl serde::Serialize` rendering the serde_json-conventional
+/// encoding of the item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("out.push('{');\nlet mut first = true;\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "first = serde::ser::write_field(out, \"{0}\", &self.{0}, first);\n",
+                    f.name
+                ));
+            }
+            s.push_str("let _ = first;\nout.push('}');");
+            s
+        }
+        Kind::TupleStruct(skips) => {
+            let live: Vec<usize> = skips
+                .iter()
+                .enumerate()
+                .filter(|(_, &skip)| !skip)
+                .map(|(i, _)| i)
+                .collect();
+            match live.as_slice() {
+                [only] => format!("serde::Serialize::write_json(&self.{only}, out);"),
+                _ => {
+                    let mut s = String::from("out.push('[');\n");
+                    for (n, i) in live.iter().enumerate() {
+                        if n > 0 {
+                            s.push_str("out.push(',');\n");
+                        }
+                        s.push_str(&format!("serde::Serialize::write_json(&self.{i}, out);\n"));
+                    }
+                    s.push_str("out.push(']');");
+                    s
+                }
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        s.push_str(&format!(
+                            "Self::{vn} => {{ out.push_str(\"\\\"{vn}\\\"\"); }}\n"
+                        ));
+                    }
+                    VariantBody::Tuple(1) => {
+                        s.push_str(&format!(
+                            "Self::{vn}(v0) => {{ out.push_str(\"{{\\\"{vn}\\\":\"); \
+                             serde::Serialize::write_json(v0, out); out.push('}}'); }}\n"
+                        ));
+                    }
+                    VariantBody::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                        s.push_str(&format!(
+                            "Self::{vn}({}) => {{ out.push_str(\"{{\\\"{vn}\\\":[\");\n",
+                            binds.join(", ")
+                        ));
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                s.push_str("out.push(',');\n");
+                            }
+                            s.push_str(&format!("serde::Serialize::write_json({b}, out);\n"));
+                        }
+                        s.push_str("out.push_str(\"]}\"); }\n");
+                    }
+                    VariantBody::Named(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "Self::{vn} {{ {} }} => {{ \
+                             out.push_str(\"{{\\\"{vn}\\\":{{\");\nlet mut first = true;\n",
+                            names.join(", ")
+                        ));
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            s.push_str(&format!(
+                                "first = serde::ser::write_field(out, \"{0}\", {0}, first);\n",
+                                f.name
+                            ));
+                        }
+                        s.push_str("let _ = first;\nout.push_str(\"}}\"); }\n");
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl serde::Serialize for {} {{\n\
+         fn write_json(&self, out: &mut String) {{\n{}\n}}\n}}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Emits the marker `impl serde::Deserialize` (no workspace code parses
+/// serialized data back).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: Kind::TupleStruct(parse_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                // Unit struct: serialize as null via an empty tuple body.
+                Item {
+                    name,
+                    kind: Kind::TupleStruct(Vec::new()),
+                }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("vendored serde_derive supports struct/enum only, got `{other}`"),
+    }
+}
+
+/// Skips `#[...]` attribute groups (doc comments arrive as `#[doc = ...]`).
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Like [`skip_attrs`] but reports whether any skipped attribute was
+/// `#[serde(skip)]` (or `#[serde(skip, ...)]`, `#[serde(..., skip)]`).
+fn skip_attrs_detecting_skip(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                skip |= attr_is_serde_skip(&g.stream().into_iter().collect::<Vec<_>>());
+                *i += 1;
+            }
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: &[TokenTree]) -> bool {
+    match (attr.first(), attr.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Advances past type tokens up to (not including) a top-level `,`.
+/// Tracks `<`/`>` depth so commas inside generic arguments don't split the
+/// field; `->` in fn-pointer types is recognized and not counted.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                // Possible `->`: consume both so the `>` is not miscounted.
+                if matches!(tokens.get(*i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                    *i += 1;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs_detecting_skip(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Consume the separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs_detecting_skip(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
