@@ -6,6 +6,7 @@
 //! corp-exp fig6 fig7      # specific figures
 //! corp-exp --fast all     # small DNN, quick smoke pass
 //! corp-exp scalability    # sharded-control-plane sweep (1..8 shards)
+//! corp-exp faults         # availability under deterministic fault injection
 //! corp-exp --json fig6    # machine-readable output (one JSON array)
 //! ```
 
@@ -37,6 +38,7 @@ fn main() {
         ("fig14", Box::new(experiments::fig14)),
         ("ablations", Box::new(experiments::ablations)),
         ("scalability", Box::new(experiments::scalability)),
+        ("faults", Box::new(experiments::availability)),
     ];
 
     let mut matched = false;

@@ -12,6 +12,7 @@ use corp_cluster::{ShardConfig, ShardedProvisioner};
 use corp_core::{
     CloudScaleProvisioner, CorpConfig, CorpProvisioner, DraProvisioner, RccrProvisioner,
 };
+use corp_faults::{generate, FaultConfig, FaultSchedule};
 use corp_sim::{Cluster, EnvironmentProfile, Provisioner, Simulation, SimulationOptions};
 use corp_trace::{JobSpec, WorkloadConfig, WorkloadGenerator};
 
@@ -211,6 +212,72 @@ pub fn build_sharded_provisioner(
         SchemeKind::Dra => corp_core::dra_fleet(params.seed, shards),
     };
     ShardedProvisioner::new(scheme.name(), inners, ShardConfig::default())
+}
+
+/// Like [`build_sharded_provisioner`], but every shard is built from a
+/// factory so the supervisor can rebuild workers the fault schedule kills,
+/// and the coordinator follows `fault_plan`'s control-plane chaos.
+pub fn build_supervised_provisioner(
+    scheme: SchemeKind,
+    env: Environment,
+    params: &SchemeParams,
+    shards: usize,
+    fault_plan: Option<corp_faults::ControlFaultPlan>,
+) -> ShardedProvisioner {
+    let factories = match scheme {
+        SchemeKind::Corp => {
+            let mut config = if params.fast_dnn {
+                CorpConfig::fast()
+            } else {
+                CorpConfig::default()
+            };
+            config.confidence_level = params.confidence;
+            config.prob_threshold = params.prob_threshold;
+            config.seed = params.seed;
+            corp_core::corp_factories(&config, &historical_histories(env, 40), shards)
+        }
+        SchemeKind::Rccr => corp_core::rccr_factories(params.confidence, params.seed, shards),
+        SchemeKind::CloudScale => corp_core::cloudscale_factories(params.seed, shards),
+        SchemeKind::Dra => corp_core::dra_factories(params.seed, shards),
+    };
+    ShardedProvisioner::with_factories(
+        scheme.name(),
+        factories,
+        ShardConfig {
+            fault_plan,
+            ..ShardConfig::default()
+        },
+    )
+}
+
+/// Runs one cell under a deterministic fault schedule: `fault_config`'s
+/// engine-side timeline (VM crashes, stragglers, view poisoning) drives
+/// the simulation while its control-plane plan (worker kills, message
+/// drops/delays) drives the supervised `shards`-way coordinator. The same
+/// `fault_config` yields the same schedule for every scheme, so schemes
+/// are compared under identical chaos.
+pub fn run_cell_faulty(
+    env: Environment,
+    scheme: SchemeKind,
+    num_jobs: usize,
+    params: &SchemeParams,
+    shards: usize,
+    fault_config: &FaultConfig,
+) -> corp_sim::SimulationReport {
+    let cluster = env.cluster();
+    let schedule: FaultSchedule = generate(fault_config, cluster.vms.len(), shards);
+    let mut provisioner =
+        build_supervised_provisioner(scheme, env, params, shards, Some(schedule.control));
+    let mut sim = Simulation::with_faults(
+        cluster,
+        env.workload(num_jobs, params.seed.wrapping_add(num_jobs as u64)),
+        SimulationOptions {
+            measure_decision_time: false,
+            ..Default::default()
+        },
+        schedule.timeline,
+    );
+    sim.run(&mut provisioner)
 }
 
 /// Runs one (environment, scheme, #jobs) cell through a `shards`-way

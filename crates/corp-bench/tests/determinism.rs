@@ -6,7 +6,10 @@
 //! Decision wall-clock measurement is off throughout — it is the one
 //! intentionally non-deterministic report input.
 
-use corp_bench::env::{run_cell, run_cell_sharded, Environment, SchemeKind, SchemeParams};
+use corp_bench::env::{
+    run_cell, run_cell_faulty, run_cell_sharded, Environment, SchemeKind, SchemeParams,
+};
+use corp_faults::FaultConfig;
 
 const JOBS: usize = 40;
 
@@ -97,6 +100,59 @@ fn one_shard_reproduces_the_monolithic_scheduler() {
             "{scheme:?}: a lone shard cannot conflict with itself"
         );
         assert!(mono.control_plane.is_none());
+    }
+}
+
+#[test]
+fn faulty_runs_are_byte_identical_across_runs() {
+    // Chaos must be deterministic: the same fault seed and intensity must
+    // reproduce the same kills, the same recoveries, and the same report
+    // bytes — crashes included.
+    let p = params();
+    let cfg = FaultConfig::scenario(0xFA17, 2.0);
+    let a = run_cell_faulty(Environment::Cluster, SchemeKind::Corp, JOBS, &p, 2, &cfg);
+    let b = run_cell_faulty(Environment::Cluster, SchemeKind::Corp, JOBS, &p, 2, &cfg);
+    assert_eq!(serde::json::to_string(&a), serde::json::to_string(&b));
+    // The scenario actually bites: faults happened and were recovered.
+    let f = a.faults.as_ref().expect("fault stats present");
+    assert!(f.vm_crashes > 0, "{f:?}");
+    let cp = a.control_plane.as_ref().expect("control-plane stats");
+    assert!(
+        cp.worker_kills > 0 && cp.worker_restarts > 0,
+        "supervisor recovery exercised: {cp:?}"
+    );
+    assert_eq!(a.invalid_actions, 0, "no overcommit under faults");
+}
+
+#[test]
+fn disabled_faults_match_the_fault_free_supervised_run() {
+    // Intensity 0.0 must be a no-op: the supervised coordinator with an
+    // empty fault plan reproduces the plain sharded run's numbers exactly
+    // (the report differs only in carrying zeroed fault stats).
+    for scheme in [SchemeKind::Corp, SchemeKind::Dra] {
+        let p = params();
+        let cfg = FaultConfig::disabled(0xFA17);
+        let faulty = run_cell_faulty(Environment::Cluster, scheme, JOBS, &p, 2, &cfg);
+        let (plain, _) = run_cell_sharded(Environment::Cluster, scheme, JOBS, &p, 2, false);
+        assert_eq!(faulty.utilization, plain.utilization, "{scheme:?}");
+        assert_eq!(
+            faulty.overall_utilization, plain.overall_utilization,
+            "{scheme:?}"
+        );
+        assert_eq!(
+            faulty.slo_violation_rate, plain.slo_violation_rate,
+            "{scheme:?}"
+        );
+        assert_eq!(faulty.completed, plain.completed, "{scheme:?}");
+        assert_eq!(faulty.violated, plain.violated, "{scheme:?}");
+        assert_eq!(faulty.slots_run, plain.slots_run, "{scheme:?}");
+        assert_eq!(
+            faulty.mean_response_slots, plain.mean_response_slots,
+            "{scheme:?}"
+        );
+        let f = faulty.faults.as_ref().expect("zeroed fault stats present");
+        assert_eq!(*f, corp_sim::FaultStats::default(), "{scheme:?}");
+        assert!(plain.faults.is_none());
     }
 }
 

@@ -23,13 +23,21 @@
 //! With one shard the coordinator reproduces the wrapped scheduler's
 //! decisions exactly; with many it reports throughput and contention via
 //! [`corp_sim::ControlPlaneStats`] in the simulation report.
+//!
+//! The coordinator also supervises its workers: worker bodies run under
+//! `catch_unwind`, scheduled chaos (a [`corp_faults::ControlFaultPlan`])
+//! can kill workers and drop or delay messages, and every failure is
+//! either recovered (factory restart + inline scheduling for the missed
+//! slot) or recorded as a typed [`ClusterError`] — never a panic.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod provisioner;
 pub mod shard;
 pub mod store;
 
-pub use provisioner::{ShardConfig, ShardedProvisioner};
+pub use error::ClusterError;
+pub use provisioner::{ProvisionerFactory, ShardConfig, ShardedProvisioner};
 pub use store::{PlacementStore, ReservationId, ReserveError, StoreCounters, TxnError};

@@ -24,22 +24,48 @@
 //!    validated is exactly the sequence the engine will apply: a
 //!    store-approved plan can never trip the engine's validators.
 //!
+//! ## Supervision
+//!
+//! The coordinator assumes workers can die at any point: worker bodies run
+//! under `catch_unwind`, replies are slot-tagged and waited on with a
+//! bounded timeout, and a scheduled [`ControlFaultPlan`] can kill workers,
+//! drop requests, or delay replies deterministically. Whenever a shard
+//! produces no usable plan for a slot — dead worker, lost request, late
+//! reply — the coordinator schedules that shard's jobs *inline* with a
+//! conservative static-peak pass (full-request first fit over the shard's
+//! narrowed view), merged at the shard's own index so arbitration order is
+//! unchanged. Dead workers are rebuilt from their
+//! [`ProvisionerFactory`] when one was registered
+//! ([`ShardedProvisioner::with_factories`]); without a factory the shard
+//! degrades to permanent inline scheduling and a typed
+//! [`ClusterError`] is recorded. No channel failure panics the
+//! coordinator.
+//!
 //! Determinism: proposal generation is per-shard deterministic (each shard
-//! owns its RNG/predictor state), and arbitration order is a pure function
-//! of (shard index, proposal index) — so identical seeds and configs yield
-//! byte-identical reports at any shard count, while the store itself stays
-//! fully thread-safe for genuinely racing users.
+//! owns its RNG/predictor state), arbitration order is a pure function
+//! of (shard index, proposal index), and fault injection follows a
+//! pre-computed plan — so identical seeds and configs yield byte-identical
+//! reports at any shard count, while the store itself stays fully
+//! thread-safe for genuinely racing users.
 
+use corp_faults::ControlFaultPlan;
 use corp_sim::control_plane::{ControlPlaneStats, ShardStats};
 use corp_sim::{
     JobId, PendingJobView, Placement, ProvisionPlan, Provisioner, ResourceVector, SlotContext,
-    VmView,
+    StaticPeakProvisioner, VmView,
 };
+use crossbeam::channel::RecvTimeoutError;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::error::ClusterError;
 use crate::shard::{owner_of, shard_pending, shard_vm_views};
 use crate::store::{PlacementStore, ReserveError};
+
+/// Rebuilds one shard's scheduler pipeline after its worker dies.
+pub type ProvisionerFactory = Box<dyn Fn() -> Box<dyn Provisioner + Send> + Send>;
 
 /// Coordinator knobs.
 #[derive(Debug, Clone)]
@@ -47,11 +73,22 @@ pub struct ShardConfig {
     /// Alternative-VM attempts after a placement's first reservation
     /// conflicts; past the budget the proposal aborts to the pending queue.
     pub max_retries: usize,
+    /// Real-time safety net on worker replies. Deterministic chaos uses
+    /// explicit kill/delay events instead; this only trips for a genuinely
+    /// wedged worker, so it is generous by default.
+    pub recv_timeout: Duration,
+    /// Scheduled control-plane chaos (worker kills, request drops, reply
+    /// delays); `None` runs fault-free.
+    pub fault_plan: Option<ControlFaultPlan>,
 }
 
 impl Default for ShardConfig {
     fn default() -> Self {
-        ShardConfig { max_retries: 3 }
+        ShardConfig {
+            max_retries: 3,
+            recv_timeout: Duration::from_secs(30),
+            fault_plan: None,
+        }
     }
 }
 
@@ -69,16 +106,68 @@ enum ShardRequest {
         job: JobId,
         unused_history: Vec<Vec<f64>>,
     },
+    /// Chaos: exit immediately, as an unplanned worker crash would.
+    Die,
+}
+
+/// A worker's answer for one slot. `plan: None` reports a caught panic —
+/// the worker exits right after sending it and waits to be rebuilt.
+struct ShardReply {
+    slot: u64,
+    plan: Option<ProvisionPlan>,
 }
 
 /// One long-lived scheduler shard: its pipeline runs on a dedicated thread,
-/// driven by `requests`; plans come back on `plans`.
+/// driven by `requests`; slot-tagged replies come back on `replies`.
 struct Worker {
-    /// `None` once shutdown has begun (dropping the sender stops the loop).
+    /// `None` once shutdown has begun (dropping the sender stops the loop)
+    /// or while the worker is dead awaiting restart.
     requests: Option<crossbeam::channel::Sender<ShardRequest>>,
-    plans: crossbeam::channel::Receiver<ProvisionPlan>,
+    replies: crossbeam::channel::Receiver<ShardReply>,
     handle: Option<std::thread::JoinHandle<()>>,
     stats: ShardStats,
+    /// Whether the coordinator believes the worker thread is serving.
+    alive: bool,
+    /// Dead with no way back (no factory, or respawn failed): the
+    /// coordinator schedules this shard inline permanently.
+    failed: bool,
+    /// Rebuilds the inner provisioner after a death, when registered.
+    factory: Option<ProvisionerFactory>,
+}
+
+/// Counters for the supervisor's recovery activity.
+#[derive(Debug, Default, Clone)]
+struct RecoveryCounters {
+    worker_kills: u64,
+    worker_panics: u64,
+    worker_restarts: u64,
+    inline_slots: u64,
+    messages_dropped: u64,
+    messages_delayed: u64,
+    recv_timeouts: u64,
+}
+
+type WorkerChannels = (
+    crossbeam::channel::Sender<ShardRequest>,
+    crossbeam::channel::Receiver<ShardReply>,
+    std::thread::JoinHandle<()>,
+);
+
+fn spawn_worker(
+    shard: usize,
+    num_shards: usize,
+    inner: Box<dyn Provisioner + Send>,
+) -> Result<WorkerChannels, ClusterError> {
+    let (req_tx, req_rx) = crossbeam::channel::unbounded();
+    let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+    std::thread::Builder::new()
+        .name(format!("corp-shard-{shard}"))
+        .spawn(move || worker_loop(shard, num_shards, inner, req_rx, reply_tx))
+        .map(|handle| (req_tx, reply_rx, handle))
+        .map_err(|e| ClusterError::SpawnFailed {
+            shard,
+            reason: e.to_string(),
+        })
 }
 
 fn worker_loop(
@@ -86,7 +175,7 @@ fn worker_loop(
     num_shards: usize,
     mut inner: Box<dyn Provisioner + Send>,
     requests: crossbeam::channel::Receiver<ShardRequest>,
-    plans: crossbeam::channel::Sender<ProvisionPlan>,
+    replies: crossbeam::channel::Sender<ShardReply>,
 ) {
     while let Ok(request) = requests.recv() {
         match request {
@@ -96,25 +185,51 @@ fn worker_loop(
                 pending,
                 max_vm_capacity,
             } => {
-                let my_vms = shard_vm_views(&vms, shard, num_shards);
-                let my_pending = shard_pending(&pending, shard, num_shards);
-                let ctx = SlotContext {
-                    slot,
-                    vms: &my_vms,
-                    pending: &my_pending,
-                    max_vm_capacity,
-                };
-                let plan = inner.provision(&ctx);
-                if plans.send(plan).is_err() {
-                    break; // coordinator gone
+                // The pipeline may hold arbitrary state mid-panic, so a
+                // caught panic is terminal for this worker: report it and
+                // exit; the supervisor rebuilds from the factory.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let my_vms = shard_vm_views(&vms, shard, num_shards);
+                    let my_pending = shard_pending(&pending, shard, num_shards);
+                    let ctx = SlotContext {
+                        slot,
+                        vms: &my_vms,
+                        pending: &my_pending,
+                        max_vm_capacity,
+                    };
+                    inner.provision(&ctx)
+                }));
+                match result {
+                    Ok(plan) => {
+                        if replies
+                            .send(ShardReply {
+                                slot,
+                                plan: Some(plan),
+                            })
+                            .is_err()
+                        {
+                            break; // coordinator gone
+                        }
+                    }
+                    Err(_) => {
+                        let _ = replies.send(ShardReply { slot, plan: None });
+                        break;
+                    }
                 }
             }
             ShardRequest::JobCompleted {
                 job,
                 unused_history,
             } => {
-                inner.on_job_completed(job, &unused_history);
+                if catch_unwind(AssertUnwindSafe(|| {
+                    inner.on_job_completed(job, &unused_history);
+                }))
+                .is_err()
+                {
+                    break;
+                }
             }
+            ShardRequest::Die => break,
         }
     }
 }
@@ -128,15 +243,21 @@ pub struct ShardedProvisioner {
     /// Built lazily from the first slot's fleet view.
     store: Option<PlacementStore>,
     max_queue_depth: usize,
+    recovery: RecoveryCounters,
+    errors: Vec<ClusterError>,
 }
 
 impl ShardedProvisioner {
     /// Wraps `inners` (one per shard) under a display name of
-    /// `"<base>x<shards>"`, spawning one worker thread per shard.
+    /// `"<base>x<shards>"`, spawning one worker thread per shard. Workers
+    /// built this way cannot be rebuilt after a death (there is no
+    /// factory); the shard degrades to inline scheduling instead. Prefer
+    /// [`ShardedProvisioner::with_factories`] when running under fault
+    /// injection.
     ///
     /// # Panics
     ///
-    /// If `inners` is empty or a worker thread cannot be spawned.
+    /// If `inners` is empty.
     pub fn new(
         base_name: &str,
         inners: Vec<Box<dyn Provisioner + Send>>,
@@ -144,34 +265,86 @@ impl ShardedProvisioner {
     ) -> Self {
         assert!(!inners.is_empty(), "need at least one shard");
         let num_shards = inners.len();
-        let name = format!("{}x{}", base_name, num_shards);
-        let workers = inners
-            .into_iter()
-            .enumerate()
-            .map(|(shard, inner)| {
-                let (req_tx, req_rx) = crossbeam::channel::unbounded();
-                let (plan_tx, plan_rx) = crossbeam::channel::unbounded();
-                let handle = std::thread::Builder::new()
-                    .name(format!("corp-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, num_shards, inner, req_rx, plan_tx))
-                    .expect("spawn shard worker");
-                Worker {
-                    requests: Some(req_tx),
-                    plans: plan_rx,
-                    handle: Some(handle),
-                    stats: ShardStats {
-                        shard,
-                        ..Default::default()
-                    },
-                }
-            })
-            .collect();
+        let mut this = Self::empty(base_name, num_shards, config);
+        for (shard, inner) in inners.into_iter().enumerate() {
+            this.push_worker(shard, num_shards, inner, None);
+        }
+        this
+    }
+
+    /// Like [`ShardedProvisioner::new`], but each shard's pipeline comes
+    /// from a factory the supervisor re-invokes to rebuild the worker
+    /// after a crash. Factories must be deterministic (same pipeline every
+    /// call) for fault-injected runs to replay byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// If `factories` is empty.
+    pub fn with_factories(
+        base_name: &str,
+        factories: Vec<ProvisionerFactory>,
+        config: ShardConfig,
+    ) -> Self {
+        assert!(!factories.is_empty(), "need at least one shard");
+        let num_shards = factories.len();
+        let mut this = Self::empty(base_name, num_shards, config);
+        for (shard, factory) in factories.into_iter().enumerate() {
+            let inner = factory();
+            this.push_worker(shard, num_shards, inner, Some(factory));
+        }
+        this
+    }
+
+    fn empty(base_name: &str, num_shards: usize, config: ShardConfig) -> Self {
         ShardedProvisioner {
-            name,
-            workers,
+            name: format!("{}x{}", base_name, num_shards),
+            workers: Vec::new(),
             config,
             store: None,
             max_queue_depth: 0,
+            recovery: RecoveryCounters::default(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn push_worker(
+        &mut self,
+        shard: usize,
+        num_shards: usize,
+        inner: Box<dyn Provisioner + Send>,
+        factory: Option<ProvisionerFactory>,
+    ) {
+        let stats = ShardStats {
+            shard,
+            ..Default::default()
+        };
+        match spawn_worker(shard, num_shards, inner) {
+            Ok((requests, replies, handle)) => self.workers.push(Worker {
+                requests: Some(requests),
+                replies,
+                handle: Some(handle),
+                stats,
+                alive: true,
+                failed: false,
+                factory,
+            }),
+            Err(e) => {
+                // Dead on arrival: keep the slot in the shard map (job
+                // ownership is positional) and schedule it inline; a
+                // factory still allows a later restart attempt.
+                self.errors.push(e);
+                let (_, orphan_replies) = crossbeam::channel::unbounded();
+                let failed = factory.is_none();
+                self.workers.push(Worker {
+                    requests: None,
+                    replies: orphan_replies,
+                    handle: None,
+                    stats,
+                    alive: false,
+                    failed,
+                    factory,
+                });
+            }
         }
     }
 
@@ -185,7 +358,67 @@ impl ShardedProvisioner {
         self.store.as_ref()
     }
 
+    /// Typed failures the supervisor recorded (spawn failures, timeouts,
+    /// unrecoverable workers). Recovered incidents appear only as
+    /// counters in [`Provisioner::control_plane_stats`].
+    pub fn errors(&self) -> &[ClusterError] {
+        &self.errors
+    }
+
+    /// Tears down a dead worker's thread and rebuilds it from its factory;
+    /// without one the shard is marked permanently failed.
+    fn restart_worker(&mut self, shard: usize) {
+        if self.workers[shard].failed {
+            return;
+        }
+        let num_shards = self.workers.len();
+        self.workers[shard].requests.take();
+        if let Some(handle) = self.workers[shard].handle.take() {
+            let _ = handle.join();
+        }
+        let Some(inner) = self.workers[shard].factory.as_ref().map(|f| f()) else {
+            self.workers[shard].failed = true;
+            self.errors
+                .push(ClusterError::WorkerUnrecoverable { shard });
+            return;
+        };
+        match spawn_worker(shard, num_shards, inner) {
+            Ok((requests, replies, handle)) => {
+                let worker = &mut self.workers[shard];
+                worker.requests = Some(requests);
+                worker.replies = replies;
+                worker.handle = Some(handle);
+                worker.alive = true;
+                worker.stats.restarts += 1;
+                self.recovery.worker_restarts += 1;
+            }
+            Err(e) => {
+                self.workers[shard].failed = true;
+                self.errors.push(e);
+            }
+        }
+    }
+
+    /// Conservative coordinator-side plan for a shard that produced none:
+    /// static-peak first fit over the shard's own narrowed view. Full-peak
+    /// allocations can never violate an SLO on their own, and the store
+    /// still arbitrates them against every other shard's proposals.
+    fn inline_plan(ctx: &SlotContext<'_>, shard: usize, num_shards: usize) -> ProvisionPlan {
+        let my_vms = shard_vm_views(ctx.vms, shard, num_shards);
+        let my_pending = shard_pending(ctx.pending, shard, num_shards);
+        let narrowed = SlotContext {
+            slot: ctx.slot,
+            vms: &my_vms,
+            pending: &my_pending,
+            max_vm_capacity: ctx.max_vm_capacity,
+        };
+        let mut fallback = StaticPeakProvisioner;
+        fallback.provision(&narrowed)
+    }
+
     /// Phase A: every shard proposes in parallel over the shared snapshot.
+    /// Scheduled chaos is applied here; any shard without a usable plan is
+    /// scheduled inline, and dead workers are restarted before returning.
     fn propose(&mut self, ctx: &SlotContext<'_>) -> Vec<ProvisionPlan> {
         let n = self.workers.len();
         self.max_queue_depth = self.max_queue_depth.max(ctx.pending.len());
@@ -197,28 +430,117 @@ impl ShardedProvisioner {
             worker.stats.max_queue_depth = worker.stats.max_queue_depth.max(depth);
         }
 
+        // Scheduled chaos for this slot.
+        let mut kill = vec![false; n];
+        let mut drop_request = vec![false; n];
+        let mut delay = vec![false; n];
+        if let Some(plan) = &self.config.fault_plan {
+            for shard in 0..n {
+                kill[shard] = plan.kill_scheduled(ctx.slot, shard);
+                drop_request[shard] = plan.drop_scheduled(ctx.slot, shard);
+                delay[shard] = plan.delay_scheduled(ctx.slot, shard);
+            }
+        }
+        for (shard, &killed) in kill.iter().enumerate() {
+            if killed && self.workers[shard].alive {
+                if let Some(tx) = self.workers[shard].requests.as_ref() {
+                    let _ = tx.send(ShardRequest::Die);
+                }
+                self.workers[shard].alive = false;
+                self.recovery.worker_kills += 1;
+            }
+        }
+
+        // Dispatch the snapshot to every serving shard.
         let vms = Arc::new(ctx.vms.to_vec());
         let pending = Arc::new(ctx.pending.to_vec());
-        for worker in &self.workers {
+        let mut sent = vec![false; n];
+        for shard in 0..n {
+            if !self.workers[shard].alive {
+                continue;
+            }
+            if drop_request[shard] {
+                self.recovery.messages_dropped += 1;
+                continue;
+            }
             let request = ShardRequest::Provision {
                 slot: ctx.slot,
                 vms: Arc::clone(&vms),
                 pending: Arc::clone(&pending),
                 max_vm_capacity: ctx.max_vm_capacity,
             };
-            worker
+            let delivered = self.workers[shard]
                 .requests
                 .as_ref()
-                .expect("workers alive until drop")
-                .send(request)
-                .expect("shard worker alive");
+                .map(|tx| tx.send(request).is_ok())
+                .unwrap_or(false);
+            if delivered {
+                sent[shard] = true;
+            } else {
+                // The worker died between slots (e.g. panicked in a
+                // completion callback): recover below.
+                self.workers[shard].alive = false;
+            }
         }
+
         // Collect in shard order: deterministic merge, full overlap while
-        // the slower shards finish.
-        self.workers
-            .iter()
-            .map(|w| w.plans.recv().expect("shard worker alive"))
-            .collect()
+        // the slower shards finish. Replies are slot-tagged so a reply
+        // delayed past its slot is discarded when it finally surfaces.
+        let mut plans: Vec<Option<ProvisionPlan>> = (0..n).map(|_| None).collect();
+        for shard in 0..n {
+            if !sent[shard] {
+                continue;
+            }
+            if delay[shard] {
+                self.recovery.messages_delayed += 1;
+                continue;
+            }
+            loop {
+                let outcome = self.workers[shard]
+                    .replies
+                    .recv_timeout(self.config.recv_timeout);
+                match outcome {
+                    Ok(reply) if reply.slot == ctx.slot => {
+                        match reply.plan {
+                            Some(plan) => plans[shard] = Some(plan),
+                            None => {
+                                // The worker caught a panic and exited.
+                                self.workers[shard].alive = false;
+                                self.recovery.worker_panics += 1;
+                            }
+                        }
+                        break;
+                    }
+                    Ok(_stale_reply) => continue,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.workers[shard].alive = false;
+                        self.recovery.recv_timeouts += 1;
+                        self.errors.push(ClusterError::ReplyTimeout {
+                            shard,
+                            slot: ctx.slot,
+                        });
+                        break;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.workers[shard].alive = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Recovery: restart what died, schedule inline what is missing.
+        for (shard, plan) in plans.iter_mut().enumerate() {
+            if !self.workers[shard].alive {
+                self.restart_worker(shard);
+            }
+            if plan.is_none() {
+                self.workers[shard].stats.inline_slots += 1;
+                self.recovery.inline_slots += 1;
+                *plan = Some(Self::inline_plan(ctx, shard, n));
+            }
+        }
+        plans.into_iter().map(Option::unwrap_or_default).collect()
     }
 
     /// Picks the VM with the least free headroom still fitting `alloc`
@@ -245,7 +567,11 @@ impl ShardedProvisioner {
     /// Phase B: deterministic sequential arbitration of all proposals
     /// through the store.
     fn arbitrate(&mut self, ctx: &SlotContext<'_>, plans: Vec<ProvisionPlan>) -> ProvisionPlan {
-        let store = self.store.as_ref().expect("store initialized in provision");
+        let Some(store) = self.store.as_ref() else {
+            // Unreachable (provision initializes the store) but no panic:
+            // an empty plan is always safe.
+            return ProvisionPlan::default();
+        };
         let mut merged = ProvisionPlan::default();
 
         // Current allocations of running jobs, for adjustment rebasing.
@@ -281,6 +607,13 @@ impl ShardedProvisioner {
                 self.workers[shard].stats.conflicts += 1;
                 continue;
             };
+            if !new.is_finite() {
+                // A poisoned pipeline may propose NaN; the engine would
+                // drop it anyway, but refusing here keeps the store's
+                // committed preview authoritative.
+                self.workers[shard].stats.conflicts += 1;
+                continue;
+            }
             if store.adjust(vm, old, new) {
                 merged.adjustments.push((job, new));
             } else {
@@ -303,13 +636,23 @@ impl ShardedProvisioner {
                 if !pending_ids.contains(&p.job) || placed.contains(&p.job) {
                     continue; // not placeable: duplicate or unknown job
                 }
+                if !p.allocation.is_finite() {
+                    stats.aborts += 1;
+                    continue;
+                }
                 let alloc = p.allocation.clamp_nonnegative();
                 let mut target = p.vm;
                 let mut attempts = 0usize;
                 loop {
                     match store.reserve(shard, target, alloc) {
                         Ok(id) => {
-                            store.confirm(id).expect("freshly reserved id is open");
+                            if store.confirm(id).is_err() {
+                                // The hold vanished (cannot happen in this
+                                // single-threaded arbitration, but typed
+                                // handling beats a panic): treat as abort.
+                                stats.aborts += 1;
+                                break;
+                            }
                             stats.commits += 1;
                             placed.insert(p.job);
                             merged.placements.push(Placement {
@@ -359,10 +702,14 @@ impl Provisioner for ShardedProvisioner {
     }
 
     fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
-        let store = self.store.get_or_insert_with(|| {
-            PlacementStore::new(ctx.vms.iter().map(|vm| vm.capacity).collect())
-        });
-        store.begin_slot(&ctx.vms.iter().map(|vm| vm.committed).collect::<Vec<_>>());
+        let capacities: Vec<ResourceVector> = ctx.vms.iter().map(|vm| vm.capacity).collect();
+        let committed: Vec<ResourceVector> = ctx.vms.iter().map(|vm| vm.committed).collect();
+        let store = self
+            .store
+            .get_or_insert_with(|| PlacementStore::new(capacities.clone()));
+        // Re-basing capacities every slot tracks crashed VMs (whose view
+        // capacity is zero) leaving and rejoining the fleet.
+        store.begin_slot_full(&capacities, &committed);
         let plans = self.propose(ctx);
         self.arbitrate(ctx, plans)
     }
@@ -375,12 +722,17 @@ impl Provisioner for ShardedProvisioner {
         };
         // FIFO per worker: the notification lands before the next
         // Provision request, exactly as the engine orders the calls.
-        self.workers[owner]
+        let delivered = self.workers[owner]
             .requests
             .as_ref()
-            .expect("workers alive until drop")
-            .send(request)
-            .expect("shard worker alive");
+            .map(|tx| tx.send(request).is_ok())
+            .unwrap_or(false);
+        if !delivered {
+            // The worker is dead: this shard's corpus misses one sample
+            // (restart happens on the next provision call).
+            self.workers[owner].alive = false;
+            self.recovery.messages_dropped += 1;
+        }
     }
 
     fn control_plane_stats(&self) -> Option<ControlPlaneStats> {
@@ -397,6 +749,13 @@ impl Provisioner for ShardedProvisioner {
             aborts: counters.aborts,
             retries: self.workers.iter().map(|s| s.stats.retries).sum(),
             max_queue_depth: self.max_queue_depth,
+            worker_kills: self.recovery.worker_kills,
+            worker_panics: self.recovery.worker_panics,
+            worker_restarts: self.recovery.worker_restarts,
+            inline_slots: self.recovery.inline_slots,
+            messages_dropped: self.recovery.messages_dropped,
+            messages_delayed: self.recovery.messages_delayed,
+            recv_timeouts: self.recovery.recv_timeouts,
             per_shard: self.workers.iter().map(|s| s.stats.clone()).collect(),
         })
     }
@@ -419,6 +778,7 @@ impl Drop for ShardedProvisioner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use corp_faults::SlotShard;
     use corp_sim::{PendingJobView, StaticPeakProvisioner, VmView};
 
     fn rv(v: f64) -> ResourceVector {
@@ -453,6 +813,22 @@ mod tests {
             .map(|_| Box::new(StaticPeakProvisioner) as _)
             .collect();
         ShardedProvisioner::new("static-peak", inners, ShardConfig::default())
+    }
+
+    fn sharded_with_plan(n: usize, fault_plan: ControlFaultPlan) -> ShardedProvisioner {
+        let factories: Vec<ProvisionerFactory> = (0..n)
+            .map(|_| {
+                Box::new(|| Box::new(StaticPeakProvisioner) as Box<dyn Provisioner + Send>) as _
+            })
+            .collect();
+        ShardedProvisioner::with_factories(
+            "static-peak",
+            factories,
+            ShardConfig {
+                fault_plan: Some(fault_plan),
+                ..ShardConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -567,5 +943,205 @@ mod tests {
         // Jobs 0 and 2 belong to shard 0; job 1 to shard 1.
         assert_eq!(stats.per_shard[0].max_queue_depth, 2);
         assert_eq!(stats.per_shard[1].max_queue_depth, 1);
+    }
+
+    #[test]
+    fn killed_worker_is_restarted_and_its_slot_scheduled_inline() {
+        let plan = ControlFaultPlan::new(vec![SlotShard { slot: 0, shard: 1 }], vec![], vec![]);
+        let mut p = sharded_with_plan(2, plan);
+        let vms = fleet(&[4.0, 4.0]);
+        let pending = vec![job(0, 1.0), job(1, 1.0)];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let got = p.provision(&ctx);
+        // Both jobs place: shard 0 via its worker, shard 1 inline.
+        assert_eq!(got.placements.len(), 2, "{got:?}");
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.worker_kills, 1, "{stats:?}");
+        assert_eq!(stats.worker_restarts, 1, "{stats:?}");
+        assert_eq!(stats.inline_slots, 1, "{stats:?}");
+        assert_eq!(stats.per_shard[1].restarts, 1);
+        assert_eq!(stats.per_shard[1].inline_slots, 1);
+        // The restarted worker serves the next slot normally.
+        let ctx2 = SlotContext {
+            slot: 1,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let again = p.provision(&ctx2);
+        assert_eq!(again.placements.len(), 2, "{again:?}");
+        assert_eq!(p.control_plane_stats().unwrap().inline_slots, 1);
+        assert!(p.errors().is_empty(), "recovered without typed errors");
+    }
+
+    #[test]
+    fn panicking_worker_is_caught_restarted_and_replaced_inline() {
+        /// Panics the first time it is asked to provision; fine after a
+        /// factory rebuild (the panic trigger is per-instance state).
+        struct PanicOnce {
+            armed: bool,
+        }
+        impl Provisioner for PanicOnce {
+            fn name(&self) -> &str {
+                "panic-once"
+            }
+            fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
+                if self.armed && ctx.slot == 0 {
+                    panic!("injected pipeline panic");
+                }
+                let mut inner = StaticPeakProvisioner;
+                inner.provision(ctx)
+            }
+        }
+        // Only the factory's first product is armed: the rebuilt instance
+        // behaves, proving recovery rather than a crash loop.
+        let factories: Vec<ProvisionerFactory> = {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let calls = std::sync::Arc::new(AtomicUsize::new(0));
+            vec![
+                Box::new(|| Box::new(StaticPeakProvisioner) as _),
+                Box::new(move || {
+                    let n = calls.fetch_add(1, Ordering::SeqCst);
+                    Box::new(PanicOnce { armed: n == 0 }) as _
+                }),
+            ]
+        };
+        let mut p =
+            ShardedProvisioner::with_factories("static-peak", factories, ShardConfig::default());
+        let vms = fleet(&[4.0, 4.0]);
+        let pending = vec![job(0, 1.0), job(1, 1.0)];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let got = p.provision(&ctx);
+        assert_eq!(got.placements.len(), 2, "inline covers the panic: {got:?}");
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.worker_panics, 1, "{stats:?}");
+        assert_eq!(stats.worker_restarts, 1, "{stats:?}");
+        // Next slot, the rebuilt worker answers for itself.
+        let ctx2 = SlotContext {
+            slot: 1,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let again = p.provision(&ctx2);
+        assert_eq!(again.placements.len(), 2, "{again:?}");
+        assert_eq!(p.control_plane_stats().unwrap().inline_slots, 1);
+    }
+
+    #[test]
+    fn dropped_requests_and_delayed_replies_fall_back_inline() {
+        let plan = ControlFaultPlan::new(
+            vec![],
+            vec![SlotShard { slot: 0, shard: 0 }],
+            vec![SlotShard { slot: 1, shard: 1 }],
+        );
+        let mut p = sharded_with_plan(2, plan);
+        let vms = fleet(&[4.0, 4.0]);
+        let pending = vec![job(0, 1.0), job(1, 1.0)];
+        for slot in 0..3u64 {
+            let ctx = SlotContext {
+                slot,
+                vms: &vms,
+                pending: &pending,
+                max_vm_capacity: rv(4.0),
+            };
+            let got = p.provision(&ctx);
+            assert_eq!(got.placements.len(), 2, "slot {slot}: {got:?}");
+        }
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.messages_dropped, 1, "{stats:?}");
+        assert_eq!(stats.messages_delayed, 1, "{stats:?}");
+        assert_eq!(stats.inline_slots, 2, "{stats:?}");
+        // Neither fault killed the worker: no restarts, and the stale
+        // delayed reply was discarded by its slot tag, not misapplied.
+        assert_eq!(stats.worker_restarts, 0, "{stats:?}");
+        assert!(p.errors().is_empty());
+    }
+
+    #[test]
+    fn factoryless_worker_death_degrades_to_permanent_inline() {
+        let plan = ControlFaultPlan::new(vec![SlotShard { slot: 0, shard: 0 }], vec![], vec![]);
+        let inners: Vec<Box<dyn Provisioner + Send>> = (0..2)
+            .map(|_| Box::new(StaticPeakProvisioner) as _)
+            .collect();
+        let mut p = ShardedProvisioner::new(
+            "static-peak",
+            inners,
+            ShardConfig {
+                fault_plan: Some(plan),
+                ..ShardConfig::default()
+            },
+        );
+        let vms = fleet(&[4.0, 4.0]);
+        let pending = vec![job(0, 1.0), job(1, 1.0)];
+        for slot in 0..3u64 {
+            let ctx = SlotContext {
+                slot,
+                vms: &vms,
+                pending: &pending,
+                max_vm_capacity: rv(4.0),
+            };
+            let got = p.provision(&ctx);
+            assert_eq!(got.placements.len(), 2, "slot {slot}: {got:?}");
+        }
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.worker_kills, 1);
+        assert_eq!(stats.worker_restarts, 0, "no factory, no rebirth");
+        assert_eq!(stats.inline_slots, 3, "shard 0 inline every slot");
+        assert_eq!(
+            p.errors(),
+            &[ClusterError::WorkerUnrecoverable { shard: 0 }],
+            "typed error recorded exactly once"
+        );
+    }
+
+    #[test]
+    fn nonfinite_proposals_are_refused_in_arbitration() {
+        /// Proposes a NaN allocation for every pending job.
+        struct NanPlacer;
+        impl Provisioner for NanPlacer {
+            fn name(&self) -> &str {
+                "nan-placer"
+            }
+            fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
+                let mut plan = ProvisionPlan::default();
+                for j in ctx.pending {
+                    plan.placements.push(Placement {
+                        job: j.id,
+                        vm: 0,
+                        allocation: ResourceVector::splat(f64::NAN),
+                    });
+                }
+                plan
+            }
+        }
+        let mut p = ShardedProvisioner::new(
+            "nan",
+            vec![Box::new(NanPlacer) as _],
+            ShardConfig::default(),
+        );
+        let vms = fleet(&[4.0]);
+        let pending = vec![job(0, 1.0)];
+        let ctx = SlotContext {
+            slot: 0,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let got = p.provision(&ctx);
+        assert!(got.placements.is_empty(), "{got:?}");
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.per_shard[0].aborts, 1, "{stats:?}");
+        assert!(p.store().unwrap().holds_invariants(1e-9));
     }
 }

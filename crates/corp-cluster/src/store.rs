@@ -138,6 +138,60 @@ impl PlacementStore {
         }
     }
 
+    /// [`begin_slot`](Self::begin_slot) that also re-bases per-VM
+    /// capacities — required under fault injection, where a crashed VM's
+    /// view capacity drops to zero and rejoins at nominal on recovery.
+    /// With unchanged capacities this is exactly `begin_slot`.
+    ///
+    /// # Panics
+    ///
+    /// If `capacities` or `committed` has a different length than the
+    /// fleet.
+    pub fn begin_slot_full(&self, capacities: &[ResourceVector], committed: &[ResourceVector]) {
+        {
+            let mut inner = self.inner.lock();
+            assert_eq!(
+                inner.vms.len(),
+                capacities.len(),
+                "fleet size changed mid-run"
+            );
+            for (ledger, &cap) in inner.vms.iter_mut().zip(capacities) {
+                ledger.capacity = cap;
+            }
+        }
+        self.begin_slot(committed);
+    }
+
+    /// Sets one VM's capacity mid-slot — the crash/recovery primitive. If
+    /// the new capacity no longer covers the VM's commitments and open
+    /// holds (a crash), the durable commitments are wiped (they died with
+    /// the VM) and every open hold on it is aborted, so the no-overcommit
+    /// invariant holds by construction. Returns `false` for an unknown VM.
+    pub fn set_capacity(&self, vm: usize, capacity: ResourceVector) -> bool {
+        let mut inner = self.inner.lock();
+        if vm >= inner.vms.len() {
+            return false;
+        }
+        inner.vms[vm].capacity = capacity;
+        let ledger = &inner.vms[vm];
+        if (ledger.committed + ledger.reserved).fits_within(&capacity) {
+            return true;
+        }
+        inner.vms[vm].committed = ResourceVector::ZERO;
+        inner.vms[vm].reserved = ResourceVector::ZERO;
+        let stale: Vec<u64> = inner
+            .open
+            .iter()
+            .filter(|(_, r)| r.vm == vm)
+            .map(|(&id, _)| id)
+            .collect();
+        inner.counters.aborts += stale.len() as u64;
+        for id in stale {
+            inner.open.remove(&id);
+        }
+        true
+    }
+
     /// Phase 1: holds `amount` on `vm` for `shard`. Admitted only if the
     /// VM's durable commitments plus all open holds still leave room.
     pub fn reserve(
@@ -343,6 +397,38 @@ mod tests {
         assert!(!store.adjust(0, rv(1.0, 2.0, 2.0), rv(9.0, 2.0, 2.0)));
         assert_eq!(store.counters().conflicts, 1);
         assert!(store.holds_invariants(1e-9));
+    }
+
+    #[test]
+    fn begin_slot_full_rebases_capacities() {
+        let store = store_one_vm();
+        // The VM crashed: zero capacity, nothing committed.
+        store.begin_slot_full(&[ResourceVector::ZERO], &[ResourceVector::ZERO]);
+        assert_eq!(
+            store.reserve(0, 0, rv(1.0, 1.0, 1.0)),
+            Err(ReserveError::Conflict)
+        );
+        // Recovery restores nominal capacity.
+        store.begin_slot_full(&[rv(4.0, 16.0, 180.0)], &[ResourceVector::ZERO]);
+        assert!(store.reserve(0, 0, rv(1.0, 1.0, 1.0)).is_ok());
+        assert!(store.holds_invariants(1e-9));
+    }
+
+    #[test]
+    fn set_capacity_crash_wipes_commitments_and_aborts_holds() {
+        let store = store_one_vm();
+        let committed = store.reserve(0, 0, rv(2.0, 2.0, 2.0)).unwrap();
+        store.confirm(committed).unwrap();
+        let open = store.reserve(0, 0, rv(1.0, 1.0, 1.0)).unwrap();
+        // Crash: zero capacity can no longer cover the ledger.
+        assert!(store.set_capacity(0, ResourceVector::ZERO));
+        assert!(store.holds_invariants(1e-9));
+        assert_eq!(store.outstanding(), 0, "open hold died with the VM");
+        assert_eq!(store.confirm(open), Err(TxnError::UnknownReservation));
+        // Recovery on an emptied ledger changes nothing but capacity.
+        assert!(store.set_capacity(0, rv(4.0, 16.0, 180.0)));
+        assert_eq!(store.free(0).unwrap(), rv(4.0, 16.0, 180.0));
+        assert!(!store.set_capacity(7, ResourceVector::ZERO), "unknown VM");
     }
 
     #[test]

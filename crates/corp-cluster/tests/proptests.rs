@@ -8,9 +8,15 @@
 //! a racing-threads property checks the same invariants hold under real
 //! concurrency.
 
-use corp_cluster::{PlacementStore, ReservationId};
-use corp_sim::ResourceVector;
+use corp_cluster::{
+    PlacementStore, ProvisionerFactory, ReservationId, ShardConfig, ShardedProvisioner,
+};
+use corp_faults::{ControlFaultPlan, SlotShard};
+use corp_sim::{
+    PendingJobView, Provisioner, ResourceVector, SlotContext, StaticPeakProvisioner, VmView,
+};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 const VMS: usize = 4;
 const CAPACITY: f64 = 4.0;
@@ -133,5 +139,144 @@ proptest! {
         prop_assert!(store.reserve(0, 0, ResourceVector::splat(request)).is_err());
         prop_assert_eq!(store.free(0).expect("vm 0 exists"), before);
         prop_assert_eq!(store.counters().conflicts, 1);
+    }
+
+    #[test]
+    fn crash_recovery_interleavings_preserve_invariants(
+        ops in prop::collection::vec((0usize..5, 0usize..VMS, 0.0f64..3.0), 1..150),
+    ) {
+        // Crashes (capacity -> zero) wipe a VM's commitments and abort its
+        // open holds; recoveries restore nominal capacity. Under arbitrary
+        // interleavings with reserve/confirm/abort the ledger must never
+        // overcommit, and every admitted reservation must still resolve
+        // exactly once — whether by the shard or by the crash itself.
+        let store = store();
+        let mut open: Vec<ReservationId> = Vec::new();
+        for &(kind, vm, amt) in &ops {
+            match kind {
+                0 => {
+                    if let Ok(id) = store.reserve(0, vm, ResourceVector::splat(amt)) {
+                        open.push(id);
+                    }
+                }
+                // A crash may already have aborted a tracked hold, so
+                // confirm/abort answering UnknownReservation is legitimate
+                // here (and counts nothing twice).
+                1 => {
+                    if !open.is_empty() {
+                        let _ = store.confirm(open.remove(0));
+                    }
+                }
+                2 => {
+                    if let Some(id) = open.pop() {
+                        let _ = store.abort(id);
+                    }
+                }
+                3 => {
+                    store.set_capacity(vm, ResourceVector::ZERO);
+                }
+                _ => {
+                    store.set_capacity(vm, ResourceVector::splat(CAPACITY));
+                }
+            }
+            prop_assert!(store.holds_invariants(EPS), "invariant broken mid-sequence");
+        }
+        for id in open.drain(..) {
+            let _ = store.abort(id);
+        }
+        prop_assert_eq!(store.outstanding(), 0);
+        prop_assert!(store.holds_invariants(EPS));
+        let c = store.counters();
+        prop_assert_eq!(
+            c.commits + c.aborts, c.reservations,
+            "crash-aborted holds still resolve exactly once"
+        );
+    }
+
+    #[test]
+    fn shard_kills_never_lose_or_duplicate_pending_jobs(
+        kills in prop::collection::vec((0u64..6, 0usize..3), 0..10),
+        num_jobs in 1usize..10,
+    ) {
+        // Killing a shard worker mid-run must not lose a pending job (its
+        // slot falls back to inline scheduling, or the job stays pending
+        // for the restarted worker) and must never place one twice.
+        const SHARDS: usize = 3;
+        const FLEET: usize = 4;
+        let cap = ResourceVector::splat(100.0);
+        let plan = ControlFaultPlan::new(
+            kills
+                .iter()
+                .map(|&(slot, shard)| SlotShard { slot, shard })
+                .collect(),
+            vec![],
+            vec![],
+        );
+        let factories: Vec<ProvisionerFactory> = (0..SHARDS)
+            .map(|_| {
+                Box::new(|| Box::new(StaticPeakProvisioner) as Box<dyn Provisioner + Send>) as _
+            })
+            .collect();
+        let mut p = ShardedProvisioner::with_factories(
+            "static-peak",
+            factories,
+            ShardConfig {
+                fault_plan: Some(plan),
+                ..ShardConfig::default()
+            },
+        );
+        let mut committed = [ResourceVector::ZERO; FLEET];
+        let mut pending: Vec<u64> = (0..num_jobs as u64).collect();
+        let mut placed: HashMap<u64, usize> = HashMap::new();
+        for slot in 0..8u64 {
+            let vms: Vec<VmView> = committed
+                .iter()
+                .enumerate()
+                .map(|(id, &c)| VmView {
+                    id,
+                    capacity: cap,
+                    committed: c,
+                    free: cap.saturating_sub(&c),
+                    jobs: vec![],
+                    unused_history: vec![],
+                })
+                .collect();
+            let views: Vec<PendingJobView> = pending
+                .iter()
+                .map(|&id| PendingJobView {
+                    id,
+                    requested: ResourceVector::splat(1.0),
+                    arrival_slot: 0,
+                    slo_slots: 10,
+                })
+                .collect();
+            let ctx = SlotContext {
+                slot,
+                vms: &vms,
+                pending: &views,
+                max_vm_capacity: cap,
+            };
+            let slot_plan = p.provision(&ctx);
+            for pl in &slot_plan.placements {
+                *placed.entry(pl.job).or_insert(0) += 1;
+                prop_assert!(
+                    pending.contains(&pl.job),
+                    "placed job {} that was not pending", pl.job
+                );
+                pending.retain(|&j| j != pl.job);
+                committed[pl.vm] += pl.allocation;
+                prop_assert!(
+                    committed[pl.vm].fits_within(&cap),
+                    "placement overcommitted vm {}", pl.vm
+                );
+            }
+            if let Some(store) = p.store() {
+                prop_assert!(store.holds_invariants(EPS));
+            }
+        }
+        prop_assert!(pending.is_empty(), "jobs lost under shard kills: {:?}", pending);
+        for (&job, &count) in &placed {
+            prop_assert_eq!(count, 1, "job {} placed {} times", job, count);
+        }
     }
 }

@@ -21,6 +21,14 @@
 use crate::config::CorpConfig;
 use crate::scheduler::{CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner};
 use corp_sim::Provisioner;
+use std::sync::Arc;
+
+/// A closure rebuilding one shard's scheduler pipeline from scratch —
+/// structurally identical to the sharded coordinator's
+/// `ProvisionerFactory`, so `*_factories` fleets plug straight into
+/// supervised (restartable) control planes. Factories are deterministic:
+/// every invocation yields the same freshly-initialized pipeline.
+pub type ShardFactory = Box<dyn Fn() -> Box<dyn Provisioner + Send> + Send>;
 
 /// Golden-ratio stride (2^64 / phi), the usual odd constant for
 /// decorrelating seed sequences.
@@ -78,6 +86,66 @@ pub fn dra_fleet(seed: u64, shards: usize) -> Vec<Box<dyn Provisioner + Send>> {
     (0..shards)
         .map(|shard| {
             Box::new(DraProvisioner::new(shard_seed(seed, shard))) as Box<dyn Provisioner + Send>
+        })
+        .collect()
+}
+
+/// Factory form of [`corp_fleet`]: each factory rebuilds its shard's
+/// pretrained CORP pipeline (the pretraining corpus is shared and
+/// immutable, so a restarted shard bootstraps exactly like the original
+/// did — only its online learning since the crash is lost).
+pub fn corp_factories(
+    config: &CorpConfig,
+    histories_per_resource: &[Vec<Vec<f64>>],
+    shards: usize,
+) -> Vec<ShardFactory> {
+    let histories = Arc::new(histories_per_resource.to_vec());
+    (0..shards)
+        .map(|shard| {
+            let cfg = CorpConfig {
+                seed: shard_seed(config.seed, shard),
+                ..config.clone()
+            };
+            let histories = Arc::clone(&histories);
+            Box::new(move || {
+                let mut p = CorpProvisioner::new(cfg.clone());
+                p.pretrain(&histories);
+                Box::new(p) as Box<dyn Provisioner + Send>
+            }) as ShardFactory
+        })
+        .collect()
+}
+
+/// Factory form of [`rccr_fleet`].
+pub fn rccr_factories(confidence: f64, seed: u64, shards: usize) -> Vec<ShardFactory> {
+    (0..shards)
+        .map(|shard| {
+            let s = shard_seed(seed, shard);
+            Box::new(move || {
+                Box::new(RccrProvisioner::new(confidence, s)) as Box<dyn Provisioner + Send>
+            }) as ShardFactory
+        })
+        .collect()
+}
+
+/// Factory form of [`cloudscale_fleet`].
+pub fn cloudscale_factories(seed: u64, shards: usize) -> Vec<ShardFactory> {
+    (0..shards)
+        .map(|shard| {
+            let s = shard_seed(seed, shard);
+            Box::new(move || Box::new(CloudScaleProvisioner::new(s)) as Box<dyn Provisioner + Send>)
+                as ShardFactory
+        })
+        .collect()
+}
+
+/// Factory form of [`dra_fleet`].
+pub fn dra_factories(seed: u64, shards: usize) -> Vec<ShardFactory> {
+    (0..shards)
+        .map(|shard| {
+            let s = shard_seed(seed, shard);
+            Box::new(move || Box::new(DraProvisioner::new(s)) as Box<dyn Provisioner + Send>)
+                as ShardFactory
         })
         .collect()
 }

@@ -53,9 +53,14 @@ pub mod scheduler;
 
 pub use config::CorpConfig;
 pub use cooperative::CooperativeProvisioner;
-pub use fleet::{cloudscale_fleet, corp_fleet, dra_fleet, rccr_fleet, shard_seed};
+pub use fleet::{
+    cloudscale_factories, cloudscale_fleet, corp_factories, corp_fleet, dra_factories, dra_fleet,
+    rccr_factories, rccr_fleet, shard_seed, ShardFactory,
+};
 pub use packing::{deviation_score, pack_complementary, JobEntity, PackableJob};
 pub use placement::{most_matched_vm, random_fitting_vm};
-pub use predictor::{CloudScalePredictor, CorpJobPredictor, DraPredictor, RccrPredictor};
+pub use predictor::{
+    CloudScalePredictor, CorpJobPredictor, DraPredictor, FallbackCounters, RccrPredictor,
+};
 pub use preemption::PreemptionGate;
 pub use scheduler::{CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner};

@@ -24,8 +24,45 @@ use crate::preemption::PreemptionGate;
 use corp_dnn::UnusedResourcePredictor;
 use corp_hmm::FluctuationPredictor;
 use corp_sim::ResourceVector;
-use corp_stats::z_for_confidence;
+use corp_stats::{z_for_confidence, SimpleExp};
 use corp_trace::NUM_RESOURCES;
+use serde::{Deserialize, Serialize};
+
+/// Scale-normalized `sigma_hat` above which the DNN's error window is
+/// considered blown up and the pipeline degrades. Healthy errors are
+/// fractions of the job's request (O(1) after normalization); a σ this
+/// large only arises when poisoned outcomes or a diverged network flood
+/// the window.
+const SIGMA_BLOWUP: f64 = 10.0;
+
+/// Smoothing factor for the ETS fallback rung (matches the RCCR
+/// baseline's smoothing, a deliberately boring estimator).
+const FALLBACK_ETS_ALPHA: f64 = 0.5;
+
+/// How often each rung of the prediction fallback ladder fired.
+///
+/// Rung 0 (the full DNN + HMM + CI pipeline) is the normal path and is
+/// not counted; every counter here is a degradation event. In a
+/// fault-free run all counters stay zero.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FallbackCounters {
+    /// Predictions where the DNN path was rejected (non-finite input
+    /// series, blown-up or non-finite `sigma_hat`, or non-finite output).
+    pub dnn_rejected: u64,
+    /// Rung 1 servings: HMM-corrected persistence on the last finite value.
+    pub hmm_last_value: u64,
+    /// Rung 2 servings: exponential smoothing over the finite subset.
+    pub ets: u64,
+    /// Rung 3 servings: no finite evidence at all, predicted 0.0 (claim
+    /// nothing).
+    pub zero: u64,
+    /// Resolved outcomes discarded because actual or predicted was
+    /// non-finite (poisoned telemetry kept out of the gate's evidence).
+    pub poisoned_outcomes: u64,
+    /// Completed-job histories refused by the training corpus for
+    /// containing non-finite samples.
+    pub poisoned_histories: u64,
+}
 
 /// The full DNN + HMM + confidence-interval prediction pipeline.
 pub struct CorpJobPredictor {
@@ -43,6 +80,7 @@ pub struct CorpJobPredictor {
     /// proportional to the job it corrects.
     gate: PreemptionGate,
     trained: bool,
+    fallbacks: FallbackCounters,
 }
 
 impl std::fmt::Debug for CorpJobPredictor {
@@ -84,6 +122,7 @@ impl CorpJobPredictor {
                 config.prob_threshold,
             ),
             trained: false,
+            fallbacks: FallbackCounters::default(),
         }
     }
 
@@ -93,12 +132,19 @@ impl CorpJobPredictor {
     }
 
     /// Adds one completed job's per-resource unused histories to the
-    /// training corpus.
+    /// training corpus. Histories carrying non-finite samples (poisoned
+    /// telemetry) are refused whole — one NaN in the corpus would spread
+    /// through every gradient of the next training pass.
     pub fn add_history(&mut self, histories: &[Vec<f64>]) {
         for (k, h) in histories.iter().enumerate().take(NUM_RESOURCES) {
-            if h.len() >= 2 {
-                self.corpus[k].push(h.clone());
+            if h.len() < 2 {
+                continue;
             }
+            if h.iter().any(|v| !v.is_finite()) {
+                self.fallbacks.poisoned_histories += 1;
+                continue;
+            }
+            self.corpus[k].push(h.clone());
         }
     }
 
@@ -211,25 +257,73 @@ impl CorpJobPredictor {
     /// One resource's full pipeline: DNN -> HMM correction -> CI lower
     /// bound (with sigma_hat rescaled to the job's size), clamped
     /// non-negative.
+    ///
+    /// The DNN path is served only while it is healthy: finite input
+    /// series, finite and non-blown-up `sigma_hat`, finite output.
+    /// Otherwise the prediction degrades down the fallback ladder
+    /// ([`fallback_estimate`](Self::fallback_estimate)) instead of
+    /// emitting a poisoned number.
     fn predict_resource(&mut self, k: usize, series: &[f64], scale: f64) -> f64 {
-        // Step 1: DNN prediction (persistence fallback if untrained).
-        let mut u_hat = self.dnn[k].predict(series);
-        // Step 2: HMM peak/valley correction.
-        if self.use_hmm {
-            u_hat = self.hmm[k].adjust(u_hat, series);
+        let sigma = self.gate.sigma_hat(k);
+        let healthy =
+            series.iter().all(|v| v.is_finite()) && sigma.is_finite() && sigma <= SIGMA_BLOWUP;
+        if healthy {
+            // Step 1: DNN prediction (persistence fallback if untrained).
+            let mut u_hat = self.dnn[k].predict(series);
+            // Step 2: HMM peak/valley correction.
+            if self.use_hmm {
+                u_hat = self.hmm[k].adjust(u_hat, series);
+            }
+            // Step 3: confidence-interval lower bound (Eq. 19), on the
+            // job's own scale.
+            if self.use_ci {
+                u_hat -= sigma * self.confidence_z * scale;
+            }
+            if u_hat.is_finite() {
+                return u_hat.max(0.0);
+            }
         }
-        // Step 3: confidence-interval lower bound (Eq. 19), on the job's
-        // own scale.
-        if self.use_ci {
-            u_hat -= self.gate.sigma_hat(k) * self.confidence_z * scale;
+        self.fallbacks.dnn_rejected += 1;
+        self.fallback_estimate(k, series)
+    }
+
+    /// Degraded prediction rungs, used when the DNN path is rejected:
+    ///
+    /// 1. HMM-corrected persistence on the last finite sample — keeps the
+    ///    paper's fluctuation correction even while the DNN is sick;
+    /// 2. exponential smoothing over the finite subset of the series;
+    /// 3. 0.0 — with no finite evidence, claim no unused resource (the
+    ///    conservative end: nothing is reclaimed on a blind prediction).
+    fn fallback_estimate(&mut self, k: usize, series: &[f64]) -> f64 {
+        let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+        if let Some(&last) = finite.last() {
+            let adjusted = if self.use_hmm {
+                self.hmm[k].adjust(last, &finite)
+            } else {
+                last
+            };
+            if adjusted.is_finite() {
+                self.fallbacks.hmm_last_value += 1;
+                return adjusted.max(0.0);
+            }
+            let mut ets = SimpleExp::new(FALLBACK_ETS_ALPHA);
+            ets.observe_all(&finite);
+            if let Some(forecast) = ets.forecast(1).filter(|f| f.is_finite()) {
+                self.fallbacks.ets += 1;
+                return forecast.max(0.0);
+            }
         }
-        u_hat.max(0.0)
+        self.fallbacks.zero += 1;
+        0.0
     }
 
     /// Records a resolved prediction for resource `k` (drives both
     /// `sigma_hat` and the Eq. 21 gate). `scale` is the requested amount of
     /// the resource for the job the prediction concerned; errors are
-    /// normalized by it before entering the evidence window.
+    /// normalized by it before entering the evidence window. Non-finite
+    /// outcomes (poisoned telemetry) are discarded — one NaN in the
+    /// evidence window would wedge `sigma_hat` at NaN and lock the gate
+    /// forever.
     pub fn record_outcome_scaled(
         &mut self,
         resource: usize,
@@ -237,6 +331,10 @@ impl CorpJobPredictor {
         predicted: f64,
         scale: f64,
     ) {
+        if !actual.is_finite() || !predicted.is_finite() || !scale.is_finite() {
+            self.fallbacks.poisoned_outcomes += 1;
+            return;
+        }
         let s = scale.max(1e-9);
         self.gate.record(resource, actual / s, predicted / s);
     }
@@ -250,6 +348,12 @@ impl CorpJobPredictor {
     /// The preemption gate (diagnostics).
     pub fn gate(&self) -> &PreemptionGate {
         &self.gate
+    }
+
+    /// How often each degraded prediction rung fired (all zero in a
+    /// fault-free run).
+    pub fn fallbacks(&self) -> &FallbackCounters {
+        &self.fallbacks
     }
 }
 
@@ -371,6 +475,70 @@ mod tests {
             &ResourceVector::new([10.0, 10.0, 10.0]),
         );
         assert_eq!(out, ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn nan_series_degrades_to_a_finite_fallback() {
+        let mut p = fast_predictor();
+        let recent = vec![vec![4.0, f64::NAN], vec![f64::NAN], vec![2.0, 2.0]];
+        let out = p.predict_job(&recent, &ResourceVector::new([10.0, 10.0, 10.0]));
+        for k in 0..NUM_RESOURCES {
+            assert!(out[k].is_finite(), "resource {k}: {}", out[k]);
+            assert!(out[k] >= 0.0);
+        }
+        let f = p.fallbacks();
+        assert_eq!(f.dnn_rejected, 2, "resources 0 and 1 were poisoned");
+        // Resource 0 still has a finite sample to persist from; resource 1
+        // has nothing and predicts zero (claims no unused resource).
+        assert_eq!(f.hmm_last_value, 1, "{f:?}");
+        assert_eq!(f.zero, 1, "{f:?}");
+        assert!((out[1] - 0.0).abs() < 1e-12);
+        // Resource 2 took the normal path: exact persistence.
+        assert!((out[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_blowup_degrades_instead_of_an_absurd_ci() {
+        let mut p = fast_predictor();
+        // Wild finite outcomes blow the normalized error window far past
+        // any sane spread.
+        for i in 0..20 {
+            let (a, pr) = if i % 2 == 0 { (1e6, 0.0) } else { (0.0, 1e6) };
+            p.record_outcome_scaled(0, a, pr, 1.0);
+        }
+        let recent = vec![vec![4.0, 4.0], vec![4.0, 4.0], vec![4.0, 4.0]];
+        let out = p.predict_job(&recent, &ResourceVector::new([10.0, 10.0, 10.0]));
+        assert!(out[0].is_finite());
+        assert!(p.fallbacks().dnn_rejected >= 1, "{:?}", p.fallbacks());
+        // The unpoisoned resources still take the exact normal path.
+        assert!((out[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisoned_outcomes_are_kept_out_of_the_gate() {
+        let mut p = fast_predictor();
+        p.record_outcome_scaled(0, f64::NAN, 5.0, 10.0);
+        p.record_outcome_scaled(0, 5.0, f64::INFINITY, 10.0);
+        assert_eq!(p.fallbacks().poisoned_outcomes, 2);
+        assert_eq!(p.gate().samples(0), 0, "no NaN entered the window");
+        // Clean evidence afterwards still unlocks the gate: the poison did
+        // not wedge sigma_hat.
+        for _ in 0..70 {
+            p.record_outcome_scaled(0, 5.05, 5.0, 10.0);
+        }
+        assert!(p.unlocked(0));
+    }
+
+    #[test]
+    fn poisoned_histories_are_refused_by_the_corpus() {
+        let mut p = fast_predictor();
+        let bad = vec![1.0, f64::NAN, 1.0];
+        let good = vec![1.0, 1.0, 1.0];
+        p.add_history(&[bad, good.clone(), good]);
+        assert_eq!(p.fallbacks().poisoned_histories, 1);
+        // Only the finite histories were admitted.
+        assert_eq!(p.corpus[0].len(), 0);
+        assert_eq!(p.corpus[1].len(), 1);
     }
 
     #[test]

@@ -42,8 +42,13 @@ impl PreemptionGate {
         }
     }
 
-    /// Records one resolved prediction for `resource`.
+    /// Records one resolved prediction for `resource`. Non-finite samples
+    /// are ignored: one NaN in the window would wedge `sigma_hat` (and
+    /// with it every subsequent gate decision) at NaN.
     pub fn record(&mut self, resource: usize, actual_unused: f64, predicted_unused: f64) {
+        if !actual_unused.is_finite() || !predicted_unused.is_finite() {
+            return;
+        }
         self.trackers[resource].record(actual_unused, predicted_unused);
     }
 

@@ -87,7 +87,12 @@ fn resolve_window_outcomes(
                     }
                     mean = mean.scaled(1.0 / n as f64);
                     for k in 0..NUM_RESOURCES {
-                        record(k, mean[k], predicted[k]);
+                        // Poisoned telemetry in the window makes the mean
+                        // non-finite; discard rather than feed the error
+                        // trackers a NaN they can never recover from.
+                        if mean[k].is_finite() && predicted[k].is_finite() {
+                            record(k, mean[k], predicted[k]);
+                        }
                     }
                 }
             }
@@ -309,13 +314,23 @@ impl Provisioner for CorpProvisioner {
                     // it, so the floor itself stays level-based — this is
                     // what makes the confidence level the knob that trades
                     // SLO risk for utilization (paper Figs. 8/9).
+                    // Poisoned samples are excluded per component; the
+                    // all-finite arithmetic is unchanged.
                     let window_len = self.config.window_slots.min(job.recent_demand.len());
                     let mut recent_mean = ResourceVector::ZERO;
+                    let mut finite_counts = [0usize; NUM_RESOURCES];
                     for d in &job.recent_demand[job.recent_demand.len() - window_len..] {
-                        recent_mean += *d;
+                        for k in 0..NUM_RESOURCES {
+                            if d[k].is_finite() {
+                                recent_mean[k] += d[k];
+                                finite_counts[k] += 1;
+                            }
+                        }
                     }
-                    if window_len > 0 {
-                        recent_mean = recent_mean.scaled(1.0 / window_len as f64);
+                    for k in 0..NUM_RESOURCES {
+                        if finite_counts[k] > 0 {
+                            recent_mean[k] *= 1.0 / finite_counts[k] as f64;
+                        }
                     }
 
                     let mut new_alloc = job.allocation;
@@ -429,11 +444,19 @@ fn baseline_reclaim(
         total_alloc += job.allocation;
     }
     for job in &vm.jobs {
-        let last_d = job
+        let mut last_d = job
             .recent_demand
             .last()
             .copied()
             .unwrap_or(ResourceVector::ZERO);
+        for k in 0..NUM_RESOURCES {
+            // A poisoned demand sample would turn the floor (and then the
+            // adjustment) non-finite; holding the current allocation is
+            // the neutral stand-in.
+            if !last_d[k].is_finite() {
+                last_d[k] = job.allocation[k];
+            }
+        }
         let mut new_alloc = job.allocation;
         for k in 0..NUM_RESOURCES {
             let share = if total_alloc[k] > 0.0 {
@@ -486,7 +509,9 @@ impl Provisioner for RccrProvisioner {
 
         // Feed the newest observation per VM.
         for vm in ctx.vms {
-            if let Some(u) = vm.unused_history.last() {
+            // Poisoned slots are skipped: the smoother holds its previous
+            // state rather than absorbing a NaN it can never flush.
+            if let Some(u) = vm.unused_history.last().filter(|u| u.is_finite()) {
                 self.predictor.observe(vm.id, u);
             }
         }
@@ -569,7 +594,9 @@ impl Provisioner for CloudScaleProvisioner {
             );
         }
         for vm in ctx.vms {
-            if let Some(u) = vm.unused_history.last() {
+            // Poisoned slots are skipped: the smoother holds its previous
+            // state rather than absorbing a NaN it can never flush.
+            if let Some(u) = vm.unused_history.last().filter(|u| u.is_finite()) {
                 self.predictor.observe(vm.id, u);
             }
         }
@@ -691,7 +718,9 @@ impl Provisioner for DraProvisioner {
     fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
         let mut plan = ProvisionPlan::default();
         for vm in ctx.vms {
-            if let Some(u) = vm.unused_history.last() {
+            // Poisoned slots are skipped: the smoother holds its previous
+            // state rather than absorbing a NaN it can never flush.
+            if let Some(u) = vm.unused_history.last().filter(|u| u.is_finite()) {
                 self.predictor.observe(vm.id, u);
             }
         }

@@ -1,0 +1,89 @@
+//! Knobs describing how much chaos to generate.
+
+use serde::{Deserialize, Serialize};
+
+/// Expected fault counts over a run, scaled into a concrete schedule by
+/// [`generate`](crate::generate).
+///
+/// Counts are *expectations across the whole fleet over the horizon*, not
+/// per-VM rates: `expected_crashes = 6.0` means about six crash windows
+/// will be drawn regardless of fleet size, so sweeps stay comparable
+/// across environments. Fractional parts are resolved by one seeded coin
+/// flip, keeping the expansion deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed controlling every draw in the schedule expansion.
+    pub seed: u64,
+    /// Number of slots the schedule spans; events land in `[1, horizon)`.
+    pub horizon_slots: u64,
+    /// Expected VM crash windows over the horizon.
+    pub expected_crashes: f64,
+    /// Inclusive range of crash-window lengths in slots.
+    pub crash_duration: (u64, u64),
+    /// Expected straggler (degradation) windows over the horizon.
+    pub expected_degradations: f64,
+    /// Inclusive range of effective-capacity multipliers for stragglers.
+    pub degrade_factor: (f64, f64),
+    /// Inclusive range of degradation-window lengths in slots.
+    pub degrade_duration: (u64, u64),
+    /// Expected poisoned (VM, slot) monitoring views over the horizon.
+    pub expected_poisons: f64,
+    /// Fraction of poisons that inject NaN; the rest inject spikes.
+    pub nan_fraction: f64,
+    /// Multiplier used by spike poisons (`(|v| + 1) * spike_scale`).
+    pub spike_scale: f64,
+    /// Expected shard-worker kills over the horizon.
+    pub expected_shard_kills: f64,
+    /// Expected dropped provision requests over the horizon.
+    pub expected_request_drops: f64,
+    /// Expected delayed shard replies over the horizon.
+    pub expected_reply_delays: f64,
+}
+
+impl FaultConfig {
+    /// The default chaos scenario at a given `intensity` (`0.0` = no
+    /// faults, `1.0` = the baseline mix, `2.0` = twice as hostile). All
+    /// expected counts scale linearly with intensity; window lengths and
+    /// magnitudes stay fixed so sweeps vary *how often*, not *how bad*.
+    pub fn scenario(seed: u64, intensity: f64) -> Self {
+        let intensity = intensity.max(0.0);
+        Self {
+            seed,
+            horizon_slots: 400,
+            expected_crashes: 6.0 * intensity,
+            crash_duration: (20, 60),
+            expected_degradations: 8.0 * intensity,
+            degrade_factor: (0.3, 0.8),
+            degrade_duration: (15, 45),
+            expected_poisons: 30.0 * intensity,
+            nan_fraction: 0.5,
+            spike_scale: 50.0,
+            expected_shard_kills: 4.0 * intensity,
+            expected_request_drops: 6.0 * intensity,
+            expected_reply_delays: 6.0 * intensity,
+        }
+    }
+
+    /// A scenario with every expected count at zero: [`generate`]
+    /// (crate::generate) expands it to an empty schedule.
+    pub fn disabled(seed: u64) -> Self {
+        Self::scenario(seed, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_scales_counts_not_magnitudes() {
+        let one = FaultConfig::scenario(7, 1.0);
+        let two = FaultConfig::scenario(7, 2.0);
+        assert_eq!(two.expected_crashes, 2.0 * one.expected_crashes);
+        assert_eq!(two.crash_duration, one.crash_duration);
+        assert_eq!(two.spike_scale, one.spike_scale);
+        let off = FaultConfig::disabled(7);
+        assert_eq!(off.expected_crashes, 0.0);
+        assert_eq!(off.expected_reply_delays, 0.0);
+    }
+}

@@ -33,6 +33,11 @@ pub struct ShardStats {
     pub aborts: u64,
     /// Deepest pending-job queue this shard saw in any slot.
     pub max_queue_depth: usize,
+    /// Times this shard's worker was restarted after dying.
+    pub restarts: u64,
+    /// Slots where the coordinator scheduled this shard inline because no
+    /// worker plan arrived (dead worker, dropped request, or late reply).
+    pub inline_slots: u64,
 }
 
 /// Aggregate counters for a sharded control plane plus its shared store.
@@ -52,6 +57,22 @@ pub struct ControlPlaneStats {
     pub retries: u64,
     /// Deepest store-wide pending queue observed in any slot.
     pub max_queue_depth: usize,
+    /// Worker threads killed by the fault schedule.
+    pub worker_kills: u64,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: u64,
+    /// Workers restarted from their provisioner factories.
+    pub worker_restarts: u64,
+    /// Slots where the coordinator scheduled a shard inline for lack of a
+    /// worker plan.
+    pub inline_slots: u64,
+    /// Control-plane messages lost (scheduled request drops plus
+    /// completion notifications to dead workers).
+    pub messages_dropped: u64,
+    /// Shard replies delayed past their slot deadline by the schedule.
+    pub messages_delayed: u64,
+    /// Reply waits that tripped the real-time timeout safety net.
+    pub recv_timeouts: u64,
     /// Per-shard breakdowns, shard-index ordered.
     pub per_shard: Vec<ShardStats>,
 }
@@ -104,6 +125,7 @@ mod tests {
                 proposals: 5,
                 ..Default::default()
             }],
+            ..Default::default()
         };
         let json = serde::json::to_string(&stats);
         assert!(json.contains("\"per_shard\":[{\"shard\":0"), "{json}");

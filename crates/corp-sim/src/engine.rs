@@ -16,10 +16,12 @@
 //!   arrival (they could never run) and count as SLO violations.
 
 use crate::cluster::Cluster;
+use crate::faults::{corrupt_vector, FaultRuntime, FaultStats};
 use crate::job::{JobId, JobState, RunningJob};
 use crate::metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};
 use crate::provisioner::{PendingJobView, PredictionRecord, Provisioner, SlotContext, VmView};
 use crate::resources::ResourceVector;
+use corp_faults::{FaultEvent, FaultTimeline};
 use corp_trace::{JobSpec, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -88,9 +90,16 @@ pub struct SimulationReport {
     /// Dropped invalid plan actions (diagnostics; 0 for well-behaved
     /// provisioners).
     pub invalid_actions: usize,
+    /// Dropped non-finite (NaN/∞) action vectors — a subset of
+    /// `invalid_actions`, split out because they indicate a poisoned
+    /// pipeline rather than a mere capacity miss.
+    pub nonfinite_actions: usize,
     /// Control-plane counters when the run used a sharded multi-scheduler
     /// provisioner; `None` for monolithic schedulers.
     pub control_plane: Option<crate::control_plane::ControlPlaneStats>,
+    /// Fault-injection counters when the run carried a fault schedule;
+    /// `None` for fault-free runs.
+    pub faults: Option<FaultStats>,
 }
 
 /// The simulator.
@@ -105,6 +114,8 @@ pub struct Simulation {
     vm_unused_history: Vec<Vec<ResourceVector>>,
     pending_predictions: Vec<PredictionRecord>,
     invalid_actions: usize,
+    nonfinite_actions: usize,
+    faults: Option<FaultRuntime>,
 }
 
 impl Simulation {
@@ -129,7 +140,26 @@ impl Simulation {
             vm_unused_history: vec![Vec::new(); num_vms],
             pending_predictions: Vec::new(),
             invalid_actions: 0,
+            nonfinite_actions: 0,
+            faults: None,
         }
+    }
+
+    /// Builds a simulation that replays `timeline` alongside the workload:
+    /// VM crash/recovery windows, capacity degradation, and per-slot view
+    /// poisoning, all applied at deterministic slots. An empty timeline
+    /// behaves exactly like [`Simulation::new`] except that the report
+    /// carries zeroed [`FaultStats`] instead of `None`.
+    pub fn with_faults(
+        cluster: Cluster,
+        specs: Vec<JobSpec>,
+        options: SimulationOptions,
+        timeline: FaultTimeline,
+    ) -> Self {
+        let num_vms = cluster.vms.len();
+        let mut sim = Simulation::new(cluster, specs, options);
+        sim.faults = Some(FaultRuntime::new(timeline, num_vms));
+        sim
     }
 
     /// Read access to the metrics collected so far (or after `run`).
@@ -153,8 +183,52 @@ impl Simulation {
         let mut active = 0usize; // pending + running
         let mut slot = 0u64;
         let last_arrival = self.arrivals.last().map(|&(s, _)| s).unwrap_or(0);
+        // The runtime is threaded as a local so fault handling can borrow
+        // job/VM state alongside it.
+        let mut fault_rt = self.faults.take();
 
         loop {
+            // 0. Apply the faults scheduled for this slot, before arrivals
+            // and provisioning: a crash kills the VM's running jobs
+            // (progress lost — no checkpointing), re-enqueues them, and
+            // releases the VM's committed capacity.
+            if let Some(faults) = fault_rt.as_mut() {
+                let num_vms = self.cluster.vms.len();
+                for event in faults.start_slot(slot) {
+                    match event {
+                        FaultEvent::VmCrash { vm } if vm < num_vms && !faults.down[vm] => {
+                            faults.down[vm] = true;
+                            faults.stats.vm_crashes += 1;
+                            for ji in vm_jobs[vm].drain(..) {
+                                faults.stats.jobs_killed += 1;
+                                faults.kill_slot.insert(self.jobs[ji].id(), slot);
+                                self.jobs[ji].state = JobState::Pending;
+                                self.jobs[ji].allocation = ResourceVector::ZERO;
+                                self.jobs[ji].progress = 0.0;
+                                pending.push(ji);
+                            }
+                            vm_committed[vm] = ResourceVector::ZERO;
+                        }
+                        FaultEvent::VmRecover { vm } if vm < num_vms && faults.down[vm] => {
+                            faults.down[vm] = false;
+                            faults.stats.vm_recoveries += 1;
+                        }
+                        FaultEvent::VmDegrade { vm, factor } if vm < num_vms => {
+                            faults.degrade[vm] = factor.clamp(0.05, 1.0);
+                        }
+                        FaultEvent::VmRestore { vm } if vm < num_vms => {
+                            faults.degrade[vm] = 1.0;
+                        }
+                        FaultEvent::PoisonViews { vm, kind } if vm < num_vms => {
+                            faults.poison[vm] = Some(kind);
+                            faults.stats.poisoned_views += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                faults.tally_slot();
+            }
+
             // 1. Admit arrivals.
             while next_arrival < self.arrivals.len() && self.arrivals[next_arrival].0 <= slot {
                 let idx = self.arrivals[next_arrival].1;
@@ -175,36 +249,68 @@ impl Simulation {
                     .cluster
                     .vms
                     .iter()
-                    .map(|vm| VmView {
-                        id: vm.id,
-                        capacity: vm.capacity,
-                        committed: vm_committed[vm.id],
-                        free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
-                        jobs: vm_jobs[vm.id]
-                            .iter()
-                            .map(|&ji| {
-                                let j = &self.jobs[ji];
-                                let tail = |v: &Vec<ResourceVector>| {
-                                    let start = v
-                                        .len()
-                                        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                                    v[start..].to_vec()
-                                };
-                                crate::provisioner::RunningJobView {
-                                    id: j.id(),
-                                    requested: j.requested(),
-                                    allocation: j.allocation,
-                                    recent_demand: tail(&j.observed_demand),
-                                    recent_unused: tail(&j.observed_unused),
+                    .map(|vm| {
+                        // A down VM presents as zero capacity with nothing
+                        // running: provisioners cannot place onto it, and
+                        // sharded stores rebase it to an empty ledger.
+                        if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
+                            return VmView {
+                                id: vm.id,
+                                capacity: ResourceVector::ZERO,
+                                committed: ResourceVector::ZERO,
+                                free: ResourceVector::ZERO,
+                                jobs: Vec::new(),
+                                unused_history: Vec::new(),
+                            };
+                        }
+                        let mut view = VmView {
+                            id: vm.id,
+                            capacity: vm.capacity,
+                            committed: vm_committed[vm.id],
+                            free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
+                            jobs: vm_jobs[vm.id]
+                                .iter()
+                                .map(|&ji| {
+                                    let j = &self.jobs[ji];
+                                    let tail = |v: &Vec<ResourceVector>| {
+                                        let start = v
+                                            .len()
+                                            .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                                        v[start..].to_vec()
+                                    };
+                                    crate::provisioner::RunningJobView {
+                                        id: j.id(),
+                                        requested: j.requested(),
+                                        allocation: j.allocation,
+                                        recent_demand: tail(&j.observed_demand),
+                                        recent_unused: tail(&j.observed_unused),
+                                    }
+                                })
+                                .collect(),
+                            unused_history: {
+                                let h = &self.vm_unused_history[vm.id];
+                                let start =
+                                    h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                                h[start..].to_vec()
+                            },
+                        };
+                        // Poisoning corrupts only the monitoring tails the
+                        // provisioner sees this slot; ground truth stays
+                        // intact.
+                        if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
+                            for job in &mut view.jobs {
+                                if let Some(v) = job.recent_demand.last_mut() {
+                                    corrupt_vector(v, kind);
                                 }
-                            })
-                            .collect(),
-                        unused_history: {
-                            let h = &self.vm_unused_history[vm.id];
-                            let start =
-                                h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                            h[start..].to_vec()
-                        },
+                                if let Some(v) = job.recent_unused.last_mut() {
+                                    corrupt_vector(v, kind);
+                                }
+                            }
+                            if let Some(v) = view.unused_history.last_mut() {
+                                corrupt_vector(v, kind);
+                            }
+                        }
+                        view
                     })
                     .collect();
                 let pending_views: Vec<PendingJobView> = pending
@@ -258,6 +364,11 @@ impl Simulation {
                     self.invalid_actions += 1;
                     continue;
                 };
+                if !new_alloc.is_finite() {
+                    self.invalid_actions += 1;
+                    self.nonfinite_actions += 1;
+                    continue;
+                }
                 if !new_alloc.is_nonnegative() {
                     self.invalid_actions += 1;
                     continue;
@@ -282,11 +393,25 @@ impl Simulation {
                     self.invalid_actions += 1;
                     continue;
                 };
+                if !p.allocation.is_finite() {
+                    self.invalid_actions += 1;
+                    self.nonfinite_actions += 1;
+                    continue;
+                }
                 let is_pending =
                     matches!(self.jobs[ji].state, JobState::Pending) && pending.contains(&ji);
                 if !is_pending || p.vm >= self.cluster.vms.len() || !p.allocation.is_nonnegative() {
                     self.invalid_actions += 1;
                     continue;
+                }
+                // Down VMs are out of the fleet: placements onto them are
+                // dropped even though nominal capacity would admit them.
+                if let Some(faults) = fault_rt.as_mut() {
+                    if faults.down[p.vm] {
+                        self.invalid_actions += 1;
+                        faults.stats.dropped_down_vm_actions += 1;
+                        continue;
+                    }
                 }
                 let alloc = p.allocation.clamp_nonnegative();
                 let free = self.cluster.vms[p.vm]
@@ -304,6 +429,9 @@ impl Simulation {
                 if self.jobs[ji].placed_slot.is_none() {
                     self.jobs[ji].placed_slot = Some(slot);
                 }
+                if let Some(faults) = fault_rt.as_mut() {
+                    faults.note_placement(p.job, slot);
+                }
             }
 
             // 5. Advance running jobs and collect per-slot totals.
@@ -320,7 +448,15 @@ impl Simulation {
                 for &ji in jobs_here {
                     total_demand += self.jobs[ji].current_demand();
                 }
-                let cap = self.cluster.vms[vm_id].capacity;
+                // A degraded VM physically delivers only a fraction of its
+                // nominal capacity; commitments are contractual and stay
+                // against nominal, so only the congestion math scales.
+                let cap = match fault_rt.as_ref() {
+                    Some(f) if f.degrade[vm_id] < 1.0 => {
+                        self.cluster.vms[vm_id].capacity.scaled(f.degrade[vm_id])
+                    }
+                    _ => self.cluster.vms[vm_id].capacity,
+                };
                 let mut congestion = 1.0f64;
                 for k in 0..NUM_RESOURCES {
                     if total_demand[k] > cap[k] && total_demand[k] > 0.0 {
@@ -422,6 +558,12 @@ impl Simulation {
             }
         }
 
+        let fault_stats = fault_rt.as_mut().map(|f| {
+            f.finish();
+            f.stats.clone()
+        });
+        self.faults = fault_rt;
+
         // Unfinished jobs are SLO violations by definition (never served in
         // time).
         let unfinished = self
@@ -460,7 +602,9 @@ impl Simulation {
             slots_run: slot,
             mean_response_slots: self.metrics.mean_response_slots(),
             invalid_actions: self.invalid_actions,
+            nonfinite_actions: self.nonfinite_actions,
             control_plane: provisioner.control_plane_stats(),
+            faults: fault_stats,
         }
     }
 }
@@ -853,6 +997,236 @@ mod tests {
                 assert!(placed >= j.spec.arrival_slot);
             }
         }
+    }
+
+    #[test]
+    fn vm_crash_kills_and_reenqueues_jobs_which_finish_after_recovery() {
+        use corp_faults::{FaultEvent, FaultTimeline, TimedFault};
+        let jobs = small_workload(10, 21);
+        // Let the jobs get placed (slot 0-1), then crash every VM at slot 3
+        // and bring them all back at slot 20: everything running dies, waits
+        // out the outage in the queue, and restarts from scratch.
+        let num_vms = cluster().vms.len();
+        let mut events = Vec::new();
+        for vm in 0..num_vms {
+            events.push(TimedFault {
+                slot: 3,
+                event: FaultEvent::VmCrash { vm },
+            });
+            events.push(TimedFault {
+                slot: 20,
+                event: FaultEvent::VmRecover { vm },
+            });
+        }
+        let mut sim = Simulation::with_faults(
+            cluster(),
+            jobs,
+            SimulationOptions::default(),
+            FaultTimeline::new(events),
+        );
+        let report = sim.run(&mut StaticPeakProvisioner);
+        let faults = report.faults.as_ref().expect("fault stats present");
+        assert_eq!(faults.vm_crashes as usize, num_vms);
+        assert_eq!(faults.vm_recoveries as usize, num_vms);
+        assert!(faults.jobs_killed > 0, "{report:?}");
+        assert_eq!(
+            faults.replacements, faults.jobs_killed,
+            "every killed job is eventually re-placed: {report:?}"
+        );
+        assert!(faults.mean_replacement_latency_slots >= 1.0, "{report:?}");
+        assert_eq!(report.completed, 10, "{report:?}");
+        assert_eq!(report.unfinished, 0);
+    }
+
+    #[test]
+    fn placements_onto_down_vms_are_dropped() {
+        use corp_faults::{FaultEvent, FaultTimeline, TimedFault};
+        /// Ignores the zero-capacity view and insists on placing onto VM 0.
+        struct Stubborn;
+        impl Provisioner for Stubborn {
+            fn name(&self) -> &str {
+                "stubborn"
+            }
+            fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+                let mut plan = crate::provisioner::ProvisionPlan::default();
+                for j in ctx.pending {
+                    plan.placements.push(crate::provisioner::Placement {
+                        job: j.id,
+                        vm: 0,
+                        allocation: j.requested,
+                    });
+                }
+                plan
+            }
+        }
+        let timeline = FaultTimeline::new(vec![TimedFault {
+            slot: 0,
+            event: FaultEvent::VmCrash { vm: 0 },
+        }]);
+        let mut sim = Simulation::with_faults(
+            cluster(),
+            small_workload(3, 22),
+            SimulationOptions {
+                max_slots: 30,
+                ..SimulationOptions::default()
+            },
+            timeline,
+        );
+        let report = sim.run(&mut Stubborn);
+        let faults = report.faults.as_ref().expect("fault stats present");
+        assert!(faults.dropped_down_vm_actions > 0, "{report:?}");
+        assert_eq!(report.completed, 0, "VM 0 never hosts anything");
+    }
+
+    #[test]
+    fn nonfinite_actions_are_dropped_and_counted() {
+        /// Emits NaN placements first, then valid ones, plus NaN and
+        /// infinite adjustments for whatever is running.
+        struct Poisonous;
+        impl Provisioner for Poisonous {
+            fn name(&self) -> &str {
+                "poisonous"
+            }
+            fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+                let mut plan = crate::provisioner::ProvisionPlan::default();
+                for vm in ctx.vms {
+                    for job in &vm.jobs {
+                        plan.adjustments
+                            .push((job.id, ResourceVector::splat(f64::NAN)));
+                        plan.adjustments
+                            .push((job.id, ResourceVector::splat(f64::INFINITY)));
+                    }
+                }
+                for j in ctx.pending {
+                    plan.placements.push(crate::provisioner::Placement {
+                        job: j.id,
+                        vm: 0,
+                        allocation: ResourceVector::splat(f64::NAN),
+                    });
+                    plan.placements.push(crate::provisioner::Placement {
+                        job: j.id,
+                        vm: 0,
+                        allocation: j.requested,
+                    });
+                }
+                plan
+            }
+        }
+        let mut jobs = small_workload(3, 23);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.arrival_slot = (i as u64) * 60;
+        }
+        let mut sim = Simulation::new(cluster(), jobs, SimulationOptions::default());
+        let report = sim.run(&mut Poisonous);
+        assert!(report.nonfinite_actions > 0, "{report:?}");
+        assert!(report.invalid_actions >= report.nonfinite_actions);
+        assert_eq!(report.completed, 3, "valid placements still apply");
+        // Allocations stayed finite throughout: utilization is a number.
+        assert!(report.overall_utilization.is_finite());
+    }
+
+    #[test]
+    fn degradation_throttles_jobs_on_the_straggler() {
+        use corp_faults::{FaultEvent, FaultTimeline, TimedFault};
+        let jobs = small_workload(30, 24);
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let healthy =
+            Simulation::new(cluster(), jobs.clone(), opts.clone()).run(&mut StaticPeakProvisioner);
+        let num_vms = cluster().vms.len();
+        let events = (0..num_vms)
+            .map(|vm| TimedFault {
+                slot: 1,
+                event: FaultEvent::VmDegrade { vm, factor: 0.3 },
+            })
+            .collect();
+        let degraded = Simulation::with_faults(cluster(), jobs, opts, FaultTimeline::new(events))
+            .run(&mut StaticPeakProvisioner);
+        let faults = degraded.faults.as_ref().expect("fault stats present");
+        assert!(faults.degraded_vm_slots > 0);
+        assert!(
+            degraded.mean_response_slots > healthy.mean_response_slots,
+            "stragglers must stretch response times: {} vs {}",
+            degraded.mean_response_slots,
+            healthy.mean_response_slots
+        );
+    }
+
+    #[test]
+    fn poisoned_views_corrupt_monitoring_but_not_ground_truth() {
+        use corp_faults::{FaultEvent, FaultTimeline, PoisonKind, TimedFault};
+        struct SeesNan {
+            inner: StaticPeakProvisioner,
+            saw_nan: bool,
+        }
+        impl Provisioner for SeesNan {
+            fn name(&self) -> &str {
+                "sees-nan"
+            }
+            fn provision(&mut self, ctx: &SlotContext<'_>) -> crate::provisioner::ProvisionPlan {
+                for vm in ctx.vms {
+                    for job in &vm.jobs {
+                        if job.recent_unused.iter().any(|u| !u.is_finite()) {
+                            self.saw_nan = true;
+                        }
+                    }
+                }
+                self.inner.provision(ctx)
+            }
+        }
+        let events = (2..12)
+            .map(|slot| TimedFault {
+                slot,
+                event: FaultEvent::PoisonViews {
+                    vm: 0,
+                    kind: PoisonKind::Nan,
+                },
+            })
+            .collect();
+        let mut sim = Simulation::with_faults(
+            cluster(),
+            small_workload(20, 25),
+            SimulationOptions::default(),
+            FaultTimeline::new(events),
+        );
+        let mut p = SeesNan {
+            inner: StaticPeakProvisioner,
+            saw_nan: false,
+        };
+        let report = sim.run(&mut p);
+        assert!(p.saw_nan, "poison must reach the provisioner's view");
+        let faults = report.faults.as_ref().expect("fault stats present");
+        assert_eq!(faults.poisoned_views, 10);
+        // Ground truth untouched: jobs complete and the metrics are finite.
+        assert_eq!(report.completed, 20, "{report:?}");
+        assert!(report.overall_utilization.is_finite());
+    }
+
+    #[test]
+    fn empty_timeline_matches_fault_free_run_except_zeroed_stats() {
+        use corp_faults::FaultTimeline;
+        let jobs = small_workload(25, 26);
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let plain =
+            Simulation::new(cluster(), jobs.clone(), opts.clone()).run(&mut StaticPeakProvisioner);
+        let faulty = Simulation::with_faults(cluster(), jobs, opts, FaultTimeline::default())
+            .run(&mut StaticPeakProvisioner);
+        assert_eq!(plain.faults, None);
+        assert_eq!(faulty.faults, Some(crate::faults::FaultStats::default()));
+        assert_eq!(plain.completed, faulty.completed);
+        assert_eq!(plain.slots_run, faulty.slots_run);
+        assert_eq!(
+            plain.overall_utilization.to_bits(),
+            faulty.overall_utilization.to_bits(),
+            "an empty schedule must not perturb a single bit"
+        );
+        assert_eq!(plain.slo_violation_rate, faulty.slo_violation_rate);
+        assert_eq!(plain.invalid_actions, faulty.invalid_actions);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Engine-side fault injection: runtime tracking of a
+//! [`FaultTimeline`](corp_faults::FaultTimeline) and the counters the
+//! report surfaces.
+//!
+//! The engine consumes a pre-computed schedule (see `corp-faults`) rather
+//! than rolling dice at runtime, so fault-injected runs replay
+//! byte-identically. Crash semantics: a down VM's running jobs are killed
+//! and re-enqueued (progress lost — there is no checkpointing), its
+//! committed capacity is released, and its views shrink to zero capacity
+//! until recovery. Degradation scales only the *physical* congestion
+//! computation — commitments are contractual and stay against nominal
+//! capacity, the straggler just delivers less. Poisoning corrupts only the
+//! monitoring tails a provisioner sees for one VM on one slot; ground
+//! truth is untouched.
+
+use crate::job::JobId;
+use crate::resources::ResourceVector;
+use corp_faults::{FaultEvent, FaultTimeline, PoisonKind};
+use corp_trace::NUM_RESOURCES;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters from a fault-injected run, surfaced in the report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// VM crash windows that took effect.
+    pub vm_crashes: u64,
+    /// VMs that rejoined the fleet.
+    pub vm_recoveries: u64,
+    /// Running jobs killed by a VM crash and re-enqueued.
+    pub jobs_killed: u64,
+    /// Killed jobs successfully placed again.
+    pub replacements: u64,
+    /// Mean slots between a job's kill and its re-placement.
+    pub mean_replacement_latency_slots: f64,
+    /// VM-slots spent down (fleet capacity lost to crashes).
+    pub down_vm_slots: u64,
+    /// VM-slots spent degraded (straggling below nominal capacity).
+    pub degraded_vm_slots: u64,
+    /// Per-VM slot views whose monitoring tails were corrupted.
+    pub poisoned_views: u64,
+    /// Placements dropped because they targeted a down VM.
+    pub dropped_down_vm_actions: u64,
+}
+
+/// Mutable per-run fault state the engine threads through its slot loop.
+pub(crate) struct FaultRuntime {
+    timeline: FaultTimeline,
+    cursor: usize,
+    /// Which VMs are currently crashed.
+    pub down: Vec<bool>,
+    /// Effective-capacity multiplier per VM (1.0 = healthy).
+    pub degrade: Vec<f64>,
+    /// Poison applied to this slot's views, cleared every slot.
+    pub poison: Vec<Option<PoisonKind>>,
+    /// Kill slot of each killed job still awaiting re-placement.
+    pub kill_slot: HashMap<JobId, u64>,
+    /// Counters surfaced in the report.
+    pub stats: FaultStats,
+    total_replacement_latency: u64,
+}
+
+impl FaultRuntime {
+    pub fn new(timeline: FaultTimeline, num_vms: usize) -> Self {
+        FaultRuntime {
+            timeline,
+            cursor: 0,
+            down: vec![false; num_vms],
+            degrade: vec![1.0; num_vms],
+            poison: vec![None; num_vms],
+            kill_slot: HashMap::new(),
+            stats: FaultStats::default(),
+            total_replacement_latency: 0,
+        }
+    }
+
+    /// Clears per-slot poison marks and drains the events due at `slot`.
+    pub fn start_slot(&mut self, slot: u64) -> Vec<FaultEvent> {
+        for p in &mut self.poison {
+            *p = None;
+        }
+        let events = self.timeline.events();
+        let mut fired = Vec::new();
+        while self.cursor < events.len() && events[self.cursor].slot <= slot {
+            fired.push(events[self.cursor].event);
+            self.cursor += 1;
+        }
+        fired
+    }
+
+    /// Tallies down/degraded VM-slots after this slot's events applied.
+    pub fn tally_slot(&mut self) {
+        for vm in 0..self.down.len() {
+            if self.down[vm] {
+                self.stats.down_vm_slots += 1;
+            } else if self.degrade[vm] < 1.0 {
+                self.stats.degraded_vm_slots += 1;
+            }
+        }
+    }
+
+    /// Records a successful placement; if the job was previously killed,
+    /// accounts its re-placement latency.
+    pub fn note_placement(&mut self, job: JobId, slot: u64) {
+        if let Some(killed_at) = self.kill_slot.remove(&job) {
+            self.stats.replacements += 1;
+            self.total_replacement_latency += slot.saturating_sub(killed_at);
+        }
+    }
+
+    /// Finalizes derived metrics (call once, at end of run).
+    pub fn finish(&mut self) {
+        self.stats.mean_replacement_latency_slots = if self.stats.replacements > 0 {
+            self.total_replacement_latency as f64 / self.stats.replacements as f64
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Corrupts every component of a monitoring sample in place.
+pub(crate) fn corrupt_vector(v: &mut ResourceVector, kind: PoisonKind) {
+    for k in 0..NUM_RESOURCES {
+        v[k] = kind.corrupt(v[k]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corp_faults::TimedFault;
+
+    #[test]
+    fn start_slot_drains_due_events_in_order() {
+        let timeline = FaultTimeline::new(vec![
+            TimedFault {
+                slot: 1,
+                event: FaultEvent::VmCrash { vm: 0 },
+            },
+            TimedFault {
+                slot: 3,
+                event: FaultEvent::VmRecover { vm: 0 },
+            },
+        ]);
+        let mut rt = FaultRuntime::new(timeline, 2);
+        assert!(rt.start_slot(0).is_empty());
+        assert_eq!(rt.start_slot(1), vec![FaultEvent::VmCrash { vm: 0 }]);
+        assert!(rt.start_slot(2).is_empty());
+        assert_eq!(rt.start_slot(3), vec![FaultEvent::VmRecover { vm: 0 }]);
+    }
+
+    #[test]
+    fn replacement_latency_averages_over_replaced_jobs() {
+        let mut rt = FaultRuntime::new(FaultTimeline::default(), 1);
+        rt.kill_slot.insert(7, 10);
+        rt.kill_slot.insert(8, 10);
+        rt.stats.jobs_killed = 2;
+        rt.note_placement(7, 14);
+        rt.note_placement(9, 14); // never killed: no-op
+        rt.note_placement(8, 20);
+        rt.finish();
+        assert_eq!(rt.stats.replacements, 2);
+        assert_eq!(rt.stats.mean_replacement_latency_slots, 7.0);
+    }
+
+    #[test]
+    fn corrupt_vector_applies_kind_per_component() {
+        let mut v = ResourceVector::new([1.0, 2.0, 3.0]);
+        corrupt_vector(&mut v, PoisonKind::Nan);
+        assert!(!v.is_finite());
+        let mut w = ResourceVector::new([1.0, 2.0, 3.0]);
+        corrupt_vector(&mut w, PoisonKind::Spike(10.0));
+        assert!(w.is_finite());
+        assert_eq!(w.as_array(), &[20.0, 30.0, 40.0]);
+    }
+}

@@ -38,6 +38,7 @@
 pub mod cluster;
 pub mod control_plane;
 pub mod engine;
+pub mod faults;
 pub mod job;
 pub mod metrics;
 pub mod provisioner;
@@ -46,6 +47,7 @@ pub mod resources;
 pub use cluster::{Cluster, EnvironmentProfile};
 pub use control_plane::{ControlPlaneStats, ShardStats};
 pub use engine::{Simulation, SimulationOptions, SimulationReport};
+pub use faults::FaultStats;
 pub use job::{JobId, JobState, RunningJob};
 pub use metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};
 pub use provisioner::{

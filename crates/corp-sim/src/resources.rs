@@ -48,6 +48,13 @@ impl ResourceVector {
         self.0.iter().all(|&v| v >= -1e-9)
     }
 
+    /// True iff every component is finite (neither NaN nor infinite).
+    /// Non-finite vectors must never enter commitment arithmetic: NaN
+    /// poisons every comparison downstream of it.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
     /// Component-wise max with zero (clamp small negative round-off).
     pub fn clamp_nonnegative(mut self) -> Self {
         for v in &mut self.0 {
@@ -299,6 +306,14 @@ mod tests {
     fn coverage_of_zero_demand_is_one() {
         let alloc = ResourceVector::ZERO;
         assert_eq!(alloc.coverage_of(&ResourceVector::ZERO), 1.0);
+    }
+
+    #[test]
+    fn is_finite_rejects_nan_and_infinity() {
+        assert!(ResourceVector::new([1.0, 0.0, 3.0]).is_finite());
+        assert!(!ResourceVector::new([1.0, f64::NAN, 3.0]).is_finite());
+        assert!(!ResourceVector::new([f64::INFINITY, 0.0, 0.0]).is_finite());
+        assert!(!ResourceVector::new([0.0, f64::NEG_INFINITY, 0.0]).is_finite());
     }
 
     #[test]

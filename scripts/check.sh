@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Repo-wide quality gate: formatting, lints, build, and the full test
 # suite. Run before every push.
+#
+#   scripts/check.sh              # the standard gate
+#   scripts/check.sh chaos-soak   # heavy fault-injection soak (release,
+#                                 # end-to-end chaos runs; see
+#                                 # crates/corp-faults/tests/soak.rs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "chaos-soak" ]]; then
+    echo "==> cargo test -p corp-faults --release -- --ignored soak"
+    cargo test -p corp-faults --release -- --ignored soak
+    echo "Chaos soak passed."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
