@@ -7,6 +7,7 @@
 //! corp-exp --fast all     # small DNN, quick smoke pass
 //! corp-exp scalability    # sharded-control-plane sweep (1..8 shards)
 //! corp-exp faults         # availability under deterministic fault injection
+//! corp-exp perf           # hot-path throughput baseline (BENCH_hotpath.json)
 //! corp-exp --json fig6    # machine-readable output (one JSON array)
 //! ```
 
@@ -39,6 +40,7 @@ fn main() {
         ("ablations", Box::new(experiments::ablations)),
         ("scalability", Box::new(experiments::scalability)),
         ("faults", Box::new(experiments::availability)),
+        ("perf", Box::new(experiments::perf)),
     ];
 
     let mut matched = false;

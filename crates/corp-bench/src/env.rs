@@ -136,6 +136,15 @@ pub struct SchemeParams {
     /// Use the cheaper DNN (tests) instead of the paper's 4x50
     /// architecture.
     pub fast_dnn: bool,
+    /// Disable the scoped-thread prediction fan-out (CORP, RCCR,
+    /// CloudScale run their per-window forecasts serially). Reports are
+    /// byte-identical either way — this is the determinism suite's A/B
+    /// switch and the perf runner's baseline arm.
+    pub serial_prediction: bool,
+    /// Train CORP's DNNs through the legacy per-sample reference kernels
+    /// instead of the fused ones (bit-identical outputs; the fused path's
+    /// A/B switch and the perf runner's baseline arm).
+    pub reference_dnn: bool,
     /// RNG seed for randomized placement.
     pub seed: u64,
 }
@@ -147,6 +156,8 @@ impl Default for SchemeParams {
             prob_threshold: 0.95,
             aggressiveness: 1.0,
             fast_dnn: false,
+            serial_prediction: false,
+            reference_dnn: false,
             seed: 7,
         }
     }
@@ -168,15 +179,23 @@ pub fn build_provisioner(
             config.confidence_level = params.confidence;
             config.prob_threshold = params.prob_threshold;
             config.seed = params.seed;
+            config.parallel_prediction = !params.serial_prediction;
+            config.train.reference_kernels = params.reference_dnn;
             let mut corp = CorpProvisioner::new(config);
             corp.pretrain(&historical_histories(env, 40));
             Box::new(corp)
         }
-        SchemeKind::Rccr => Box::new(RccrProvisioner::new(params.confidence, params.seed)),
-        SchemeKind::CloudScale => Box::new(CloudScaleProvisioner::with_padding_scale(
-            params.seed,
-            params.aggressiveness,
-        )),
+        SchemeKind::Rccr => {
+            let mut rccr = RccrProvisioner::new(params.confidence, params.seed);
+            rccr.set_parallel_prediction(!params.serial_prediction);
+            Box::new(rccr)
+        }
+        SchemeKind::CloudScale => {
+            let mut cs =
+                CloudScaleProvisioner::with_padding_scale(params.seed, params.aggressiveness);
+            cs.set_parallel_prediction(!params.serial_prediction);
+            Box::new(cs)
+        }
         SchemeKind::Dra => Box::new(DraProvisioner::with_overcommit(
             params.seed,
             params.aggressiveness.clamp(0.05, 1.0),

@@ -104,6 +104,35 @@ fn one_shard_reproduces_the_monolithic_scheduler() {
 }
 
 #[test]
+fn hot_path_optimizations_do_not_change_a_single_decision() {
+    // The perf tier must be invisible in the results: fan-out prediction
+    // across scoped threads plus the fused DNN kernels must reproduce the
+    // serial, reference-kernel run byte for byte, for every scheme. This is
+    // the transparency bar the kernel rewrite is held to — any reordering
+    // of a floating-point reduction would show up here.
+    for scheme in [
+        SchemeKind::Corp,
+        SchemeKind::Rccr,
+        SchemeKind::CloudScale,
+        SchemeKind::Dra,
+    ] {
+        let tuned = params();
+        let baseline = SchemeParams {
+            serial_prediction: true,
+            reference_dnn: true,
+            ..params()
+        };
+        let a = run_cell(Environment::Cluster, scheme, JOBS, &tuned, false);
+        let b = run_cell(Environment::Cluster, scheme, JOBS, &baseline, false);
+        assert_eq!(
+            serde::json::to_string(&a),
+            serde::json::to_string(&b),
+            "{scheme:?}: optimized hot path diverged from the serial reference run"
+        );
+    }
+}
+
+#[test]
 fn faulty_runs_are_byte_identical_across_runs() {
     // Chaos must be deterministic: the same fault seed and intensity must
     // reproduce the same kills, the same recoveries, and the same report

@@ -545,23 +545,15 @@ impl ShardedProvisioner {
 
     /// Picks the VM with the least free headroom still fitting `alloc`
     /// (best fit; ties to the lowest id). `volume` is measured against the
-    /// fleet's reference capacity, matching the packing heuristics.
+    /// fleet's reference capacity, matching the packing heuristics. Served
+    /// by the store's incremental volume index instead of a linear rescan
+    /// of [`PlacementStore::free_all`] per retry.
     fn best_fit(
         store: &PlacementStore,
         alloc: &ResourceVector,
         reference: &ResourceVector,
     ) -> Option<usize> {
-        let mut best: Option<(f64, usize)> = None;
-        for (vm, free) in store.free_all().into_iter().enumerate() {
-            if !alloc.fits_within(&free) {
-                continue;
-            }
-            let headroom = free.volume(reference);
-            if best.map(|(h, _)| headroom < h).unwrap_or(true) {
-                best = Some((headroom, vm));
-            }
-        }
-        best.map(|(_, vm)| vm)
+        store.best_fit(alloc, reference)
     }
 
     /// Phase B: deterministic sequential arbitration of all proposals

@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 
+use corp_core::VolumeIndex;
 use corp_sim::ResourceVector;
 use parking_lot::Mutex;
 
@@ -87,6 +88,22 @@ struct StoreInner {
     open: HashMap<u64, Reservation>,
     next_id: u64,
     counters: StoreCounters,
+    /// Lazily built Eq. 22 headroom index: the reference capacity it was
+    /// built against plus a sorted volume index over per-VM headrooms.
+    /// Whole-fleet rebases drop it (rebuilt on the next
+    /// [`PlacementStore::best_fit`]); single-VM mutations reposition just
+    /// that VM's entry in O(log V).
+    index: Option<(ResourceVector, VolumeIndex)>,
+}
+
+impl StoreInner {
+    /// Repositions `vm`'s index entry after any mutation that changed its
+    /// headroom (reserve/confirm/abort/adjust/set_capacity).
+    fn touch_index(&mut self, vm: usize) {
+        if let Some((reference, index)) = self.index.as_mut() {
+            index.update(vm, &self.vms[vm].headroom(), reference);
+        }
+    }
 }
 
 /// Thread-safe capacity arbiter for a VM fleet (see module docs).
@@ -111,6 +128,7 @@ impl PlacementStore {
                 open: HashMap::new(),
                 next_id: 0,
                 counters: StoreCounters::default(),
+                index: None,
             }),
         }
     }
@@ -136,6 +154,9 @@ impl PlacementStore {
             ledger.committed = base;
             ledger.reserved = ResourceVector::ZERO;
         }
+        // Every headroom changed at once; per-entry repositioning would be
+        // wasted work, so drop the index and let best_fit rebuild lazily.
+        inner.index = None;
     }
 
     /// [`begin_slot`](Self::begin_slot) that also re-bases per-VM
@@ -175,6 +196,7 @@ impl PlacementStore {
         inner.vms[vm].capacity = capacity;
         let ledger = &inner.vms[vm];
         if (ledger.committed + ledger.reserved).fits_within(&capacity) {
+            inner.touch_index(vm);
             return true;
         }
         inner.vms[vm].committed = ResourceVector::ZERO;
@@ -189,6 +211,7 @@ impl PlacementStore {
         for id in stale {
             inner.open.remove(&id);
         }
+        inner.touch_index(vm);
         true
     }
 
@@ -214,6 +237,7 @@ impl PlacementStore {
         inner.vms[vm].reserved += amount;
         inner.open.insert(id, Reservation { vm, amount, shard });
         inner.counters.reservations += 1;
+        inner.touch_index(vm);
         Ok(ReservationId(id))
     }
 
@@ -227,6 +251,7 @@ impl PlacementStore {
         ledger.reserved = (ledger.reserved - r.amount).clamp_nonnegative();
         ledger.committed += r.amount;
         inner.counters.commits += 1;
+        inner.touch_index(r.vm);
         Ok(())
     }
 
@@ -239,6 +264,7 @@ impl PlacementStore {
         let ledger = &mut inner.vms[r.vm];
         ledger.reserved = (ledger.reserved - r.amount).clamp_nonnegative();
         inner.counters.aborts += 1;
+        inner.touch_index(r.vm);
         Ok(())
     }
 
@@ -259,11 +285,40 @@ impl PlacementStore {
         let candidate = (ledger.committed - old + new).clamp_nonnegative();
         if (candidate + ledger.reserved).fits_within(&ledger.capacity) {
             inner.vms[vm].committed = candidate;
+            inner.touch_index(vm);
             true
         } else {
             inner.counters.conflicts += 1;
             false
         }
+    }
+
+    /// Eq. 22 best-fit over the store's current headrooms: the VM fitting
+    /// `demand` with the smallest unused volume relative to `reference`,
+    /// ties toward the lower VM id — exactly the choice a linear scan over
+    /// [`free_all`](Self::free_all) would make, but served from the
+    /// incrementally maintained sorted index, so a burst of placements
+    /// costs O(log V) per choice instead of a fleet rescan each.
+    ///
+    /// The index is rebuilt lazily after whole-fleet rebases
+    /// ([`begin_slot`](Self::begin_slot)) or when `reference` changes.
+    pub fn best_fit(&self, demand: &ResourceVector, reference: &ResourceVector) -> Option<usize> {
+        let mut inner = self.inner.lock();
+        let stale = match &inner.index {
+            Some((built_against, _)) => built_against != reference,
+            None => true,
+        };
+        if stale {
+            let headrooms: Vec<ResourceVector> = inner.vms.iter().map(VmLedger::headroom).collect();
+            inner.index = Some((*reference, VolumeIndex::new(&headrooms, reference)));
+        }
+        let StoreInner { vms, index, .. } = &*inner;
+        let (_, idx) = index.as_ref().expect("index built above");
+        // A fitting headroom dominates the demand componentwise, so its
+        // volume is at least the demand's: seek straight to that floor.
+        idx.first_fit_from(demand.volume(reference).to_bits(), |i| {
+            demand.fits_within(&vms[i].headroom())
+        })
     }
 
     /// Capacity net of durable commitments and open holds on one VM.

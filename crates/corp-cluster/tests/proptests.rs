@@ -194,6 +194,78 @@ proptest! {
     }
 
     #[test]
+    fn indexed_best_fit_matches_linear_scan_across_interleavings(
+        ops in prop::collection::vec((0usize..8, 0usize..VMS, 0u8..=6), 1..150),
+        demand in (0u8..=6).prop_map(|d| ResourceVector::splat(d as f64 * 0.5)),
+    ) {
+        // The store's incremental volume index must answer exactly what a
+        // linear smallest-volume scan over free_all() answers — including
+        // ties (quantized amounts make equal headrooms common, and both
+        // sides must break toward the lower VM id) — after any interleaving
+        // of reserve / confirm / abort / adjust / crash / recovery /
+        // begin_slot rebases.
+        let reference = ResourceVector::splat(CAPACITY);
+        let linear = |store: &PlacementStore, demand: &ResourceVector| -> Option<usize> {
+            let mut best: Option<(f64, usize)> = None;
+            for (vm, free) in store.free_all().into_iter().enumerate() {
+                if !demand.fits_within(&free) {
+                    continue;
+                }
+                let vol = free.volume(&reference);
+                if best.map(|(v, _)| vol < v).unwrap_or(true) {
+                    best = Some((vol, vm));
+                }
+            }
+            best.map(|(_, vm)| vm)
+        };
+        let store = store();
+        let mut open: Vec<ReservationId> = Vec::new();
+        for &(kind, vm, q) in &ops {
+            let amt = ResourceVector::splat(q as f64 * 0.5);
+            match kind {
+                0 | 1 => {
+                    if let Ok(id) = store.reserve(0, vm, amt) {
+                        open.push(id);
+                    }
+                }
+                2 => {
+                    if !open.is_empty() {
+                        let _ = store.confirm(open.remove(0));
+                    }
+                }
+                3 => {
+                    if let Some(id) = open.pop() {
+                        let _ = store.abort(id);
+                    }
+                }
+                4 => {
+                    let _ = store.adjust(vm, ResourceVector::ZERO, amt);
+                }
+                5 => {
+                    store.set_capacity(vm, ResourceVector::ZERO);
+                }
+                6 => {
+                    store.set_capacity(vm, ResourceVector::splat(CAPACITY));
+                }
+                _ => {
+                    // Whole-fleet rebase (capacities restored to nominal so
+                    // the authoritative committed snapshot fits even after
+                    // crashes): drops the index, forcing a lazy rebuild on
+                    // the next query.
+                    store.begin_slot_full(&[ResourceVector::splat(CAPACITY); VMS], &[amt; VMS]);
+                    open.clear();
+                }
+            }
+            prop_assert_eq!(
+                store.best_fit(&demand, &reference),
+                linear(&store, &demand),
+                "index diverged from linear scan after op ({}, {}, {})", kind, vm, q
+            );
+            prop_assert!(store.holds_invariants(EPS));
+        }
+    }
+
+    #[test]
     fn shard_kills_never_lose_or_duplicate_pending_jobs(
         kills in prop::collection::vec((0u64..6, 0usize..3), 0..10),
         num_jobs in 1usize..10,

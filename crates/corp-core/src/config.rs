@@ -50,6 +50,11 @@ pub struct CorpConfig {
     pub train: TrainConfig,
     /// RNG seed for any randomized decision (kept for reproducibility).
     pub seed: u64,
+    /// Fan the per-job DNN predictions of each provisioning window across
+    /// scoped threads. Results are written by task index and consumed in
+    /// the serial order, so reports are byte-identical either way; `false`
+    /// is the A/B switch the determinism suite flips.
+    pub parallel_prediction: bool,
 }
 
 impl Default for CorpConfig {
@@ -75,6 +80,7 @@ impl Default for CorpConfig {
                 ..TrainConfig::default()
             },
             seed: 0xC0 & 0xFF | 0xC000, // deterministic, arbitrary
+            parallel_prediction: true,
         }
     }
 }

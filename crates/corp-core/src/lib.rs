@@ -58,9 +58,10 @@ pub use fleet::{
     rccr_factories, rccr_fleet, shard_seed, ShardFactory,
 };
 pub use packing::{deviation_score, pack_complementary, JobEntity, PackableJob};
-pub use placement::{most_matched_vm, random_fitting_vm};
+pub use placement::{most_matched_vm, random_fitting_vm, VolumeIndex};
 pub use predictor::{
-    CloudScalePredictor, CorpJobPredictor, DraPredictor, FallbackCounters, RccrPredictor,
+    CloudScalePredictor, CorpJobPredictor, DraPredictor, FallbackCounters, PredictionScratch,
+    RccrPredictor,
 };
 pub use preemption::PreemptionGate;
 pub use scheduler::{CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner};

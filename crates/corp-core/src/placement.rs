@@ -7,9 +7,15 @@
 //!
 //! [`random_fitting_vm`] is the placement rule all three baselines share
 //! ("we randomly chose a VM that can satisfy the resource demands").
+//!
+//! [`VolumeIndex`] makes the Eq. 22 argmin incremental: a sorted set keyed
+//! by `(volume bits, VM index)` that is updated in O(log V) whenever one
+//! VM's pool changes, so each placement walks the candidates in best-fit
+//! order instead of rescanning the whole fleet.
 
 use corp_sim::ResourceVector;
 use rand::Rng;
+use std::collections::BTreeSet;
 
 /// Returns the index (into `pools`) of the fitting VM with the smallest
 /// unused-resource volume relative to `reference` (`C'` of Eq. 22), or
@@ -31,6 +37,118 @@ pub fn most_matched_vm(
         }
     }
     best.map(|(i, _)| i)
+}
+
+/// An incremental index over per-VM unused-resource volumes, keeping the
+/// fleet sorted by the Eq. 22 objective so smallest-volume best-fit is
+/// O(log V) per pool mutation instead of a full rescan per entity.
+///
+/// Entries are ordered by `(volume.to_bits(), vm_index)`. For the
+/// non-negative finite volumes produced by real pools, `f64::to_bits` is
+/// monotonic, so ascending entry order is exactly ascending volume with
+/// ties broken toward the lower VM index — the same total order the linear
+/// [`most_matched_vm`] scan resolves. The first fitting entry in that order
+/// is therefore the linear scan's argmin, which is what the
+/// equivalence proptests pin down.
+///
+/// Callers must keep the index in sync by calling [`update`](Self::update)
+/// after every pool mutation (reserve, confirm, abort, release, capacity
+/// rebase).
+#[derive(Debug, Clone, Default)]
+pub struct VolumeIndex {
+    /// `(volume bits, vm index)` sorted ascending.
+    entries: BTreeSet<(u64, usize)>,
+    /// Current key per VM (None = not indexed), so updates can remove the
+    /// stale entry without recomputing the old volume.
+    keys: Vec<Option<u64>>,
+}
+
+impl VolumeIndex {
+    /// Builds the index for a fleet of pools against the Eq. 22 reference
+    /// capacity `C'`.
+    pub fn new(pools: &[ResourceVector], reference: &ResourceVector) -> Self {
+        let mut idx = VolumeIndex::default();
+        idx.rebuild(pools, reference);
+        idx
+    }
+
+    /// Re-indexes the whole fleet (used at slot boundaries where every
+    /// pool changes at once and per-entry updates would be wasted work).
+    pub fn rebuild(&mut self, pools: &[ResourceVector], reference: &ResourceVector) {
+        self.entries.clear();
+        self.keys.clear();
+        self.keys.reserve(pools.len());
+        for (i, pool) in pools.iter().enumerate() {
+            let key = pool.volume(reference).to_bits();
+            self.entries.insert((key, i));
+            self.keys.push(Some(key));
+        }
+    }
+
+    /// Number of indexed VMs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no VM is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Reposition VM `i` after its pool changed: O(log V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` was not part of the indexed fleet.
+    pub fn update(&mut self, i: usize, pool: &ResourceVector, reference: &ResourceVector) {
+        let slot = self.keys.get_mut(i).expect("VM index out of range");
+        if let Some(old) = slot.take() {
+            self.entries.remove(&(old, i));
+        }
+        let key = pool.volume(reference).to_bits();
+        self.entries.insert((key, i));
+        *slot = Some(key);
+    }
+
+    /// The lowest-volume VM for which `fits(vm)` holds, walking candidates
+    /// in ascending `(volume, index)` order.
+    pub fn first_fit<F: FnMut(usize) -> bool>(&self, fits: F) -> Option<usize> {
+        self.first_fit_from(0, fits)
+    }
+
+    /// Like [`first_fit`](Self::first_fit), but starts the walk at the
+    /// first entry whose volume bits are `>= min_volume_bits`, seeking into
+    /// the sorted set in O(log V) instead of wading through entries the
+    /// caller knows cannot fit.
+    pub fn first_fit_from<F: FnMut(usize) -> bool>(
+        &self,
+        min_volume_bits: u64,
+        mut fits: F,
+    ) -> Option<usize> {
+        self.entries
+            .range((min_volume_bits, 0)..)
+            .map(|&(_, i)| i)
+            .find(|&i| fits(i))
+    }
+
+    /// Indexed Eq. 22 best-fit: equivalent to
+    /// `most_matched_vm(pools, demand, reference)` for the reference this
+    /// index was built against, but seeks straight past every pool whose
+    /// volume is below the demand's own volume (a fitting pool dominates
+    /// the demand componentwise, and the volume sum is monotone in each
+    /// component — in exact arithmetic and in f64, since division by a
+    /// positive reference and rounded addition are both monotone), then
+    /// examines candidates only until the first fit.
+    pub fn best_fit(
+        &self,
+        pools: &[ResourceVector],
+        demand: &ResourceVector,
+        reference: &ResourceVector,
+    ) -> Option<usize> {
+        self.first_fit_from(demand.volume(reference).to_bits(), |i| {
+            demand.fits_within(&pools[i])
+        })
+    }
 }
 
 /// Returns a uniformly random index of a pool that fits `demand`, or
@@ -158,5 +276,89 @@ mod tests {
         let pools = [ResourceVector::splat(5.0), ResourceVector::splat(5.0)];
         let demand = ResourceVector::splat(1.0);
         assert_eq!(most_matched_vm(&pools, &demand, &reference), Some(0));
+    }
+
+    #[test]
+    fn index_matches_linear_scan_on_fig5_fleet() {
+        let reference = ResourceVector::new([25.0, 2.0, 30.0]);
+        let pools = [
+            ResourceVector::new([5.0, 0.0, 20.0]),
+            ResourceVector::new([10.0, 1.0, 10.0]),
+            ResourceVector::new([20.0, 2.0, 30.0]),
+            ResourceVector::new([10.0, 1.0, 8.5]),
+        ];
+        let idx = VolumeIndex::new(&pools, &reference);
+        for demand in [
+            ResourceVector::new([8.0, 1.0, 10.0]),
+            ResourceVector::new([9.0, 0.5, 8.0]),
+            ResourceVector::new([100.0, 100.0, 100.0]),
+            ResourceVector::new([0.0, 0.0, 0.0]),
+        ] {
+            assert_eq!(
+                idx.best_fit(&pools, &demand, &reference),
+                most_matched_vm(&pools, &demand, &reference),
+                "demand {demand:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_tie_breaks_to_lower_index() {
+        let reference = ResourceVector::splat(10.0);
+        let pools = [ResourceVector::splat(5.0), ResourceVector::splat(5.0)];
+        let idx = VolumeIndex::new(&pools, &reference);
+        assert_eq!(
+            idx.best_fit(&pools, &ResourceVector::splat(1.0), &reference),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn index_tracks_incremental_pool_updates() {
+        let reference = ResourceVector::splat(10.0);
+        let mut pools = vec![
+            ResourceVector::splat(9.0),
+            ResourceVector::splat(3.0),
+            ResourceVector::splat(6.0),
+        ];
+        let mut idx = VolumeIndex::new(&pools, &reference);
+        let demand = ResourceVector::splat(2.0);
+        assert_eq!(idx.best_fit(&pools, &demand, &reference), Some(1));
+
+        // Shrink VM1 below the demand: the index must fall through to the
+        // next-snuggest fitting pool.
+        pools[1] = ResourceVector::splat(1.0);
+        idx.update(1, &pools[1], &reference);
+        assert_eq!(idx.best_fit(&pools, &demand, &reference), Some(2));
+
+        // Grow VM0 snug again.
+        pools[0] = ResourceVector::splat(2.5);
+        idx.update(0, &pools[0], &reference);
+        assert_eq!(idx.best_fit(&pools, &demand, &reference), Some(0));
+        assert_eq!(
+            idx.best_fit(&pools, &demand, &reference),
+            most_matched_vm(&pools, &demand, &reference)
+        );
+    }
+
+    #[test]
+    fn rebuild_resets_to_a_new_fleet() {
+        let reference = ResourceVector::splat(10.0);
+        let mut idx = VolumeIndex::new(&[ResourceVector::splat(1.0)], &reference);
+        let pools = [ResourceVector::splat(4.0), ResourceVector::splat(2.0)];
+        idx.rebuild(&pools, &reference);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(
+            idx.best_fit(&pools, &ResourceVector::splat(1.5), &reference),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn update_rejects_unknown_vm() {
+        let reference = ResourceVector::splat(10.0);
+        let mut idx = VolumeIndex::new(&[ResourceVector::splat(1.0)], &reference);
+        idx.update(5, &ResourceVector::splat(1.0), &reference);
     }
 }

@@ -21,7 +21,7 @@
 
 use crate::config::CorpConfig;
 use crate::preemption::PreemptionGate;
-use corp_dnn::UnusedResourcePredictor;
+use corp_dnn::{PredictScratch, UnusedResourcePredictor};
 use corp_hmm::FluctuationPredictor;
 use corp_sim::ResourceVector;
 use corp_stats::{z_for_confidence, SimpleExp};
@@ -64,6 +64,43 @@ pub struct FallbackCounters {
     pub poisoned_histories: u64,
 }
 
+impl FallbackCounters {
+    /// Adds another counter set onto this one — used to merge per-thread
+    /// deltas after a parallel prediction fan-out. `u64` additions are
+    /// order-independent, so merged totals match the serial path exactly.
+    pub fn absorb(&mut self, other: &FallbackCounters) {
+        self.dnn_rejected += other.dnn_rejected;
+        self.hmm_last_value += other.hmm_last_value;
+        self.ets += other.ets;
+        self.zero += other.zero;
+        self.poisoned_outcomes += other.poisoned_outcomes;
+        self.poisoned_histories += other.poisoned_histories;
+    }
+}
+
+/// Per-thread scratch for the immutable prediction entry points
+/// ([`CorpJobPredictor::predict_job_in`]): one DNN activation scratch per
+/// resource plus a local [`FallbackCounters`] delta that the owner merges
+/// back via [`CorpJobPredictor::merge_fallbacks`] after joining its
+/// threads.
+#[derive(Debug, Clone, Default)]
+pub struct PredictionScratch {
+    nets: Vec<PredictScratch>,
+    /// Fallback-rung increments recorded by predictions through this
+    /// scratch.
+    pub fallbacks: FallbackCounters,
+}
+
+impl PredictionScratch {
+    /// A fresh scratch (buffers sized lazily on first use).
+    pub fn new() -> Self {
+        PredictionScratch {
+            nets: (0..NUM_RESOURCES).map(|_| PredictScratch::new()).collect(),
+            fallbacks: FallbackCounters::default(),
+        }
+    }
+}
+
 /// The full DNN + HMM + confidence-interval prediction pipeline.
 pub struct CorpJobPredictor {
     confidence_z: f64,
@@ -81,6 +118,8 @@ pub struct CorpJobPredictor {
     gate: PreemptionGate,
     trained: bool,
     fallbacks: FallbackCounters,
+    /// Owned scratch backing the `&mut self` prediction entry points.
+    scratch: Option<PredictionScratch>,
 }
 
 impl std::fmt::Debug for CorpJobPredictor {
@@ -123,6 +162,7 @@ impl CorpJobPredictor {
             ),
             trained: false,
             fallbacks: FallbackCounters::default(),
+            scratch: None,
         }
     }
 
@@ -203,6 +243,7 @@ impl CorpJobPredictor {
         const MAX_SAMPLES_PER_RESOURCE: usize = 200;
         let delta = self.dnn[0].config().window;
         let horizon = self.dnn[0].config().horizon;
+        let mut scratch = PredictionScratch::new();
         for k in 0..NUM_RESOURCES {
             let histories = self.corpus[k].clone();
             let mut recorded = 0;
@@ -216,7 +257,7 @@ impl CorpJobPredictor {
                 let scale = h.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
                 let mut i = delta;
                 while i + horizon <= h.len() {
-                    let predicted = self.predict_resource(k, &h[..i], scale);
+                    let predicted = self.predict_resource_in(k, &h[..i], scale, &mut scratch);
                     let actual = h[i..i + horizon].iter().sum::<f64>() / horizon as f64;
                     self.record_outcome_scaled(k, actual, predicted, scale);
                     recorded += 1;
@@ -227,6 +268,7 @@ impl CorpJobPredictor {
                 }
             }
         }
+        self.fallbacks.absorb(&scratch.fallbacks);
     }
 
     /// Predicts one job's unused resources for the next window from its
@@ -242,6 +284,29 @@ impl CorpJobPredictor {
         recent: &[Vec<f64>],
         requested: &ResourceVector,
     ) -> ResourceVector {
+        let mut scratch = self.scratch.take().unwrap_or_default();
+        let out = self.predict_job_in(recent, requested, &mut scratch);
+        self.fallbacks.absorb(&scratch.fallbacks);
+        scratch.fallbacks = FallbackCounters::default();
+        self.scratch = Some(scratch);
+        out
+    }
+
+    /// [`predict_job`](Self::predict_job) through caller-provided scratch,
+    /// leaving the predictor immutable so scoped threads can fan a fleet's
+    /// predictions over one shared `&CorpJobPredictor`. Values are
+    /// bit-identical to the `&mut self` path; fallback-rung increments
+    /// accumulate in `scratch.fallbacks` for the owner to merge after the
+    /// join ([`merge_fallbacks`](Self::merge_fallbacks)).
+    pub fn predict_job_in(
+        &self,
+        recent: &[Vec<f64>],
+        requested: &ResourceVector,
+        scratch: &mut PredictionScratch,
+    ) -> ResourceVector {
+        if scratch.nets.len() < NUM_RESOURCES {
+            scratch.nets.resize_with(NUM_RESOURCES, PredictScratch::new);
+        }
         let mut out = ResourceVector::ZERO;
         for k in 0..NUM_RESOURCES {
             let series: &[f64] = recent.get(k).map(|v| v.as_slice()).unwrap_or(&[]);
@@ -249,9 +314,15 @@ impl CorpJobPredictor {
                 out[k] = 0.0;
                 continue;
             }
-            out[k] = self.predict_resource(k, series, requested[k].max(1e-9));
+            out[k] = self.predict_resource_in(k, series, requested[k].max(1e-9), scratch);
         }
         out
+    }
+
+    /// Merges a thread's fallback-counter delta back into the predictor's
+    /// own counters.
+    pub fn merge_fallbacks(&mut self, delta: &FallbackCounters) {
+        self.fallbacks.absorb(delta);
     }
 
     /// One resource's full pipeline: DNN -> HMM correction -> CI lower
@@ -261,15 +332,21 @@ impl CorpJobPredictor {
     /// The DNN path is served only while it is healthy: finite input
     /// series, finite and non-blown-up `sigma_hat`, finite output.
     /// Otherwise the prediction degrades down the fallback ladder
-    /// ([`fallback_estimate`](Self::fallback_estimate)) instead of
+    /// ([`fallback_estimate_in`](Self::fallback_estimate_in)) instead of
     /// emitting a poisoned number.
-    fn predict_resource(&mut self, k: usize, series: &[f64], scale: f64) -> f64 {
+    fn predict_resource_in(
+        &self,
+        k: usize,
+        series: &[f64],
+        scale: f64,
+        scratch: &mut PredictionScratch,
+    ) -> f64 {
         let sigma = self.gate.sigma_hat(k);
         let healthy =
             series.iter().all(|v| v.is_finite()) && sigma.is_finite() && sigma <= SIGMA_BLOWUP;
         if healthy {
             // Step 1: DNN prediction (persistence fallback if untrained).
-            let mut u_hat = self.dnn[k].predict(series);
+            let mut u_hat = self.dnn[k].predict_with(series, &mut scratch.nets[k]);
             // Step 2: HMM peak/valley correction.
             if self.use_hmm {
                 u_hat = self.hmm[k].adjust(u_hat, series);
@@ -283,8 +360,8 @@ impl CorpJobPredictor {
                 return u_hat.max(0.0);
             }
         }
-        self.fallbacks.dnn_rejected += 1;
-        self.fallback_estimate(k, series)
+        scratch.fallbacks.dnn_rejected += 1;
+        self.fallback_estimate_in(k, series, &mut scratch.fallbacks)
     }
 
     /// Degraded prediction rungs, used when the DNN path is rejected:
@@ -294,7 +371,12 @@ impl CorpJobPredictor {
     /// 2. exponential smoothing over the finite subset of the series;
     /// 3. 0.0 — with no finite evidence, claim no unused resource (the
     ///    conservative end: nothing is reclaimed on a blind prediction).
-    fn fallback_estimate(&mut self, k: usize, series: &[f64]) -> f64 {
+    fn fallback_estimate_in(
+        &self,
+        k: usize,
+        series: &[f64],
+        counters: &mut FallbackCounters,
+    ) -> f64 {
         let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
         if let Some(&last) = finite.last() {
             let adjusted = if self.use_hmm {
@@ -303,17 +385,17 @@ impl CorpJobPredictor {
                 last
             };
             if adjusted.is_finite() {
-                self.fallbacks.hmm_last_value += 1;
+                counters.hmm_last_value += 1;
                 return adjusted.max(0.0);
             }
             let mut ets = SimpleExp::new(FALLBACK_ETS_ALPHA);
             ets.observe_all(&finite);
             if let Some(forecast) = ets.forecast(1).filter(|f| f.is_finite()) {
-                self.fallbacks.ets += 1;
+                counters.ets += 1;
                 return forecast.max(0.0);
             }
         }
-        self.fallbacks.zero += 1;
+        counters.zero += 1;
         0.0
     }
 

@@ -15,6 +15,6 @@ pub mod dra;
 pub mod rccr;
 
 pub use cloudscale::CloudScalePredictor;
-pub use corp::{CorpJobPredictor, FallbackCounters};
+pub use corp::{CorpJobPredictor, FallbackCounters, PredictionScratch};
 pub use dra::DraPredictor;
 pub use rccr::RccrPredictor;

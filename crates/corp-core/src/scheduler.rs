@@ -25,8 +25,11 @@
 
 use crate::config::CorpConfig;
 use crate::packing::{pack_complementary, JobEntity, PackableJob};
-use crate::placement::{most_matched_vm, random_fitting_vm};
-use crate::predictor::{CloudScalePredictor, CorpJobPredictor, DraPredictor, RccrPredictor};
+use crate::placement::{random_fitting_vm, VolumeIndex};
+use crate::predictor::{
+    CloudScalePredictor, CorpJobPredictor, DraPredictor, FallbackCounters, PredictionScratch,
+    RccrPredictor,
+};
 use corp_sim::{
     Placement, PredictionRecord, ProvisionPlan, Provisioner, ResourceVector, SlotContext,
 };
@@ -103,6 +106,11 @@ fn resolve_window_outcomes(
 
 /// Shared placement step: pack (optionally), choose VMs, emit placements.
 /// `alloc_of` maps a job id to the allocation it should be granted.
+///
+/// Volume placement runs through a [`VolumeIndex`] built once per call and
+/// repositioned after each reservation, so a burst of `E` entities over `V`
+/// VMs costs `O((V + E) log V)` instead of the `O(E * V)` rescan — same
+/// choices (the index reproduces the linear Eq. 22 argmin exactly).
 #[allow(clippy::too_many_arguments)]
 fn place_pending(
     ctx: &SlotContext<'_>,
@@ -134,20 +142,28 @@ fn place_pending(
             })
             .collect()
     };
+    if entities.is_empty() {
+        return;
+    }
 
+    let mut index = use_volume.then(|| VolumeIndex::new(pools, &ctx.max_vm_capacity));
     let place_entity = |entity: &JobEntity,
                         pools: &mut [ResourceVector],
+                        index: &mut Option<VolumeIndex>,
                         rng: &mut StdRng,
                         plan: &mut ProvisionPlan|
      -> bool {
-        let choice = if use_volume {
-            most_matched_vm(pools, &entity.total_demand, &ctx.max_vm_capacity)
+        let choice = if let Some(idx) = index.as_ref() {
+            idx.best_fit(pools, &entity.total_demand, &ctx.max_vm_capacity)
         } else {
             random_fitting_vm(pools, &entity.total_demand, rng)
         };
         let Some(vm) = choice else { return false };
         pools[vm] -= entity.total_demand;
         pools[vm] = pools[vm].clamp_nonnegative();
+        if let Some(idx) = index.as_mut() {
+            idx.update(vm, &pools[vm], &ctx.max_vm_capacity);
+        }
         for &job in &entity.jobs {
             let req = requested[&job];
             plan.placements.push(Placement {
@@ -160,7 +176,7 @@ fn place_pending(
     };
 
     for entity in &entities {
-        if place_entity(entity, pools, rng, plan) {
+        if place_entity(entity, pools, &mut index, rng, plan) {
             continue;
         }
         // Paper fallback: a pair that fits nowhere is split and its members
@@ -171,10 +187,66 @@ fn place_pending(
                     jobs: vec![job],
                     total_demand: requested[&job],
                 };
-                place_entity(&single, pools, rng, plan);
+                place_entity(&single, pools, &mut index, rng, plan);
             }
         }
     }
+}
+
+/// Number of worker threads for a prediction fan-out over `tasks` tasks.
+fn prediction_threads(parallel: bool, tasks: usize) -> usize {
+    if !parallel || tasks < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(tasks)
+}
+
+/// Fans the per-VM predictions of one provisioning window across scoped
+/// threads, returning one slot per VM position (None for VMs with no jobs
+/// or no forecast). Results are written by task index, so the output — and
+/// everything downstream of it — is independent of the thread count; with
+/// `parallel` false the same tasks run serially in order.
+fn fan_out_vm_predictions<F>(
+    vms: &[corp_sim::VmView],
+    parallel: bool,
+    predict: F,
+) -> Vec<Option<ResourceVector>>
+where
+    F: Fn(&corp_sim::VmView) -> Option<ResourceVector> + Sync,
+{
+    let tasks: Vec<usize> = vms
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.jobs.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let mut out: Vec<Option<ResourceVector>> = vec![None; vms.len()];
+    let threads = prediction_threads(parallel, tasks.len());
+    if threads <= 1 {
+        for &i in &tasks {
+            out[i] = predict(&vms[i]);
+        }
+        return out;
+    }
+    let mut results: Vec<Option<ResourceVector>> = vec![None; tasks.len()];
+    let chunk_len = tasks.len().div_ceil(threads);
+    let predict = &predict;
+    std::thread::scope(|s| {
+        for (chunk, slots) in tasks.chunks(chunk_len).zip(results.chunks_mut(chunk_len)) {
+            s.spawn(move || {
+                for (&i, slot) in chunk.iter().zip(slots.iter_mut()) {
+                    *slot = predict(&vms[i]);
+                }
+            });
+        }
+    });
+    for (&i, r) in tasks.iter().zip(results) {
+        out[i] = r;
+    }
+    out
 }
 
 /// Registers one engine prediction record per resource for a VM.
@@ -297,6 +369,71 @@ impl Provisioner for CorpProvisioner {
         let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
 
         if ctx.slot % window == 0 {
+            // Flatten the fleet's prediction work into (vm, job) tasks and
+            // fan them across scoped threads. Each worker predicts through
+            // its own scratch against the shared immutable predictor and
+            // writes by task index, so `u_hats` — and everything downstream
+            // — is bit-identical to the serial path regardless of thread
+            // count; fallback-counter deltas merge after the join (u64
+            // adds, order-independent).
+            let tasks: Vec<(usize, usize)> = ctx
+                .vms
+                .iter()
+                .enumerate()
+                .flat_map(|(vi, vm)| {
+                    vm.jobs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, job)| !job.recent_unused.is_empty())
+                        .map(move |(ji, _)| (vi, ji))
+                })
+                .collect();
+            let threads = prediction_threads(self.config.parallel_prediction, tasks.len());
+            let u_hats: Vec<ResourceVector> = if threads > 1 {
+                let mut results = vec![ResourceVector::ZERO; tasks.len()];
+                let chunk_len = tasks.len().div_ceil(threads);
+                let predictor = &self.predictor;
+                let deltas: Vec<FallbackCounters> = std::thread::scope(|s| {
+                    let handles: Vec<_> = tasks
+                        .chunks(chunk_len)
+                        .zip(results.chunks_mut(chunk_len))
+                        .map(|(chunk, slots)| {
+                            s.spawn(move || {
+                                let mut scratch = PredictionScratch::new();
+                                for (&(vi, ji), slot) in chunk.iter().zip(slots.iter_mut()) {
+                                    let job = &ctx.vms[vi].jobs[ji];
+                                    let series = job_unused_series(job);
+                                    *slot = predictor.predict_job_in(
+                                        &series,
+                                        &job.requested,
+                                        &mut scratch,
+                                    );
+                                }
+                                scratch.fallbacks
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("prediction worker panicked"))
+                        .collect()
+                });
+                for delta in &deltas {
+                    self.predictor.merge_fallbacks(delta);
+                }
+                results
+            } else {
+                tasks
+                    .iter()
+                    .map(|&(vi, ji)| {
+                        let job = &ctx.vms[vi].jobs[ji];
+                        let series = job_unused_series(job);
+                        self.predictor.predict_job(&series, &job.requested)
+                    })
+                    .collect()
+            };
+
+            let mut next_task = 0usize;
             for vm in ctx.vms {
                 if vm.jobs.is_empty() {
                     continue;
@@ -306,8 +443,8 @@ impl Provisioner for CorpProvisioner {
                     if job.recent_unused.is_empty() {
                         continue;
                     }
-                    let series = job_unused_series(job);
-                    let u_hat = self.predictor.predict_job(&series, &job.requested);
+                    let u_hat = u_hats[next_task];
+                    next_task += 1;
                     // Demand reference for the safety floor: the mean over
                     // the last prediction window. The confidence-interval
                     // term inside `u_hat` supplies the safety margin above
@@ -416,6 +553,7 @@ pub struct RccrProvisioner {
     predictor: RccrPredictor,
     rng: StdRng,
     pending_outcomes: Vec<(usize, u64, ResourceVector)>,
+    parallel_prediction: bool,
 }
 
 impl RccrProvisioner {
@@ -426,7 +564,15 @@ impl RccrProvisioner {
             predictor: RccrPredictor::new(0.5, confidence),
             rng: StdRng::seed_from_u64(seed),
             pending_outcomes: Vec::new(),
+            parallel_prediction: true,
         }
+    }
+
+    /// Enables or disables the scoped-thread prediction fan-out (reports
+    /// are byte-identical either way; `false` is the determinism suite's
+    /// A/B switch).
+    pub fn set_parallel_prediction(&mut self, enabled: bool) {
+        self.parallel_prediction = enabled;
     }
 }
 
@@ -518,11 +664,14 @@ impl Provisioner for RccrProvisioner {
 
         let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
         if ctx.slot % self.window_slots == 0 {
-            for vm in ctx.vms {
+            let preds = fan_out_vm_predictions(ctx.vms, self.parallel_prediction, |vm| {
+                self.predictor.predict(vm.id)
+            });
+            for (i, vm) in ctx.vms.iter().enumerate() {
                 if vm.jobs.is_empty() {
                     continue;
                 }
-                let Some(prediction) = self.predictor.predict(vm.id) else {
+                let Some(prediction) = preds[i] else {
                     continue;
                 };
                 baseline_reclaim(vm, &prediction, &mut pools, &mut plan);
@@ -557,6 +706,7 @@ pub struct CloudScaleProvisioner {
     predictor: CloudScalePredictor,
     rng: StdRng,
     pending_outcomes: Vec<(usize, u64, ResourceVector)>,
+    parallel_prediction: bool,
 }
 
 impl CloudScaleProvisioner {
@@ -573,7 +723,15 @@ impl CloudScaleProvisioner {
             predictor: CloudScalePredictor::with_padding_scale(pad_scale),
             rng: StdRng::seed_from_u64(seed),
             pending_outcomes: Vec::new(),
+            parallel_prediction: true,
         }
+    }
+
+    /// Enables or disables the scoped-thread prediction fan-out (reports
+    /// are byte-identical either way; `false` is the determinism suite's
+    /// A/B switch).
+    pub fn set_parallel_prediction(&mut self, enabled: bool) {
+        self.parallel_prediction = enabled;
     }
 }
 
@@ -603,11 +761,14 @@ impl Provisioner for CloudScaleProvisioner {
 
         let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
         if ctx.slot % self.window_slots == 0 {
-            for vm in ctx.vms {
+            let preds = fan_out_vm_predictions(ctx.vms, self.parallel_prediction, |vm| {
+                self.predictor.predict(vm.id)
+            });
+            for (i, vm) in ctx.vms.iter().enumerate() {
                 if vm.jobs.is_empty() {
                     continue;
                 }
-                let Some(prediction) = self.predictor.predict(vm.id) else {
+                let Some(prediction) = preds[i] else {
                     continue;
                 };
                 baseline_reclaim(vm, &prediction, &mut pools, &mut plan);

@@ -1,0 +1,76 @@
+//! Property tests pinning the incremental [`VolumeIndex`] to the linear
+//! Eq. 22 scan ([`most_matched_vm`]) it replaces: same winner on arbitrary
+//! fleets — including exact volume ties, which must break toward the lower
+//! VM index in both — and after arbitrary sequences of incremental pool
+//! updates.
+
+use corp_core::{most_matched_vm, VolumeIndex};
+use corp_sim::ResourceVector;
+use proptest::prelude::*;
+
+const REF: f64 = 8.0;
+
+/// Quantized components (multiples of 0.5 in `[0, 4]`) make coinciding
+/// volumes — and therefore tie-breaks — common instead of measure-zero.
+fn quantized_rv() -> impl Strategy<Value = ResourceVector> {
+    (0u8..=8, 0u8..=8, 0u8..=8)
+        .prop_map(|(a, b, c)| ResourceVector::new([a as f64 * 0.5, b as f64 * 0.5, c as f64 * 0.5]))
+}
+
+/// Continuous components in `[0, 4]` — the generic nonnegative-finite case.
+fn continuous_rv() -> impl Strategy<Value = ResourceVector> {
+    (0.0f64..4.0, 0.0f64..4.0, 0.0f64..4.0).prop_map(|(a, b, c)| ResourceVector::new([a, b, c]))
+}
+
+proptest! {
+    #[test]
+    fn index_equals_linear_scan_on_tie_heavy_fleets(
+        pools in prop::collection::vec(quantized_rv(), 1..40),
+        demands in prop::collection::vec(quantized_rv(), 1..8),
+    ) {
+        let reference = ResourceVector::splat(REF);
+        let idx = VolumeIndex::new(&pools, &reference);
+        for demand in &demands {
+            prop_assert_eq!(
+                idx.best_fit(&pools, demand, &reference),
+                most_matched_vm(&pools, demand, &reference),
+                "pools {:?} demand {:?}", pools, demand
+            );
+        }
+    }
+
+    #[test]
+    fn index_equals_linear_scan_on_continuous_fleets(
+        pools in prop::collection::vec(continuous_rv(), 1..40),
+        demands in prop::collection::vec(continuous_rv(), 1..8),
+    ) {
+        let reference = ResourceVector::splat(REF);
+        let idx = VolumeIndex::new(&pools, &reference);
+        for demand in &demands {
+            prop_assert_eq!(
+                idx.best_fit(&pools, demand, &reference),
+                most_matched_vm(&pools, demand, &reference),
+            );
+        }
+    }
+
+    #[test]
+    fn index_equals_linear_scan_under_incremental_updates(
+        mut pools in prop::collection::vec(quantized_rv(), 1..20),
+        updates in prop::collection::vec((0usize..20, quantized_rv()), 1..60),
+        demand in quantized_rv(),
+    ) {
+        let reference = ResourceVector::splat(REF);
+        let mut idx = VolumeIndex::new(&pools, &reference);
+        for (slot, pool) in updates {
+            let i = slot % pools.len();
+            pools[i] = pool;
+            idx.update(i, &pools[i], &reference);
+            prop_assert_eq!(
+                idx.best_fit(&pools, &demand, &reference),
+                most_matched_vm(&pools, &demand, &reference),
+                "after updating vm {} to {:?}", i, pools[i]
+            );
+        }
+    }
+}

@@ -39,7 +39,7 @@ pub mod train;
 pub use activation::Activation;
 pub use autoencoder::Autoencoder;
 pub use matrix::Matrix;
-pub use network::Network;
+pub use network::{BatchScratch, Network, Scratch};
 pub use parallel::ParallelTrainer;
-pub use predictor::{UnusedResourcePredictor, WindowPredictorConfig};
+pub use predictor::{PredictScratch, UnusedResourcePredictor, WindowPredictorConfig};
 pub use train::{TrainConfig, TrainReport, Trainer};

@@ -5,7 +5,9 @@
 //! [`ParallelTrainer`] implements synchronous data-parallel SGD (the
 //! classic parameter-server/all-reduce scheme, single-machine edition):
 //! each epoch the shuffled training set is split into `workers` shards,
-//! every worker runs SGD over its shard on a *replica* of the network, and
+//! every worker runs minibatch SGD over its shard on a *replica* of the
+//! network (through the blocked batch kernels of
+//! [`crate::network::BatchScratch`]), and
 //! the replicas' weights are averaged back into the master — equivalent in
 //! expectation to large-batch SGD with `workers`-fold less wall-clock per
 //! epoch. Scoped threads keep the code data-race-free without `unsafe` or
@@ -90,19 +92,32 @@ impl ParallelTrainer {
             train_order.shuffle(&mut rng);
 
             // Fan the epoch out: one replica per shard, trained in
-            // parallel, then weight-averaged back into the master.
+            // parallel through the blocked minibatch kernel (each worker
+            // owns its batch scratch), then weight-averaged back into the
+            // master. The minibatch uses the mean gradient, so the
+            // learning rate is scaled by the batch width (the classic
+            // linear-scaling rule) to keep per-epoch movement comparable
+            // to per-sample SGD.
             let shards: Vec<&[usize]> = chunks(&train_order, workers);
+            let batch = self.config.batch_size.max(1);
             let mut replicas: Vec<Network> = Vec::with_capacity(shards.len());
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(shards.len());
                 for shard in &shards {
                     let mut replica = net.clone();
-                    let lr = self.config.learning_rate;
+                    let lr = self.config.learning_rate * batch as f64;
                     let momentum = self.config.momentum;
                     handles.push(scope.spawn(move || {
-                        for &i in *shard {
-                            replica.train_on(&inputs[i], &targets[i], lr, momentum);
-                        }
+                        let mut scratch = crate::network::BatchScratch::new();
+                        replica.train_minibatches(
+                            inputs,
+                            targets,
+                            shard,
+                            batch,
+                            lr,
+                            momentum,
+                            &mut scratch,
+                        );
                         replica
                     }));
                 }
@@ -160,29 +175,31 @@ fn chunks(items: &[usize], n: usize) -> Vec<&[usize]> {
     out
 }
 
-/// Averages replica weights element-wise into the master network.
+/// Averages replica weights element-wise into the master network. Runs on
+/// the flat weight slices (replicas are joined in shard order, so the
+/// reduction order — and hence the result — is deterministic).
 fn average_into(master: &mut Network, replicas: &[Network]) {
     if replicas.is_empty() {
         return;
     }
     let scale = 1.0 / replicas.len() as f64;
     for d in 0..master.depth() {
-        let cols = master.layer_weights(d).cols();
-        let rows = master.layer_weights(d).rows();
-        for r in 0..rows {
-            for c in 0..cols {
-                let avg: f64 = replicas
-                    .iter()
-                    .map(|n| n.layer_weights(d).get(r, c))
-                    .sum::<f64>()
-                    * scale;
-                *master.layer_weights_mut(d).get_mut(r, c) = avg;
-            }
-        }
-        let bias_avg: Vec<f64> = (0..rows)
-            .map(|i| replicas.iter().map(|n| n.layer_biases(d)[i]).sum::<f64>() * scale)
+        let weight_srcs: Vec<&[f64]> = replicas
+            .iter()
+            .map(|n| n.layer_weights(d).as_slice())
             .collect();
-        master.layer_biases_mut(d).copy_from_slice(&bias_avg);
+        for (k, w) in master
+            .layer_weights_mut(d)
+            .as_mut_slice()
+            .iter_mut()
+            .enumerate()
+        {
+            *w = weight_srcs.iter().map(|s| s[k]).sum::<f64>() * scale;
+        }
+        let bias_srcs: Vec<&[f64]> = replicas.iter().map(|n| n.layer_biases(d)).collect();
+        for (k, b) in master.layer_biases_mut(d).iter_mut().enumerate() {
+            *b = bias_srcs.iter().map(|s| s[k]).sum::<f64>() * scale;
+        }
     }
 }
 

@@ -14,9 +14,27 @@
 //! population. Predictions are mapped back to resource units and clamped
 //! non-negative (negative unused resource is meaningless).
 
-use crate::network::Network;
+use crate::network::{Network, Scratch};
 use crate::train::{TrainConfig, TrainReport, Trainer};
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for [`UnusedResourcePredictor::predict_with`]: the
+/// assembled input window plus the network's activation scratch. One per
+/// worker thread lets a fleet of threads query a shared predictor with zero
+/// steady-state allocation.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    window: Vec<f64>,
+    input: Vec<f64>,
+    net: Scratch,
+}
+
+impl PredictScratch {
+    /// An empty scratch; sized lazily on first use.
+    pub fn new() -> Self {
+        PredictScratch::default()
+    }
+}
 
 /// Configuration for a windowed DNN predictor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,6 +73,9 @@ pub struct UnusedResourcePredictor {
     config: WindowPredictorConfig,
     net: Network,
     trained: bool,
+    /// Scratch for the owned-access [`predict`](Self::predict) entry point.
+    #[serde(skip)]
+    scratch: PredictScratch,
 }
 
 impl UnusedResourcePredictor {
@@ -82,6 +103,7 @@ impl UnusedResourcePredictor {
             config,
             net,
             trained: false,
+            scratch: PredictScratch::new(),
         }
     }
 
@@ -150,12 +172,28 @@ impl UnusedResourcePredictor {
     ///
     /// Panics if `recent` is empty.
     pub fn predict(&mut self, recent: &[f64]) -> f64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let y = self.predict_with(recent, &mut scratch);
+        self.scratch = scratch;
+        y
+    }
+
+    /// [`predict`](Self::predict) through caller-provided scratch, leaving
+    /// the predictor immutable so scoped threads can share one
+    /// `&UnusedResourcePredictor`. Bit-identical to `predict` (same window
+    /// assembly, same fused forward kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recent` is empty.
+    pub fn predict_with(&self, recent: &[f64], scratch: &mut PredictScratch) -> f64 {
         assert!(!recent.is_empty(), "need at least one recent observation");
         if !self.trained {
             return recent[recent.len() - 1].max(0.0);
         }
         let w = self.config.window;
-        let mut window = Vec::with_capacity(w);
+        let window = &mut scratch.window;
+        window.clear();
         if recent.len() >= w {
             window.extend_from_slice(&recent[recent.len() - w..]);
         } else {
@@ -163,9 +201,10 @@ impl UnusedResourcePredictor {
             window.extend(std::iter::repeat_n(recent[0], pad));
             window.extend_from_slice(recent);
         }
-        let scale = Self::window_scale(&window);
-        let input: Vec<f64> = window.iter().map(|v| v / scale).collect();
-        let y = self.net.forward(&input)[0] * scale;
+        let scale = Self::window_scale(window);
+        scratch.input.clear();
+        scratch.input.extend(window.iter().map(|v| v / scale));
+        let y = self.net.forward_with(&scratch.input, &mut scratch.net)[0] * scale;
         y.max(0.0)
     }
 }
@@ -251,6 +290,21 @@ mod tests {
         p.fit(&histories).unwrap();
         let pred = p.predict(&[5.0]);
         assert!((pred - 5.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn predict_with_shared_scratch_matches_owned_predict() {
+        let mut p = UnusedResourcePredictor::new(small_config());
+        let histories: Vec<Vec<f64>> = (0..8)
+            .map(|j| (0..40).map(|t| 4.0 + ((t + j) % 4) as f64 * 0.3).collect())
+            .collect();
+        p.fit(&histories).unwrap();
+        let mut scratch = PredictScratch::new();
+        for recent in [&[4.0, 4.3, 4.6, 4.0][..], &[4.5][..], &[0.0, 9.0][..]] {
+            let shared = p.predict_with(recent, &mut scratch);
+            let owned = p.predict(recent);
+            assert_eq!(shared.to_bits(), owned.to_bits());
+        }
     }
 
     #[test]

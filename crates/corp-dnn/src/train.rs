@@ -32,6 +32,14 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Shuffle seed (training is deterministic per seed).
     pub seed: u64,
+    /// Run the pre-optimization per-sample kernels
+    /// ([`Network::train_on_reference`]) instead of the fused ones. The two
+    /// are bit-identical; this switch exists so the determinism suite can
+    /// A/B them end-to-end.
+    pub reference_kernels: bool,
+    /// Minibatch width for [`Trainer::train_minibatched`] and the parallel
+    /// trainer's shards.
+    pub batch_size: usize,
 }
 
 impl Default for TrainConfig {
@@ -44,6 +52,8 @@ impl Default for TrainConfig {
             tolerance: 1e-4,
             patience: 5,
             seed: 0x5EED,
+            reference_kernels: false,
+            batch_size: 4,
         }
     }
 }
@@ -67,6 +77,11 @@ pub struct TrainReport {
 pub struct Trainer {
     config: TrainConfig,
 }
+
+/// What [`Trainer::split`] hands back: the RNG mid-stream (so per-epoch
+/// shuffles continue the same sequence), the training-set order, and the
+/// held-out validation inputs and targets.
+type Split = (StdRng, Vec<usize>, Vec<Vec<f64>>, Vec<Vec<f64>>);
 
 impl Trainer {
     /// Creates a trainer.
@@ -106,6 +121,80 @@ impl Trainer {
         inputs: &[Vec<f64>],
         targets: &[Vec<f64>],
     ) -> TrainReport {
+        let (mut rng, mut train_order, val_inputs, val_targets) = self.split(inputs, targets);
+        let mut stop = Convergence::new(self.config.tolerance, self.config.patience);
+
+        for _epoch in 0..self.config.max_epochs {
+            train_order.shuffle(&mut rng);
+            for &i in &train_order {
+                if self.config.reference_kernels {
+                    net.train_on_reference(
+                        &inputs[i],
+                        &targets[i],
+                        self.config.learning_rate,
+                        self.config.momentum,
+                    );
+                } else {
+                    net.train_on(
+                        &inputs[i],
+                        &targets[i],
+                        self.config.learning_rate,
+                        self.config.momentum,
+                    );
+                }
+            }
+            let val_mse = net.mse(&val_inputs, &val_targets);
+            if stop.record(val_mse) {
+                break;
+            }
+        }
+        stop.into_report()
+    }
+
+    /// Minibatch variant of [`train`](Self::train): identical shuffle,
+    /// split, and early-stopping protocol, but each epoch applies one
+    /// mean-gradient update per `batch_size` examples through the blocked
+    /// kernels ([`Network::train_minibatches`]). This is the throughput
+    /// path — fewer, wider updates — and is *not* numerically interchangeable
+    /// with per-sample SGD, so callers pick explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`train`](Self::train).
+    pub fn train_minibatched(
+        &self,
+        net: &mut Network,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        scratch: &mut crate::network::BatchScratch,
+    ) -> TrainReport {
+        let (mut rng, mut train_order, val_inputs, val_targets) = self.split(inputs, targets);
+        let mut stop = Convergence::new(self.config.tolerance, self.config.patience);
+        let batch = self.config.batch_size.max(1);
+
+        for _epoch in 0..self.config.max_epochs {
+            train_order.shuffle(&mut rng);
+            net.train_minibatches(
+                inputs,
+                targets,
+                &train_order,
+                batch,
+                self.config.learning_rate,
+                self.config.momentum,
+                scratch,
+            );
+            let val_mse = net.mse_batched(&val_inputs, &val_targets, batch, scratch);
+            if stop.record(val_mse) {
+                break;
+            }
+        }
+        stop.into_report()
+    }
+
+    /// Shuffles once, carves off the validation split, and returns the RNG
+    /// mid-stream so per-epoch shuffles continue the same sequence for
+    /// every training variant.
+    fn split(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> Split {
         assert_eq!(inputs.len(), targets.len(), "dataset length mismatch");
         assert!(!inputs.is_empty(), "cannot train on an empty dataset");
 
@@ -123,52 +212,65 @@ impl Trainer {
 
         let val_inputs: Vec<Vec<f64>> = val_idx.iter().map(|&i| inputs[i].clone()).collect();
         let val_targets: Vec<Vec<f64>> = val_idx.iter().map(|&i| targets[i].clone()).collect();
+        (rng, train_idx.to_vec(), val_inputs, val_targets)
+    }
+}
 
-        let mut train_order: Vec<usize> = train_idx.to_vec();
-        let mut history = Vec::new();
-        let mut best = f64::INFINITY;
-        let mut calm_epochs = 0;
-        let mut converged = false;
+/// The validation-convergence state machine shared by the per-sample and
+/// minibatch trainers (relative-improvement tolerance with patience).
+struct Convergence {
+    tolerance: f64,
+    patience: usize,
+    history: Vec<f64>,
+    best: f64,
+    calm_epochs: usize,
+    converged: bool,
+}
 
-        for _epoch in 0..self.config.max_epochs {
-            train_order.shuffle(&mut rng);
-            for &i in &train_order {
-                net.train_on(
-                    &inputs[i],
-                    &targets[i],
-                    self.config.learning_rate,
-                    self.config.momentum,
-                );
-            }
-            let val_mse = net.mse(&val_inputs, &val_targets);
-            history.push(val_mse);
-
-            let improvement = if best.is_finite() && best > 0.0 {
-                (best - val_mse) / best
-            } else if best.is_infinite() {
-                1.0
-            } else {
-                0.0
-            };
-            if val_mse < best {
-                best = val_mse;
-            }
-            if improvement < self.config.tolerance {
-                calm_epochs += 1;
-                if calm_epochs >= self.config.patience {
-                    converged = true;
-                    break;
-                }
-            } else {
-                calm_epochs = 0;
-            }
+impl Convergence {
+    fn new(tolerance: f64, patience: usize) -> Self {
+        Convergence {
+            tolerance,
+            patience,
+            history: Vec::new(),
+            best: f64::INFINITY,
+            calm_epochs: 0,
+            converged: false,
         }
+    }
 
+    /// Records one epoch's validation MSE; returns true when training
+    /// should stop.
+    fn record(&mut self, val_mse: f64) -> bool {
+        self.history.push(val_mse);
+        let improvement = if self.best.is_finite() && self.best > 0.0 {
+            (self.best - val_mse) / self.best
+        } else if self.best.is_infinite() {
+            1.0
+        } else {
+            0.0
+        };
+        if val_mse < self.best {
+            self.best = val_mse;
+        }
+        if improvement < self.tolerance {
+            self.calm_epochs += 1;
+            if self.calm_epochs >= self.patience {
+                self.converged = true;
+                return true;
+            }
+        } else {
+            self.calm_epochs = 0;
+        }
+        false
+    }
+
+    fn into_report(self) -> TrainReport {
         TrainReport {
-            epochs_run: history.len(),
-            final_validation_mse: *history.last().expect("at least one epoch runs"),
-            validation_history: history,
-            converged,
+            epochs_run: self.history.len(),
+            final_validation_mse: *self.history.last().expect("at least one epoch runs"),
+            validation_history: self.history,
+            converged: self.converged,
         }
     }
 }
@@ -255,6 +357,69 @@ mod tests {
                 .final_validation_mse
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn reference_kernels_reproduce_fused_training_bit_for_bit() {
+        let (inputs, targets) = toy_dataset(50);
+        let run = |reference_kernels| {
+            let mut net = Network::new(&[2, 8, 1], Activation::Sigmoid, Activation::Identity, 6);
+            let trainer = Trainer::new(TrainConfig {
+                reference_kernels,
+                max_epochs: 15,
+                patience: 50,
+                ..TrainConfig::default()
+            });
+            let report = trainer.train(&mut net, &inputs, &targets);
+            (
+                report
+                    .validation_history
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                net.layer_weights(0).as_slice().to_vec(),
+            )
+        };
+        let (fused_hist, fused_w) = run(false);
+        let (ref_hist, ref_w) = run(true);
+        assert_eq!(fused_hist, ref_hist);
+        assert_eq!(fused_w, ref_w);
+    }
+
+    #[test]
+    fn minibatched_training_converges_on_learnable_task() {
+        let (inputs, targets) = toy_dataset(80);
+        let mut net = Network::new(&[2, 10, 1], Activation::Sigmoid, Activation::Identity, 2);
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 400,
+            learning_rate: 0.2,
+            ..TrainConfig::default()
+        });
+        let mut scratch = crate::network::BatchScratch::new();
+        let report = trainer.train_minibatched(&mut net, &inputs, &targets, &mut scratch);
+        assert!(
+            report.final_validation_mse < 0.01,
+            "validation MSE too high: {}",
+            report.final_validation_mse
+        );
+    }
+
+    #[test]
+    fn minibatched_training_is_deterministic_per_seed() {
+        let (inputs, targets) = toy_dataset(40);
+        let run = || {
+            let mut net = Network::new(&[2, 6, 1], Activation::Sigmoid, Activation::Identity, 5);
+            let trainer = Trainer::new(TrainConfig {
+                max_epochs: 20,
+                patience: 50,
+                ..TrainConfig::default()
+            });
+            let mut scratch = crate::network::BatchScratch::new();
+            trainer
+                .train_minibatched(&mut net, &inputs, &targets, &mut scratch)
+                .final_validation_mse
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
     }
 
     #[test]

@@ -183,6 +183,11 @@ impl Simulation {
         let mut active = 0usize; // pending + running
         let mut slot = 0u64;
         let last_arrival = self.arrivals.last().map(|&(s, _)| s).unwrap_or(0);
+        // Per-slot scratch, hoisted so the hot loop reuses the allocations
+        // instead of rebuilding them every slot.
+        let mut slot_vm_unused = vec![ResourceVector::ZERO; self.cluster.vms.len()];
+        let mut vm_views: Vec<VmView> = Vec::with_capacity(self.cluster.vms.len());
+        let mut pending_views: Vec<PendingJobView> = Vec::new();
         // The runtime is threaded as a local so fault handling can borrow
         // job/VM state alongside it.
         let mut fault_rt = self.faults.take();
@@ -245,86 +250,80 @@ impl Simulation {
 
             // 2. Ask the provisioner for a plan.
             let plan = {
-                let vm_views: Vec<VmView> = self
-                    .cluster
-                    .vms
-                    .iter()
-                    .map(|vm| {
-                        // A down VM presents as zero capacity with nothing
-                        // running: provisioners cannot place onto it, and
-                        // sharded stores rebase it to an empty ledger.
-                        if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
-                            return VmView {
-                                id: vm.id,
-                                capacity: ResourceVector::ZERO,
-                                committed: ResourceVector::ZERO,
-                                free: ResourceVector::ZERO,
-                                jobs: Vec::new(),
-                                unused_history: Vec::new(),
-                            };
-                        }
-                        let mut view = VmView {
+                vm_views.clear();
+                vm_views.extend(self.cluster.vms.iter().map(|vm| {
+                    // A down VM presents as zero capacity with nothing
+                    // running: provisioners cannot place onto it, and
+                    // sharded stores rebase it to an empty ledger.
+                    if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
+                        return VmView {
                             id: vm.id,
-                            capacity: vm.capacity,
-                            committed: vm_committed[vm.id],
-                            free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
-                            jobs: vm_jobs[vm.id]
-                                .iter()
-                                .map(|&ji| {
-                                    let j = &self.jobs[ji];
-                                    let tail = |v: &Vec<ResourceVector>| {
-                                        let start = v
-                                            .len()
-                                            .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                                        v[start..].to_vec()
-                                    };
-                                    crate::provisioner::RunningJobView {
-                                        id: j.id(),
-                                        requested: j.requested(),
-                                        allocation: j.allocation,
-                                        recent_demand: tail(&j.observed_demand),
-                                        recent_unused: tail(&j.observed_unused),
-                                    }
-                                })
-                                .collect(),
-                            unused_history: {
-                                let h = &self.vm_unused_history[vm.id];
-                                let start =
-                                    h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                                h[start..].to_vec()
-                            },
+                            capacity: ResourceVector::ZERO,
+                            committed: ResourceVector::ZERO,
+                            free: ResourceVector::ZERO,
+                            jobs: Vec::new(),
+                            unused_history: Vec::new(),
                         };
-                        // Poisoning corrupts only the monitoring tails the
-                        // provisioner sees this slot; ground truth stays
-                        // intact.
-                        if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
-                            for job in &mut view.jobs {
-                                if let Some(v) = job.recent_demand.last_mut() {
-                                    corrupt_vector(v, kind);
+                    }
+                    let mut view = VmView {
+                        id: vm.id,
+                        capacity: vm.capacity,
+                        committed: vm_committed[vm.id],
+                        free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
+                        jobs: vm_jobs[vm.id]
+                            .iter()
+                            .map(|&ji| {
+                                let j = &self.jobs[ji];
+                                let tail = |v: &Vec<ResourceVector>| {
+                                    let start = v
+                                        .len()
+                                        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                                    v[start..].to_vec()
+                                };
+                                crate::provisioner::RunningJobView {
+                                    id: j.id(),
+                                    requested: j.requested(),
+                                    allocation: j.allocation,
+                                    recent_demand: tail(&j.observed_demand),
+                                    recent_unused: tail(&j.observed_unused),
                                 }
-                                if let Some(v) = job.recent_unused.last_mut() {
-                                    corrupt_vector(v, kind);
-                                }
+                            })
+                            .collect(),
+                        unused_history: {
+                            let h = &self.vm_unused_history[vm.id];
+                            let start =
+                                h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                            h[start..].to_vec()
+                        },
+                    };
+                    // Poisoning corrupts only the monitoring tails the
+                    // provisioner sees this slot; ground truth stays
+                    // intact.
+                    if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
+                        for job in &mut view.jobs {
+                            if let Some(v) = job.recent_demand.last_mut() {
+                                corrupt_vector(v, kind);
                             }
-                            if let Some(v) = view.unused_history.last_mut() {
+                            if let Some(v) = job.recent_unused.last_mut() {
                                 corrupt_vector(v, kind);
                             }
                         }
-                        view
-                    })
-                    .collect();
-                let pending_views: Vec<PendingJobView> = pending
-                    .iter()
-                    .map(|&ji| {
-                        let j = &self.jobs[ji];
-                        PendingJobView {
-                            id: j.id(),
-                            requested: j.requested(),
-                            arrival_slot: j.spec.arrival_slot,
-                            slo_slots: j.spec.slo_slots,
+                        if let Some(v) = view.unused_history.last_mut() {
+                            corrupt_vector(v, kind);
                         }
-                    })
-                    .collect();
+                    }
+                    view
+                }));
+                pending_views.clear();
+                pending_views.extend(pending.iter().map(|&ji| {
+                    let j = &self.jobs[ji];
+                    PendingJobView {
+                        id: j.id(),
+                        requested: j.requested(),
+                        arrival_slot: j.spec.arrival_slot,
+                        slo_slots: j.spec.slo_slots,
+                    }
+                }));
                 let ctx = SlotContext {
                     slot,
                     vms: &vm_views,
@@ -437,7 +436,7 @@ impl Simulation {
             // 5. Advance running jobs and collect per-slot totals.
             let mut slot_allocated = ResourceVector::ZERO;
             let mut slot_demanded = ResourceVector::ZERO;
-            let mut slot_vm_unused = vec![ResourceVector::ZERO; self.cluster.vms.len()];
+            slot_vm_unused.fill(ResourceVector::ZERO);
             for (vm_id, jobs_here) in vm_jobs.iter().enumerate() {
                 if jobs_here.is_empty() {
                     self.vm_unused_history[vm_id].push(ResourceVector::ZERO);
@@ -487,36 +486,45 @@ impl Simulation {
             // 6. Resolve predictions targeting this slot: job-targeted
             // records score against that job's observed unused (dropped if
             // the job already finished), VM-targeted ones against the VM
-            // total.
-            let index_of = &self.index_of;
-            let jobs = &self.jobs;
-            self.pending_predictions.retain(|p| {
-                if p.target_slot != slot {
-                    return p.target_slot > slot; // drop stale, keep future
+            // total. Removal is swap_remove-style: matured records are
+            // plucked without shifting the (much longer) still-pending
+            // tail, so resolution costs O(matured) per slot instead of a
+            // compaction of the whole queue. Resolved outcomes feed only
+            // order-independent aggregates (counts and error rates), so the
+            // removal order never reaches the report.
+            {
+                let mut i = 0;
+                while i < self.pending_predictions.len() {
+                    if self.pending_predictions[i].target_slot > slot {
+                        i += 1;
+                        continue;
+                    }
+                    let p = self.pending_predictions.swap_remove(i);
+                    if p.target_slot != slot || p.resource >= NUM_RESOURCES {
+                        continue; // stale or malformed: dropped unscored
+                    }
+                    let actual = match p.job {
+                        Some(job_id) => match self.index_of.get(&job_id) {
+                            Some(&ji)
+                                if matches!(self.jobs[ji].state, JobState::Running { .. }) =>
+                            {
+                                self.jobs[ji].observed_unused.last().map(|u| u[p.resource])
+                            }
+                            _ => None,
+                        },
+                        None => slot_vm_unused.get(p.vm).map(|u| u[p.resource]),
+                    };
+                    if let Some(actual) = actual {
+                        self.metrics.predictions.push(PredictionOutcome {
+                            vm: p.vm,
+                            resource: p.resource,
+                            target_slot: slot,
+                            predicted: p.predicted,
+                            actual,
+                        });
+                    }
                 }
-                if p.resource >= NUM_RESOURCES {
-                    return false;
-                }
-                let actual = match p.job {
-                    Some(job_id) => match index_of.get(&job_id) {
-                        Some(&ji) if matches!(jobs[ji].state, JobState::Running { .. }) => {
-                            jobs[ji].observed_unused.last().map(|u| u[p.resource])
-                        }
-                        _ => None,
-                    },
-                    None => slot_vm_unused.get(p.vm).map(|u| u[p.resource]),
-                };
-                if let Some(actual) = actual {
-                    self.metrics.predictions.push(PredictionOutcome {
-                        vm: p.vm,
-                        resource: p.resource,
-                        target_slot: slot,
-                        predicted: p.predicted,
-                        actual,
-                    });
-                }
-                false
-            });
+            }
 
             // 7. Completions.
             for (vm_id, jobs_here) in vm_jobs.iter_mut().enumerate() {
@@ -560,7 +568,10 @@ impl Simulation {
 
         let fault_stats = fault_rt.as_mut().map(|f| {
             f.finish();
-            f.stats.clone()
+            // The run is over and the runtime is parked back on `self`
+            // below with its counters spent; taking the stats hands them to
+            // the report without cloning the per-category tallies.
+            std::mem::take(&mut f.stats)
         });
         self.faults = fault_rt;
 

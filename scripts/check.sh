@@ -6,6 +6,11 @@
 #   scripts/check.sh chaos-soak   # heavy fault-injection soak (release,
 #                                 # end-to-end chaos runs; see
 #                                 # crates/corp-faults/tests/soak.rs)
+#   scripts/check.sh perf-smoke   # hot-path throughput smoke: runs the
+#                                 # perf experiment (which panics on any
+#                                 # non-finite or zero throughput and on
+#                                 # tuned-vs-baseline divergence) and
+#                                 # requires BENCH_hotpath.json output
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +18,18 @@ if [[ "${1:-}" == "chaos-soak" ]]; then
     echo "==> cargo test -p corp-faults --release -- --ignored soak"
     cargo test -p corp-faults --release -- --ignored soak
     echo "Chaos soak passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "perf-smoke" ]]; then
+    rm -f BENCH_hotpath.json
+    echo "==> cargo run --release -p corp-bench --bin corp-exp -- --fast perf"
+    cargo run --release -p corp-bench --bin corp-exp -- --fast perf
+    if [[ ! -s BENCH_hotpath.json ]]; then
+        echo "perf-smoke FAILED: BENCH_hotpath.json missing or empty" >&2
+        exit 1
+    fi
+    echo "Perf smoke passed ($(wc -c < BENCH_hotpath.json) bytes of baseline)."
     exit 0
 fi
 
