@@ -287,15 +287,15 @@ pub fn run_cell_faulty(
     let schedule: FaultSchedule = generate(fault_config, cluster.vms.len(), shards);
     let mut provisioner =
         build_supervised_provisioner(scheme, env, params, shards, Some(schedule.control));
-    let mut sim = Simulation::with_faults(
+    let mut sim = Simulation::new(
         cluster,
         env.workload(num_jobs, params.seed.wrapping_add(num_jobs as u64)),
         SimulationOptions {
             measure_decision_time: false,
             ..Default::default()
         },
-        schedule.timeline,
-    );
+    )
+    .with_fault_timeline(schedule.timeline);
     sim.run(&mut provisioner)
 }
 

@@ -1,0 +1,105 @@
+//! The pipeline's placement stage over the two-phase-commit store.
+//!
+//! [`TwoPhaseBackend`] implements
+//! [`corp_core::pipeline::PlacementBackend`] against the
+//! [`PlacementStore`], making the distributed path a *backend choice*
+//! rather than a separate code path: the monolithic schemes place through
+//! `DirectBackend`, the coordinator's arbitration places through this —
+//! same trait, same claim/commit contract.
+//!
+//! One `choose` call is one complete 2PC claim: `reserve` the proposed VM
+//! (phase 1), `confirm` on admission (phase 2), and on conflict retry
+//! against the store's best-fit VM up to the retry budget. The returned
+//! [`Claim`] carries the conflict/retry counts for the coordinator's
+//! control-plane statistics; `claim.vm == None` means the proposal
+//! aborted and its job stays pending (the queue is the backoff).
+
+use corp_core::pipeline::{Claim, PlacementBackend};
+use corp_sim::ResourceVector;
+use rand::rngs::StdRng;
+
+use crate::store::{PlacementStore, ReserveError};
+
+/// A [`PlacementBackend`] whose claims are two-phase-commit reservations
+/// against a shared [`PlacementStore`].
+pub struct TwoPhaseBackend<'a> {
+    store: &'a PlacementStore,
+    shard: usize,
+    max_retries: usize,
+}
+
+impl<'a> TwoPhaseBackend<'a> {
+    /// Builds a backend claiming on behalf of shard 0; the coordinator
+    /// switches the origin per proposal with [`Self::set_origin`].
+    pub fn new(store: &'a PlacementStore, max_retries: usize) -> Self {
+        TwoPhaseBackend {
+            store,
+            shard: 0,
+            max_retries,
+        }
+    }
+
+    /// Sets the shard subsequent claims are attributed to.
+    pub fn set_origin(&mut self, shard: usize) {
+        self.shard = shard;
+    }
+}
+
+impl PlacementBackend for TwoPhaseBackend<'_> {
+    fn begin_slot(&mut self, _pools: &[ResourceVector], _reference: &ResourceVector) {
+        // The coordinator rebases the store against the engine's committed
+        // capacities once per slot (`begin_slot_full`), before proposals
+        // even exist; there is no per-placement-round setup.
+    }
+
+    fn choose(
+        &mut self,
+        _pools: &[ResourceVector],
+        fit: &ResourceVector,
+        hint: Option<usize>,
+        reference: &ResourceVector,
+        _rng: &mut StdRng,
+    ) -> Claim {
+        let mut claim = Claim {
+            vm: None,
+            conflicts: 0,
+            retries: 0,
+        };
+        let mut target = hint.unwrap_or(0);
+        let mut attempts = 0usize;
+        loop {
+            match self.store.reserve(self.shard, target, *fit) {
+                Ok(id) => {
+                    if self.store.confirm(id).is_err() {
+                        // The hold vanished (cannot happen in sequential
+                        // arbitration, but typed handling beats a panic):
+                        // treat as an abort.
+                        break;
+                    }
+                    claim.vm = Some(target);
+                    break;
+                }
+                Err(ReserveError::Conflict) => {
+                    claim.conflicts += 1;
+                    if attempts >= self.max_retries {
+                        break;
+                    }
+                    match self.store.best_fit(fit, reference) {
+                        Some(vm) => {
+                            attempts += 1;
+                            claim.retries += 1;
+                            target = vm;
+                        }
+                        None => break,
+                    }
+                }
+                Err(ReserveError::UnknownVm) => break,
+            }
+        }
+        claim
+    }
+
+    fn debit(&mut self, _vm: usize, _pool_after: &ResourceVector, _reference: &ResourceVector) {
+        // `confirm` already committed the capacity inside the store.
+    }
+}

@@ -2,8 +2,7 @@
 //!
 //! The coordinator never panics on a sick worker: every failure is either
 //! recovered in place (restart + inline scheduling) or recorded here and
-//! surfaced through [`ShardedProvisioner::errors`]
-//! (crate::ShardedProvisioner::errors).
+//! surfaced through [`ShardedProvisioner::errors`](crate::ShardedProvisioner::errors).
 
 use std::fmt;
 

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod error;
 pub mod provisioner;
 pub mod shard;
 pub mod store;
 
+pub use backend::TwoPhaseBackend;
 pub use error::ClusterError;
 pub use provisioner::{ProvisionerFactory, ShardConfig, ShardedProvisioner};
 pub use store::{PlacementStore, ReservationId, ReserveError, StoreCounters, TxnError};

@@ -60,9 +60,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::backend::TwoPhaseBackend;
 use crate::error::ClusterError;
 use crate::shard::{owner_of, shard_pending, shard_vm_views};
-use crate::store::{PlacementStore, ReserveError};
+use crate::store::PlacementStore;
+use corp_core::pipeline::PlacementBackend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Rebuilds one shard's scheduler pipeline after its worker dies.
 pub type ProvisionerFactory = Box<dyn Fn() -> Box<dyn Provisioner + Send> + Send>;
@@ -543,19 +547,6 @@ impl ShardedProvisioner {
         plans.into_iter().map(Option::unwrap_or_default).collect()
     }
 
-    /// Picks the VM with the least free headroom still fitting `alloc`
-    /// (best fit; ties to the lowest id). `volume` is measured against the
-    /// fleet's reference capacity, matching the packing heuristics. Served
-    /// by the store's incremental volume index instead of a linear rescan
-    /// of [`PlacementStore::free_all`] per retry.
-    fn best_fit(
-        store: &PlacementStore,
-        alloc: &ResourceVector,
-        reference: &ResourceVector,
-    ) -> Option<usize> {
-        store.best_fit(alloc, reference)
-    }
-
     /// Phase B: deterministic sequential arbitration of all proposals
     /// through the store.
     fn arbitrate(&mut self, ctx: &SlotContext<'_>, plans: Vec<ProvisionPlan>) -> ProvisionPlan {
@@ -613,10 +604,16 @@ impl ShardedProvisioner {
             }
         }
 
-        // Placements: round-robin by (proposal index, shard), 2PC per
-        // proposal with bounded best-fit retry.
+        // Placements: round-robin by (proposal index, shard), each claim a
+        // complete 2PC reserve/confirm with bounded best-fit retry, run
+        // through the same `PlacementBackend` stage contract the
+        // monolithic pipelines place through.
         let pending_ids: HashSet<JobId> = ctx.pending.iter().map(|j| j.id).collect();
         let mut placed: HashSet<JobId> = HashSet::new();
+        let mut backend = TwoPhaseBackend::new(store, self.config.max_retries);
+        // The trait threads an RNG for randomized selectors; 2PC claims
+        // are deterministic and never draw from it.
+        let mut rng = StdRng::seed_from_u64(0);
         let deepest = plans.iter().map(|p| p.placements.len()).max().unwrap_or(0);
         for index in 0..deepest {
             for (shard, plan) in plans.iter().enumerate() {
@@ -633,50 +630,21 @@ impl ShardedProvisioner {
                     continue;
                 }
                 let alloc = p.allocation.clamp_nonnegative();
-                let mut target = p.vm;
-                let mut attempts = 0usize;
-                loop {
-                    match store.reserve(shard, target, alloc) {
-                        Ok(id) => {
-                            if store.confirm(id).is_err() {
-                                // The hold vanished (cannot happen in this
-                                // single-threaded arbitration, but typed
-                                // handling beats a panic): treat as abort.
-                                stats.aborts += 1;
-                                break;
-                            }
-                            stats.commits += 1;
-                            placed.insert(p.job);
-                            merged.placements.push(Placement {
-                                job: p.job,
-                                vm: target,
-                                allocation: alloc,
-                            });
-                            break;
-                        }
-                        Err(ReserveError::Conflict) => {
-                            stats.conflicts += 1;
-                            if attempts >= self.config.max_retries {
-                                stats.aborts += 1;
-                                break;
-                            }
-                            match Self::best_fit(store, &alloc, &ctx.max_vm_capacity) {
-                                Some(vm) => {
-                                    attempts += 1;
-                                    stats.retries += 1;
-                                    target = vm;
-                                }
-                                None => {
-                                    stats.aborts += 1;
-                                    break;
-                                }
-                            }
-                        }
-                        Err(ReserveError::UnknownVm) => {
-                            stats.aborts += 1;
-                            break;
-                        }
+                backend.set_origin(shard);
+                let claim = backend.choose(&[], &alloc, Some(p.vm), &ctx.max_vm_capacity, &mut rng);
+                stats.conflicts += claim.conflicts;
+                stats.retries += claim.retries;
+                match claim.vm {
+                    Some(vm) => {
+                        stats.commits += 1;
+                        placed.insert(p.job);
+                        merged.placements.push(Placement {
+                            job: p.job,
+                            vm,
+                            allocation: alloc,
+                        });
                     }
+                    None => stats.aborts += 1,
                 }
             }
         }

@@ -40,6 +40,43 @@ pub fn shard_seed(base: u64, shard: usize) -> u64 {
     base.wrapping_add(SEED_STRIDE.wrapping_mul(shard as u64))
 }
 
+/// One pipeline per shard, each built from its decorrelated seed.
+fn seeded_fleet<P, F>(base: u64, shards: usize, build: F) -> Vec<Box<dyn Provisioner + Send>>
+where
+    P: Provisioner + Send + 'static,
+    F: Fn(u64) -> P,
+{
+    (0..shards)
+        .map(|shard| Box::new(build(shard_seed(base, shard))) as Box<dyn Provisioner + Send>)
+        .collect()
+}
+
+/// One restart factory per shard; each invocation rebuilds the shard's
+/// pipeline from the same decorrelated seed (factories are deterministic).
+fn seeded_factories<P, F>(base: u64, shards: usize, build: F) -> Vec<ShardFactory>
+where
+    P: Provisioner + Send + 'static,
+    F: Fn(u64) -> P + Clone + Send + 'static,
+{
+    (0..shards)
+        .map(|shard| {
+            let s = shard_seed(base, shard);
+            let build = build.clone();
+            Box::new(move || Box::new(build(s)) as Box<dyn Provisioner + Send>) as ShardFactory
+        })
+        .collect()
+}
+
+/// Builds one shard's pretrained CORP pipeline from its decorrelated seed.
+fn corp_shard(config: &CorpConfig, histories: &[Vec<Vec<f64>>], seed: u64) -> CorpProvisioner {
+    let mut p = CorpProvisioner::new(CorpConfig {
+        seed,
+        ..config.clone()
+    });
+    p.pretrain(histories);
+    p
+}
+
 /// `shards` CORP pipelines, each pretrained on the shared historical
 /// corpus `histories_per_resource` (same layout as
 /// [`CorpProvisioner::pretrain`]), with per-shard decorrelated seeds.
@@ -48,46 +85,24 @@ pub fn corp_fleet(
     histories_per_resource: &[Vec<Vec<f64>>],
     shards: usize,
 ) -> Vec<Box<dyn Provisioner + Send>> {
-    (0..shards)
-        .map(|shard| {
-            let cfg = CorpConfig {
-                seed: shard_seed(config.seed, shard),
-                ..config.clone()
-            };
-            let mut p = CorpProvisioner::new(cfg);
-            p.pretrain(histories_per_resource);
-            Box::new(p) as Box<dyn Provisioner + Send>
-        })
-        .collect()
+    seeded_fleet(config.seed, shards, |s| {
+        corp_shard(config, histories_per_resource, s)
+    })
 }
 
 /// `shards` RCCR baselines with per-shard decorrelated seeds.
 pub fn rccr_fleet(confidence: f64, seed: u64, shards: usize) -> Vec<Box<dyn Provisioner + Send>> {
-    (0..shards)
-        .map(|shard| {
-            Box::new(RccrProvisioner::new(confidence, shard_seed(seed, shard)))
-                as Box<dyn Provisioner + Send>
-        })
-        .collect()
+    seeded_fleet(seed, shards, |s| RccrProvisioner::new(confidence, s))
 }
 
 /// `shards` CloudScale baselines with per-shard decorrelated seeds.
 pub fn cloudscale_fleet(seed: u64, shards: usize) -> Vec<Box<dyn Provisioner + Send>> {
-    (0..shards)
-        .map(|shard| {
-            Box::new(CloudScaleProvisioner::new(shard_seed(seed, shard)))
-                as Box<dyn Provisioner + Send>
-        })
-        .collect()
+    seeded_fleet(seed, shards, CloudScaleProvisioner::new)
 }
 
 /// `shards` DRA baselines with per-shard decorrelated seeds.
 pub fn dra_fleet(seed: u64, shards: usize) -> Vec<Box<dyn Provisioner + Send>> {
-    (0..shards)
-        .map(|shard| {
-            Box::new(DraProvisioner::new(shard_seed(seed, shard))) as Box<dyn Provisioner + Send>
-        })
-        .collect()
+    seeded_fleet(seed, shards, DraProvisioner::new)
 }
 
 /// Factory form of [`corp_fleet`]: each factory rebuilds its shard's
@@ -100,54 +115,24 @@ pub fn corp_factories(
     shards: usize,
 ) -> Vec<ShardFactory> {
     let histories = Arc::new(histories_per_resource.to_vec());
-    (0..shards)
-        .map(|shard| {
-            let cfg = CorpConfig {
-                seed: shard_seed(config.seed, shard),
-                ..config.clone()
-            };
-            let histories = Arc::clone(&histories);
-            Box::new(move || {
-                let mut p = CorpProvisioner::new(cfg.clone());
-                p.pretrain(&histories);
-                Box::new(p) as Box<dyn Provisioner + Send>
-            }) as ShardFactory
-        })
-        .collect()
+    let config = config.clone();
+    let base = config.seed;
+    seeded_factories(base, shards, move |s| corp_shard(&config, &histories, s))
 }
 
 /// Factory form of [`rccr_fleet`].
 pub fn rccr_factories(confidence: f64, seed: u64, shards: usize) -> Vec<ShardFactory> {
-    (0..shards)
-        .map(|shard| {
-            let s = shard_seed(seed, shard);
-            Box::new(move || {
-                Box::new(RccrProvisioner::new(confidence, s)) as Box<dyn Provisioner + Send>
-            }) as ShardFactory
-        })
-        .collect()
+    seeded_factories(seed, shards, move |s| RccrProvisioner::new(confidence, s))
 }
 
 /// Factory form of [`cloudscale_fleet`].
 pub fn cloudscale_factories(seed: u64, shards: usize) -> Vec<ShardFactory> {
-    (0..shards)
-        .map(|shard| {
-            let s = shard_seed(seed, shard);
-            Box::new(move || Box::new(CloudScaleProvisioner::new(s)) as Box<dyn Provisioner + Send>)
-                as ShardFactory
-        })
-        .collect()
+    seeded_factories(seed, shards, CloudScaleProvisioner::new)
 }
 
 /// Factory form of [`dra_fleet`].
 pub fn dra_factories(seed: u64, shards: usize) -> Vec<ShardFactory> {
-    (0..shards)
-        .map(|shard| {
-            let s = shard_seed(seed, shard);
-            Box::new(move || Box::new(DraProvisioner::new(s)) as Box<dyn Provisioner + Send>)
-                as ShardFactory
-        })
-        .collect()
+    seeded_factories(seed, shards, DraProvisioner::new)
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ pub mod config;
 pub mod cooperative;
 pub mod fleet;
 pub mod packing;
+pub mod pipeline;
 pub mod placement;
 pub mod predictor;
 pub mod preemption;
@@ -58,10 +59,16 @@ pub use fleet::{
     rccr_factories, rccr_fleet, shard_seed, ShardFactory,
 };
 pub use packing::{deviation_score, pack_complementary, JobEntity, PackableJob};
+pub use pipeline::{
+    AdmissionPolicy, Claim, JobPacker, Packing, PlacementBackend, ProvisioningPipeline,
+    ReallocationGate, UsagePredictor, VmSelector,
+};
 pub use placement::{most_matched_vm, random_fitting_vm, VolumeIndex};
 pub use predictor::{
     CloudScalePredictor, CorpJobPredictor, DraPredictor, FallbackCounters, PredictionScratch,
     RccrPredictor,
 };
 pub use preemption::PreemptionGate;
-pub use scheduler::{CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner};
+pub use scheduler::{
+    CloudScaleProvisioner, CorpProvisioner, DraProvisioner, RccrProvisioner, StaticPeakPipeline,
+};

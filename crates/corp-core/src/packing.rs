@@ -208,6 +208,50 @@ mod tests {
     }
 
     #[test]
+    fn tied_deviation_scores_pick_the_earliest_candidate() {
+        // Jobs 1 and 2 are byte-identical, so DV(0,1) == DV(0,2) exactly;
+        // the strict `>` comparison keeps the first maximum, pinning the
+        // pair to the earlier queue position. Changing the tie-break
+        // changes placement order fleet-wide — this is a contract, not an
+        // accident.
+        let jobs = vec![
+            job(0, [10.0, 0.2, 1.0]),
+            job(1, [1.0, 0.2, 20.0]),
+            job(2, [1.0, 0.2, 20.0]),
+        ];
+        let entities = pack_complementary(&jobs, &ResourceVector::new(REF));
+        assert_eq!(entities.len(), 2);
+        assert_eq!(entities[0].jobs, vec![0, 1], "ties break to lowest index");
+        assert_eq!(entities[1].jobs, vec![2]);
+    }
+
+    #[test]
+    fn job_whose_only_partner_is_taken_stays_single() {
+        // Fetch order is greedy: job 0 claims the lone storage-dominant
+        // job, leaving the equally-complementary job 2 unpaired.
+        let jobs = vec![
+            job(0, [10.0, 0.2, 1.0]),
+            job(1, [1.0, 0.2, 20.0]),
+            job(2, [10.0, 0.2, 1.0]),
+        ];
+        let entities = pack_complementary(&jobs, &ResourceVector::new(REF));
+        assert_eq!(entities[0].jobs, vec![0, 1]);
+        assert_eq!(entities[1].jobs, vec![2]);
+    }
+
+    #[test]
+    fn equal_dominant_resources_never_pair_despite_large_deviation() {
+        // Both CPU-dominant with very different magnitudes: DV is large
+        // but dominance equality vetoes the pair, and the singles come out
+        // in queue order.
+        let jobs = vec![job(0, [20.0, 0.1, 1.0]), job(1, [2.0, 0.1, 0.5])];
+        let entities = pack_complementary(&jobs, &ResourceVector::new(REF));
+        assert_eq!(entities.len(), 2);
+        assert_eq!(entities[0].jobs, vec![0]);
+        assert_eq!(entities[1].jobs, vec![1]);
+    }
+
+    #[test]
     fn empty_input_packs_to_nothing() {
         assert!(pack_complementary(&[], &ResourceVector::new(REF)).is_empty());
     }

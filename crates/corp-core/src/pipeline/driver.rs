@@ -1,0 +1,219 @@
+//! The single slot-loop driver composing the four pipeline stages.
+
+use crate::packing::{JobEntity, PackableJob};
+use crate::pipeline::backend::{AdmissionPolicy, PlacementBackend};
+use crate::pipeline::gate::ReallocationGate;
+use crate::pipeline::pack::JobPacker;
+use crate::pipeline::predict::{PendingOutcome, UsagePredictor};
+use corp_sim::{Placement, ProvisionPlan, Provisioner, ResourceVector, SlotContext};
+use corp_trace::NUM_RESOURCES;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// One provisioning pipeline: a [`UsagePredictor`], a
+/// [`ReallocationGate`], a [`JobPacker`], and a [`PlacementBackend`]
+/// composed behind the engine's [`Provisioner`] interface.
+///
+/// Every slot the driver runs the same four steps:
+///
+/// 1. **Ingest** — the predictor absorbs telemetry and resolves matured
+///    predictions (paper Eq. 20).
+/// 2. **Forecast + reallocate** (window boundaries only) — the predictor
+///    forecasts the coming window; the gate rewrites running jobs'
+///    allocations against the free pools and registers prediction records.
+/// 3. **Pack** — pending jobs become placement entities.
+/// 4. **Place** — the backend chooses a VM per entity under the admission
+///    policy; unplaceable pairs fall back to individual placement (the
+///    paper's split rule).
+///
+/// The four paper schemes — and any fifth — are pure stage configurations
+/// of this one driver (see [`crate::scheduler`]).
+pub struct ProvisioningPipeline<U, G, K, B> {
+    name: String,
+    window_slots: u64,
+    predictor: U,
+    gate: G,
+    packer: K,
+    backend: B,
+    admission: AdmissionPolicy,
+    rng: StdRng,
+    outcomes: Vec<PendingOutcome>,
+}
+
+impl<U, G, K, B> ProvisioningPipeline<U, G, K, B> {
+    /// Composes a pipeline from its four stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_slots` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compose(
+        name: impl Into<String>,
+        window_slots: u64,
+        seed: u64,
+        predictor: U,
+        gate: G,
+        packer: K,
+        backend: B,
+        admission: AdmissionPolicy,
+    ) -> Self {
+        assert!(window_slots > 0, "window must be positive");
+        ProvisioningPipeline {
+            name: name.into(),
+            window_slots,
+            predictor,
+            gate,
+            packer,
+            backend,
+            admission,
+            rng: StdRng::seed_from_u64(seed),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The prediction stage (diagnostics and scheme-specific knobs).
+    pub fn stage_predictor(&self) -> &U {
+        &self.predictor
+    }
+
+    /// Mutable access to the prediction stage.
+    pub fn stage_predictor_mut(&mut self) -> &mut U {
+        &mut self.predictor
+    }
+}
+
+/// Places one entity: fit-check and VM choice through the backend, then
+/// debit the pool and emit one placement per member job.
+#[allow(clippy::too_many_arguments)]
+fn place_entity<B: PlacementBackend>(
+    backend: &mut B,
+    admission: AdmissionPolicy,
+    ctx: &SlotContext<'_>,
+    pools: &mut [ResourceVector],
+    entity: &JobEntity,
+    requested: &HashMap<u64, ResourceVector>,
+    rng: &mut StdRng,
+    plan: &mut ProvisionPlan,
+) -> bool {
+    let fit = admission.fit_demand(&entity.total_demand);
+    let claim = backend.choose(pools, &fit, None, &ctx.max_vm_capacity, rng);
+    let Some(vm) = claim.vm else { return false };
+    let debit = match admission {
+        AdmissionPolicy::FullRequest => entity.total_demand,
+        // Overbooked admission grants only what is actually free; the
+        // packer is passthrough under every overcommitting scheme, so the
+        // entity is a single job and `debit` is exactly its grant.
+        AdmissionPolicy::Overcommit(_) => entity.total_demand.min(&pools[vm]).clamp_nonnegative(),
+    };
+    pools[vm] -= debit;
+    pools[vm] = pools[vm].clamp_nonnegative();
+    backend.debit(vm, &pools[vm], &ctx.max_vm_capacity);
+    for &job in &entity.jobs {
+        let allocation = match admission {
+            AdmissionPolicy::FullRequest => requested[&job],
+            AdmissionPolicy::Overcommit(_) => debit,
+        };
+        plan.placements.push(Placement {
+            job,
+            vm,
+            allocation,
+        });
+    }
+    true
+}
+
+impl<U, G, K, B> Provisioner for ProvisioningPipeline<U, G, K, B>
+where
+    U: UsagePredictor,
+    G: ReallocationGate,
+    K: JobPacker,
+    B: PlacementBackend,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
+        let mut plan = ProvisionPlan::default();
+        self.predictor
+            .ingest(ctx, self.window_slots, &mut self.outcomes);
+
+        let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
+
+        if ctx.slot % self.window_slots == 0 {
+            let forecast = self.predictor.forecast(ctx);
+            // Snapshot the Eq. 21 verdict once: gate state only changes
+            // when outcomes resolve (during ingest), never mid-window.
+            let unlocked: [bool; NUM_RESOURCES] =
+                std::array::from_fn(|k| self.predictor.unlocked(k));
+            self.gate.reallocate(
+                ctx,
+                &forecast,
+                &unlocked,
+                self.window_slots,
+                &mut pools,
+                &mut self.outcomes,
+                &mut plan,
+            );
+        }
+
+        // Placement: pack, then choose/debit per entity.
+        let requested: HashMap<u64, ResourceVector> =
+            ctx.pending.iter().map(|p| (p.id, p.requested)).collect();
+        let packable: Vec<PackableJob> = ctx
+            .pending
+            .iter()
+            .map(|p| PackableJob {
+                id: p.id,
+                demand: p.requested,
+            })
+            .collect();
+        let entities = self.packer.pack(&packable, &ctx.max_vm_capacity);
+        if entities.is_empty() {
+            return plan;
+        }
+        // Only a slot with something to place pays for backend setup
+        // (volume-index construction) — hot-path critical.
+        self.backend.begin_slot(&pools, &ctx.max_vm_capacity);
+        for entity in &entities {
+            if place_entity(
+                &mut self.backend,
+                self.admission,
+                ctx,
+                &mut pools,
+                entity,
+                &requested,
+                &mut self.rng,
+                &mut plan,
+            ) {
+                continue;
+            }
+            // Paper fallback: a pair that fits nowhere is split and its
+            // members placed individually where possible.
+            if entity.jobs.len() > 1 {
+                for &job in &entity.jobs {
+                    let single = JobEntity {
+                        jobs: vec![job],
+                        total_demand: requested[&job],
+                    };
+                    place_entity(
+                        &mut self.backend,
+                        self.admission,
+                        ctx,
+                        &mut pools,
+                        &single,
+                        &requested,
+                        &mut self.rng,
+                        &mut plan,
+                    );
+                }
+            }
+        }
+        plan
+    }
+
+    fn on_job_completed(&mut self, job: u64, unused_history: &[Vec<f64>]) {
+        self.predictor.absorb_completion(job, unused_history);
+    }
+}

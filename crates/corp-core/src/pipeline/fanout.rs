@@ -1,0 +1,104 @@
+//! The one scoped-thread prediction fan-out every scheme shares.
+//!
+//! Both prediction granularities — CORP's per-(vm, job) DNN tasks and the
+//! baselines' per-VM forecasts — funnel through [`fan_out`]: tasks are
+//! chunked across scoped threads, each worker owns a private scratch state,
+//! and results land *by task index*, so the output (and everything
+//! downstream of it) is bit-identical to the serial path regardless of
+//! thread count. Worker states are returned for the caller to merge after
+//! the join (CORP folds fallback counters back in — u64 adds,
+//! order-independent).
+
+use corp_sim::{ResourceVector, VmView};
+
+/// Number of worker threads for a prediction fan-out over `tasks` tasks.
+pub fn prediction_threads(parallel: bool, tasks: usize) -> usize {
+    if !parallel || tasks < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(tasks)
+}
+
+/// Fans `f` over `tasks` across scoped threads (serially when `parallel`
+/// is false or fewer than two tasks exist).
+///
+/// Each worker thread gets its own state from `init`; `f` maps one task
+/// through that state to a result, written at the task's index into a
+/// result vector pre-filled with `fill`. Returns the results alongside
+/// every worker's final state so the caller can merge accumulated
+/// side-products (the serial path returns exactly one state). Chunking is
+/// `ceil(tasks / threads)` contiguous slices, so the task→thread mapping —
+/// and with it any per-thread accumulation — is deterministic.
+pub fn fan_out<I, T, S>(
+    tasks: &[I],
+    parallel: bool,
+    fill: T,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&I, &mut S) -> T + Sync,
+) -> (Vec<T>, Vec<S>)
+where
+    I: Sync,
+    T: Send + Clone,
+    S: Send,
+{
+    let threads = prediction_threads(parallel, tasks.len());
+    let mut results = vec![fill; tasks.len()];
+    if threads <= 1 {
+        let mut state = init();
+        for (task, slot) in tasks.iter().zip(results.iter_mut()) {
+            *slot = f(task, &mut state);
+        }
+        return (results, vec![state]);
+    }
+    let chunk_len = tasks.len().div_ceil(threads);
+    let init = &init;
+    let f = &f;
+    let states: Vec<S> = std::thread::scope(|s| {
+        let handles: Vec<_> = tasks
+            .chunks(chunk_len)
+            .zip(results.chunks_mut(chunk_len))
+            .map(|(chunk, slots)| {
+                s.spawn(move || {
+                    let mut state = init();
+                    for (task, slot) in chunk.iter().zip(slots.iter_mut()) {
+                        *slot = f(task, &mut state);
+                    }
+                    state
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("prediction worker panicked"))
+            .collect()
+    });
+    (results, states)
+}
+
+/// Fans the per-VM predictions of one provisioning window across scoped
+/// threads, returning one slot per VM position (`None` for VMs with no
+/// jobs or no forecast). A thin stateless wrapper over [`fan_out`].
+pub fn fan_out_vm_predictions<F>(
+    vms: &[VmView],
+    parallel: bool,
+    predict: F,
+) -> Vec<Option<ResourceVector>>
+where
+    F: Fn(&VmView) -> Option<ResourceVector> + Sync,
+{
+    let tasks: Vec<usize> = vms
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.jobs.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let (results, _) = fan_out(&tasks, parallel, None, || (), |&i, ()| predict(&vms[i]));
+    let mut out: Vec<Option<ResourceVector>> = vec![None; vms.len()];
+    for (&i, r) in tasks.iter().zip(results) {
+        out[i] = r;
+    }
+    out
+}

@@ -1,0 +1,41 @@
+//! The packing stage: group pending jobs into placement entities.
+//!
+//! [`JobPacker`] is the pipeline's third stage. CORP pairs jobs whose
+//! dominant resources differ, maximizing the demand-deviation score
+//! `DV(j, i)` (paper Section III-C, implemented in [`crate::packing`]);
+//! every other scheme places jobs one by one.
+
+use crate::packing::{pack_complementary, JobEntity, PackableJob};
+use corp_sim::ResourceVector;
+
+/// Stage 3 of the provisioning pipeline: entity formation.
+pub trait JobPacker {
+    /// Groups `jobs` into placement entities. `reference` is the fleet's
+    /// per-resource maximum VM capacity (`C'`), the normalization the DV
+    /// score measures deviations against.
+    fn pack(&self, jobs: &[PackableJob], reference: &ResourceVector) -> Vec<JobEntity>;
+}
+
+/// The two packing policies the paper's schemes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packing {
+    /// CORP's complementary DV(j, i) pairing.
+    Complementary,
+    /// One entity per job, in queue order (all baselines).
+    Passthrough,
+}
+
+impl JobPacker for Packing {
+    fn pack(&self, jobs: &[PackableJob], reference: &ResourceVector) -> Vec<JobEntity> {
+        match self {
+            Packing::Complementary => pack_complementary(jobs, reference),
+            Packing::Passthrough => jobs
+                .iter()
+                .map(|p| JobEntity {
+                    jobs: vec![p.id],
+                    total_demand: p.demand,
+                })
+                .collect(),
+        }
+    }
+}

@@ -1,15 +1,20 @@
-//! The four provisioners: CORP and the RCCR / CloudScale / DRA baselines.
+//! The four provisioners — CORP and the RCCR / CloudScale / DRA baselines
+//! — expressed as stage configurations of the [`crate::pipeline`] driver.
 //!
 //! All four drive a `corp-sim` simulation through the same
-//! [`Provisioner`] interface and differ exactly where the paper says they
-//! do:
+//! [`Provisioner`](corp_sim::Provisioner) interface and differ exactly
+//! where the paper says they do:
 //!
 //! | scheme      | prediction                        | error handling        | placement              | packing |
 //! |-------------|-----------------------------------|-----------------------|------------------------|---------|
 //! | CORP        | per-job DNN                       | HMM + CI + Eq. 21 gate| Eq. 22 volume best-fit | yes     |
 //! | RCCR        | per-VM exponential smoothing      | CI lower bound        | random fitting VM      | no      |
 //! | CloudScale  | per-VM FFT signature / Markov     | adaptive padding      | random fitting VM      | no      |
-//! | DRA         | per-VM recent mean ("run-time")   | none                  | random fitting VM      | no      |
+//! | DRA         | per-VM recent mean ("run-time")   | none                  | share-weighted random  | no      |
+//!
+//! Each scheme is a `ProvisioningPipeline<predictor, gate, packer,
+//! backend>` type alias plus a constructor wiring the stages; the slot
+//! loop itself lives once in [`crate::pipeline::ProvisioningPipeline`].
 //!
 //! ## Reclaim/restore mechanics
 //!
@@ -24,250 +29,16 @@
 //! mean-demand estimate.
 
 use crate::config::CorpConfig;
-use crate::packing::{pack_complementary, JobEntity, PackableJob};
-use crate::placement::{random_fitting_vm, VolumeIndex};
-use crate::predictor::{
-    CloudScalePredictor, CorpJobPredictor, DraPredictor, FallbackCounters, PredictionScratch,
-    RccrPredictor,
+use crate::pipeline::{
+    AdmissionPolicy, BaselineReclaimGate, CorpReclaimGate, CorpUsagePredictor, DirectBackend,
+    FiniteGuard, NoopGate, NoopUsagePredictor, Packing, ProvisioningPipeline, RecordOnlyGate,
+    VmSelector, VmWindowPredictor,
 };
-use corp_sim::{
-    Placement, PredictionRecord, ProvisionPlan, Provisioner, ResourceVector, SlotContext,
-};
-use corp_trace::NUM_RESOURCES;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashMap;
+use crate::predictor::{CloudScalePredictor, CorpJobPredictor, DraPredictor, RccrPredictor};
 
-/// Floor fraction of the request that baseline reclaim never goes below.
-/// VM-level schemes cannot attribute unused resource to individual jobs, so
-/// they must keep a coarse per-job safety margin (about two thirds of the
-/// reservation) to avoid starving whichever job their proportional split
-/// lands on; CORP's per-job view lets it cut to just above observed demand.
-const BASELINE_FLOOR: f64 = 0.65;
-/// Restore headroom: when observed demand exceeds this fraction of the
-/// allocation, the allocation is raised.
-const RESTORE_MARGIN: f64 = 1.05;
-
-/// Builds the per-resource recent-unused series of one job view.
-fn job_unused_series(job: &corp_sim::RunningJobView) -> Vec<Vec<f64>> {
-    (0..NUM_RESOURCES)
-        .map(|k| job.recent_unused.iter().map(|u| u[k]).collect())
-        .collect()
-}
-
-/// Applies an adjustment's signed delta to a committed-tracking pool.
-fn apply_delta(pool: &mut ResourceVector, old: &ResourceVector, new: &ResourceVector) {
-    // pool tracks *free* capacity: freeing (old > new) grows it.
-    *pool += old.saturating_sub(new);
-    *pool = pool.saturating_sub(&new.saturating_sub(old));
-}
-
-/// Resolves window predictions whose horizon has elapsed: the prediction
-/// made at `made_at` for the window `(made_at, made_at + window]` is scored
-/// at `made_at + window` against the *mean* unused level the VM exhibited
-/// over that window (paper Eq. 20 collects one error sample per slot of the
-/// window; the mean is their aggregate and is robust to single-slot
-/// bursts).
-fn resolve_window_outcomes(
-    pending: &mut Vec<(usize, u64, ResourceVector)>,
-    ctx: &SlotContext<'_>,
-    window: u64,
-    mut record: impl FnMut(usize, f64, f64),
-) {
-    pending.retain(|(vm, made_at, predicted)| {
-        let due = *made_at + window;
-        if ctx.slot < due {
-            return true;
-        }
-        if ctx.slot == due {
-            if let Some(v) = ctx.vms.get(*vm) {
-                let h = &v.unused_history;
-                let n = (window as usize).min(h.len());
-                if n > 0 {
-                    let mut mean = ResourceVector::ZERO;
-                    for u in &h[h.len() - n..] {
-                        mean += *u;
-                    }
-                    mean = mean.scaled(1.0 / n as f64);
-                    for k in 0..NUM_RESOURCES {
-                        // Poisoned telemetry in the window makes the mean
-                        // non-finite; discard rather than feed the error
-                        // trackers a NaN they can never recover from.
-                        if mean[k].is_finite() && predicted[k].is_finite() {
-                            record(k, mean[k], predicted[k]);
-                        }
-                    }
-                }
-            }
-        }
-        false
-    });
-}
-
-/// Shared placement step: pack (optionally), choose VMs, emit placements.
-/// `alloc_of` maps a job id to the allocation it should be granted.
-///
-/// Volume placement runs through a [`VolumeIndex`] built once per call and
-/// repositioned after each reservation, so a burst of `E` entities over `V`
-/// VMs costs `O((V + E) log V)` instead of the `O(E * V)` rescan — same
-/// choices (the index reproduces the linear Eq. 22 argmin exactly).
-#[allow(clippy::too_many_arguments)]
-fn place_pending(
-    ctx: &SlotContext<'_>,
-    pools: &mut [ResourceVector],
-    use_packing: bool,
-    use_volume: bool,
-    rng: &mut StdRng,
-    alloc_of: impl Fn(u64, usize, &ResourceVector) -> ResourceVector,
-    plan: &mut ProvisionPlan,
-) {
-    let requested: HashMap<u64, ResourceVector> =
-        ctx.pending.iter().map(|p| (p.id, p.requested)).collect();
-    let packable: Vec<PackableJob> = ctx
-        .pending
-        .iter()
-        .map(|p| PackableJob {
-            id: p.id,
-            demand: p.requested,
-        })
-        .collect();
-    let entities: Vec<JobEntity> = if use_packing {
-        pack_complementary(&packable, &ctx.max_vm_capacity)
-    } else {
-        packable
-            .iter()
-            .map(|p| JobEntity {
-                jobs: vec![p.id],
-                total_demand: p.demand,
-            })
-            .collect()
-    };
-    if entities.is_empty() {
-        return;
-    }
-
-    let mut index = use_volume.then(|| VolumeIndex::new(pools, &ctx.max_vm_capacity));
-    let place_entity = |entity: &JobEntity,
-                        pools: &mut [ResourceVector],
-                        index: &mut Option<VolumeIndex>,
-                        rng: &mut StdRng,
-                        plan: &mut ProvisionPlan|
-     -> bool {
-        let choice = if let Some(idx) = index.as_ref() {
-            idx.best_fit(pools, &entity.total_demand, &ctx.max_vm_capacity)
-        } else {
-            random_fitting_vm(pools, &entity.total_demand, rng)
-        };
-        let Some(vm) = choice else { return false };
-        pools[vm] -= entity.total_demand;
-        pools[vm] = pools[vm].clamp_nonnegative();
-        if let Some(idx) = index.as_mut() {
-            idx.update(vm, &pools[vm], &ctx.max_vm_capacity);
-        }
-        for &job in &entity.jobs {
-            let req = requested[&job];
-            plan.placements.push(Placement {
-                job,
-                vm,
-                allocation: alloc_of(job, vm, &req),
-            });
-        }
-        true
-    };
-
-    for entity in &entities {
-        if place_entity(entity, pools, &mut index, rng, plan) {
-            continue;
-        }
-        // Paper fallback: a pair that fits nowhere is split and its members
-        // placed individually where possible.
-        if entity.jobs.len() > 1 {
-            for &job in &entity.jobs {
-                let single = JobEntity {
-                    jobs: vec![job],
-                    total_demand: requested[&job],
-                };
-                place_entity(&single, pools, &mut index, rng, plan);
-            }
-        }
-    }
-}
-
-/// Number of worker threads for a prediction fan-out over `tasks` tasks.
-fn prediction_threads(parallel: bool, tasks: usize) -> usize {
-    if !parallel || tasks < 2 {
-        return 1;
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(tasks)
-}
-
-/// Fans the per-VM predictions of one provisioning window across scoped
-/// threads, returning one slot per VM position (None for VMs with no jobs
-/// or no forecast). Results are written by task index, so the output — and
-/// everything downstream of it — is independent of the thread count; with
-/// `parallel` false the same tasks run serially in order.
-fn fan_out_vm_predictions<F>(
-    vms: &[corp_sim::VmView],
-    parallel: bool,
-    predict: F,
-) -> Vec<Option<ResourceVector>>
-where
-    F: Fn(&corp_sim::VmView) -> Option<ResourceVector> + Sync,
-{
-    let tasks: Vec<usize> = vms
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| !v.jobs.is_empty())
-        .map(|(i, _)| i)
-        .collect();
-    let mut out: Vec<Option<ResourceVector>> = vec![None; vms.len()];
-    let threads = prediction_threads(parallel, tasks.len());
-    if threads <= 1 {
-        for &i in &tasks {
-            out[i] = predict(&vms[i]);
-        }
-        return out;
-    }
-    let mut results: Vec<Option<ResourceVector>> = vec![None; tasks.len()];
-    let chunk_len = tasks.len().div_ceil(threads);
-    let predict = &predict;
-    std::thread::scope(|s| {
-        for (chunk, slots) in tasks.chunks(chunk_len).zip(results.chunks_mut(chunk_len)) {
-            s.spawn(move || {
-                for (&i, slot) in chunk.iter().zip(slots.iter_mut()) {
-                    *slot = predict(&vms[i]);
-                }
-            });
-        }
-    });
-    for (&i, r) in tasks.iter().zip(results) {
-        out[i] = r;
-    }
-    out
-}
-
-/// Registers one engine prediction record per resource for a VM.
-fn push_vm_prediction(
-    plan: &mut ProvisionPlan,
-    vm: usize,
-    slot: u64,
-    target: u64,
-    predicted: &ResourceVector,
-) {
-    for k in 0..NUM_RESOURCES {
-        plan.predictions.push(PredictionRecord {
-            vm,
-            job: None,
-            resource: k,
-            made_at: slot,
-            target_slot: target,
-            predicted: predicted[k],
-        });
-    }
-}
+/// The window length (in slots) every baseline uses, matching the paper's
+/// 1-minute window on a 10-second trace.
+const BASELINE_WINDOW_SLOTS: u64 = 6;
 
 // ---------------------------------------------------------------------------
 // CORP
@@ -275,29 +46,33 @@ fn push_vm_prediction(
 
 /// The paper's scheme: per-job DNN prediction + HMM correction + CI lower
 /// bound + Eq. 21 gated reclaim + complementary packing + Eq. 22 placement.
-pub struct CorpProvisioner {
-    config: CorpConfig,
-    predictor: CorpJobPredictor,
-    rng: StdRng,
-    /// Self-tracked *per-job* predictions awaiting resolution: (job id,
-    /// slot made, predicted unused vector). Per-job granularity keeps
-    /// `sigma_hat` on the scale of individual predictions — a VM-aggregate
-    /// error would overwhelm the per-job confidence interval.
-    pending_outcomes: Vec<(u64, u64, ResourceVector)>,
-}
+pub type CorpProvisioner =
+    ProvisioningPipeline<CorpUsagePredictor, CorpReclaimGate, Packing, DirectBackend>;
 
 impl CorpProvisioner {
     /// Creates a CORP provisioner.
     pub fn new(config: CorpConfig) -> Self {
         config.validate();
-        let predictor = CorpJobPredictor::new(&config);
-        let seed = config.seed;
-        CorpProvisioner {
-            config,
-            predictor,
-            rng: StdRng::seed_from_u64(seed),
-            pending_outcomes: Vec::new(),
-        }
+        let selector = if config.use_volume_placement {
+            VmSelector::Volume
+        } else {
+            VmSelector::Random
+        };
+        let packing = if config.use_packing {
+            Packing::Complementary
+        } else {
+            Packing::Passthrough
+        };
+        Self::compose(
+            "CORP",
+            config.window_slots as u64,
+            config.seed,
+            CorpUsagePredictor::new(&config),
+            CorpReclaimGate::new(config.window_slots, config.reclaim_floor),
+            packing,
+            DirectBackend::new(selector),
+            AdmissionPolicy::FullRequest,
+        )
     }
 
     /// Offline-trains the predictor on a historical workload (paper: the
@@ -305,239 +80,12 @@ impl CorpProvisioner {
     /// unused series for resource `k`. Training also warms the Eq. 21 gate
     /// from historical prediction errors.
     pub fn pretrain(&mut self, histories_per_resource: &[Vec<Vec<f64>>]) {
-        self.predictor.pretrain(histories_per_resource);
+        self.stage_predictor_mut().pretrain(histories_per_resource);
     }
 
     /// The underlying predictor (diagnostics).
     pub fn predictor(&self) -> &CorpJobPredictor {
-        &self.predictor
-    }
-}
-
-impl Provisioner for CorpProvisioner {
-    fn name(&self) -> &str {
-        "CORP"
-    }
-
-    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
-        let mut plan = ProvisionPlan::default();
-
-        let window = self.config.window_slots as u64;
-
-        // Resolve matured per-job predictions against the job's own mean
-        // unused level over the predicted window (paper Eq. 20).
-        {
-            let mut job_views: HashMap<u64, &corp_sim::RunningJobView> = HashMap::new();
-            for vm in ctx.vms {
-                for job in &vm.jobs {
-                    job_views.insert(job.id, job);
-                }
-            }
-            let predictor = &mut self.predictor;
-            self.pending_outcomes
-                .retain(|(job_id, made_at, predicted)| {
-                    let due = *made_at + window;
-                    if ctx.slot < due {
-                        return true;
-                    }
-                    if ctx.slot == due {
-                        if let Some(job) = job_views.get(job_id) {
-                            let h = &job.recent_unused;
-                            let n = (window as usize).min(h.len());
-                            if n > 0 {
-                                let mut mean = ResourceVector::ZERO;
-                                for u in &h[h.len() - n..] {
-                                    mean += *u;
-                                }
-                                mean = mean.scaled(1.0 / n as f64);
-                                for k in 0..NUM_RESOURCES {
-                                    predictor.record_outcome_scaled(
-                                        k,
-                                        mean[k],
-                                        predicted[k],
-                                        job.requested[k],
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    false
-                });
-        }
-        self.predictor.maybe_train();
-
-        let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
-
-        if ctx.slot % window == 0 {
-            // Flatten the fleet's prediction work into (vm, job) tasks and
-            // fan them across scoped threads. Each worker predicts through
-            // its own scratch against the shared immutable predictor and
-            // writes by task index, so `u_hats` — and everything downstream
-            // — is bit-identical to the serial path regardless of thread
-            // count; fallback-counter deltas merge after the join (u64
-            // adds, order-independent).
-            let tasks: Vec<(usize, usize)> = ctx
-                .vms
-                .iter()
-                .enumerate()
-                .flat_map(|(vi, vm)| {
-                    vm.jobs
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, job)| !job.recent_unused.is_empty())
-                        .map(move |(ji, _)| (vi, ji))
-                })
-                .collect();
-            let threads = prediction_threads(self.config.parallel_prediction, tasks.len());
-            let u_hats: Vec<ResourceVector> = if threads > 1 {
-                let mut results = vec![ResourceVector::ZERO; tasks.len()];
-                let chunk_len = tasks.len().div_ceil(threads);
-                let predictor = &self.predictor;
-                let deltas: Vec<FallbackCounters> = std::thread::scope(|s| {
-                    let handles: Vec<_> = tasks
-                        .chunks(chunk_len)
-                        .zip(results.chunks_mut(chunk_len))
-                        .map(|(chunk, slots)| {
-                            s.spawn(move || {
-                                let mut scratch = PredictionScratch::new();
-                                for (&(vi, ji), slot) in chunk.iter().zip(slots.iter_mut()) {
-                                    let job = &ctx.vms[vi].jobs[ji];
-                                    let series = job_unused_series(job);
-                                    *slot = predictor.predict_job_in(
-                                        &series,
-                                        &job.requested,
-                                        &mut scratch,
-                                    );
-                                }
-                                scratch.fallbacks
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("prediction worker panicked"))
-                        .collect()
-                });
-                for delta in &deltas {
-                    self.predictor.merge_fallbacks(delta);
-                }
-                results
-            } else {
-                tasks
-                    .iter()
-                    .map(|&(vi, ji)| {
-                        let job = &ctx.vms[vi].jobs[ji];
-                        let series = job_unused_series(job);
-                        self.predictor.predict_job(&series, &job.requested)
-                    })
-                    .collect()
-            };
-
-            let mut next_task = 0usize;
-            for vm in ctx.vms {
-                if vm.jobs.is_empty() {
-                    continue;
-                }
-                let mut vm_prediction = ResourceVector::ZERO;
-                for job in &vm.jobs {
-                    if job.recent_unused.is_empty() {
-                        continue;
-                    }
-                    let u_hat = u_hats[next_task];
-                    next_task += 1;
-                    // Demand reference for the safety floor: the mean over
-                    // the last prediction window. The confidence-interval
-                    // term inside `u_hat` supplies the safety margin above
-                    // it, so the floor itself stays level-based — this is
-                    // what makes the confidence level the knob that trades
-                    // SLO risk for utilization (paper Figs. 8/9).
-                    // Poisoned samples are excluded per component; the
-                    // all-finite arithmetic is unchanged.
-                    let window_len = self.config.window_slots.min(job.recent_demand.len());
-                    let mut recent_mean = ResourceVector::ZERO;
-                    let mut finite_counts = [0usize; NUM_RESOURCES];
-                    for d in &job.recent_demand[job.recent_demand.len() - window_len..] {
-                        for k in 0..NUM_RESOURCES {
-                            if d[k].is_finite() {
-                                recent_mean[k] += d[k];
-                                finite_counts[k] += 1;
-                            }
-                        }
-                    }
-                    for k in 0..NUM_RESOURCES {
-                        if finite_counts[k] > 0 {
-                            recent_mean[k] *= 1.0 / finite_counts[k] as f64;
-                        }
-                    }
-
-                    let mut new_alloc = job.allocation;
-                    for k in 0..NUM_RESOURCES {
-                        let floor = (self.config.reclaim_floor * job.requested[k])
-                            .max(recent_mean[k] * RESTORE_MARGIN)
-                            .min(job.requested[k]);
-                        new_alloc[k] = if self.predictor.unlocked(k) {
-                            (job.allocation[k] - u_hat[k])
-                                .max(floor)
-                                .min(job.requested[k])
-                        } else {
-                            // Gate locked: no opportunistic reclaim, but
-                            // demand-pressure restores still apply.
-                            job.allocation[k].max(floor).min(job.requested[k])
-                        };
-                        // A restore can only grow into the VM's current
-                        // headroom; clamp so the plan stays feasible.
-                        let grow = new_alloc[k] - job.allocation[k];
-                        if grow > pools[vm.id][k] {
-                            new_alloc[k] = job.allocation[k] + pools[vm.id][k].max(0.0);
-                        }
-                    }
-                    // The unused level the job should exhibit under the new
-                    // allocation: the headroom the reclaim chose to keep.
-                    let mut job_prediction = ResourceVector::ZERO;
-                    for k in 0..NUM_RESOURCES {
-                        let expected_demand = job.allocation[k] - u_hat[k];
-                        job_prediction[k] = (new_alloc[k] - expected_demand).max(0.0);
-                        vm_prediction[k] += job_prediction[k];
-                    }
-                    self.pending_outcomes
-                        .push((job.id, ctx.slot, job_prediction));
-                    // Register per-job prediction records: Fig. 6 scores
-                    // "the prediction error ... for each job", which is
-                    // CORP's native granularity.
-                    let target = ctx.slot + window - 1;
-                    for k in 0..NUM_RESOURCES {
-                        plan.predictions.push(PredictionRecord {
-                            vm: vm.id,
-                            job: Some(job.id),
-                            resource: k,
-                            made_at: ctx.slot,
-                            target_slot: target,
-                            predicted: job_prediction[k],
-                        });
-                    }
-                    if new_alloc != job.allocation {
-                        apply_delta(&mut pools[vm.id], &job.allocation, &new_alloc);
-                        plan.adjustments.push((job.id, new_alloc));
-                    }
-                }
-                let _ = vm_prediction;
-            }
-        }
-
-        place_pending(
-            ctx,
-            &mut pools,
-            self.config.use_packing,
-            self.config.use_volume_placement,
-            &mut self.rng,
-            |_, _, req| *req,
-            &mut plan,
-        );
-        plan
-    }
-
-    fn on_job_completed(&mut self, _job: u64, unused_history: &[Vec<f64>]) {
-        self.predictor.add_history(unused_history);
+        self.stage_predictor().inner()
     }
 }
 
@@ -548,149 +96,33 @@ impl Provisioner for CorpProvisioner {
 /// The RCCR baseline: VM-level exponential-smoothing prediction with a
 /// confidence-interval lower bound, proportional reclaim, random placement,
 /// no packing.
-pub struct RccrProvisioner {
-    window_slots: u64,
-    predictor: RccrPredictor,
-    rng: StdRng,
-    pending_outcomes: Vec<(usize, u64, ResourceVector)>,
-    parallel_prediction: bool,
-}
+pub type RccrProvisioner = ProvisioningPipeline<
+    VmWindowPredictor<FiniteGuard<RccrPredictor>>,
+    BaselineReclaimGate,
+    Packing,
+    DirectBackend,
+>;
 
 impl RccrProvisioner {
     /// Creates an RCCR provisioner with the given confidence level.
     pub fn new(confidence: f64, seed: u64) -> Self {
-        RccrProvisioner {
-            window_slots: 6,
-            predictor: RccrPredictor::new(0.5, confidence),
-            rng: StdRng::seed_from_u64(seed),
-            pending_outcomes: Vec::new(),
-            parallel_prediction: true,
-        }
+        Self::compose(
+            "RCCR",
+            BASELINE_WINDOW_SLOTS,
+            seed,
+            VmWindowPredictor::new(FiniteGuard::new(RccrPredictor::new(0.5, confidence))),
+            BaselineReclaimGate,
+            Packing::Passthrough,
+            DirectBackend::new(VmSelector::Random),
+            AdmissionPolicy::FullRequest,
+        )
     }
 
     /// Enables or disables the scoped-thread prediction fan-out (reports
     /// are byte-identical either way; `false` is the determinism suite's
     /// A/B switch).
     pub fn set_parallel_prediction(&mut self, enabled: bool) {
-        self.parallel_prediction = enabled;
-    }
-}
-
-/// Shared baseline reclaim: distribute the VM-level predicted unused across
-/// the VM's jobs proportionally to their allocations, with floor and
-/// demand-pressure restore.
-fn baseline_reclaim(
-    vm: &corp_sim::VmView,
-    vm_unused_prediction: &ResourceVector,
-    pools: &mut [ResourceVector],
-    plan: &mut ProvisionPlan,
-) {
-    let mut total_alloc = ResourceVector::ZERO;
-    for job in &vm.jobs {
-        total_alloc += job.allocation;
-    }
-    for job in &vm.jobs {
-        let mut last_d = job
-            .recent_demand
-            .last()
-            .copied()
-            .unwrap_or(ResourceVector::ZERO);
-        for k in 0..NUM_RESOURCES {
-            // A poisoned demand sample would turn the floor (and then the
-            // adjustment) non-finite; holding the current allocation is
-            // the neutral stand-in.
-            if !last_d[k].is_finite() {
-                last_d[k] = job.allocation[k];
-            }
-        }
-        let mut new_alloc = job.allocation;
-        for k in 0..NUM_RESOURCES {
-            let share = if total_alloc[k] > 0.0 {
-                job.allocation[k] / total_alloc[k]
-            } else {
-                0.0
-            };
-            let reclaim = vm_unused_prediction[k] * share;
-            // VM-level schemes react to squeeze only after it is visible
-            // (demand pressing on the allocation); CORP's per-job view lets
-            // it keep headroom proactively — that granularity gap is the
-            // paper's SLO story.
-            let floor = if last_d[k] >= job.allocation[k] {
-                (last_d[k] * RESTORE_MARGIN).min(job.requested[k])
-            } else {
-                BASELINE_FLOOR * job.requested[k]
-            };
-            new_alloc[k] = (job.allocation[k] - reclaim)
-                .max(floor)
-                .min(job.requested[k]);
-            // Restores grow only into the VM's current headroom.
-            let grow = new_alloc[k] - job.allocation[k];
-            if grow > pools[vm.id][k] {
-                new_alloc[k] = job.allocation[k] + pools[vm.id][k].max(0.0);
-            }
-        }
-        if new_alloc != job.allocation {
-            apply_delta(&mut pools[vm.id], &job.allocation, &new_alloc);
-            plan.adjustments.push((job.id, new_alloc));
-        }
-    }
-}
-
-impl Provisioner for RccrProvisioner {
-    fn name(&self) -> &str {
-        "RCCR"
-    }
-
-    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
-        let mut plan = ProvisionPlan::default();
-        {
-            let predictor = &mut self.predictor;
-            resolve_window_outcomes(
-                &mut self.pending_outcomes,
-                ctx,
-                self.window_slots,
-                |k, actual, predicted| predictor.record_outcome(k, actual, predicted),
-            );
-        }
-
-        // Feed the newest observation per VM.
-        for vm in ctx.vms {
-            // Poisoned slots are skipped: the smoother holds its previous
-            // state rather than absorbing a NaN it can never flush.
-            if let Some(u) = vm.unused_history.last().filter(|u| u.is_finite()) {
-                self.predictor.observe(vm.id, u);
-            }
-        }
-
-        let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
-        if ctx.slot % self.window_slots == 0 {
-            let preds = fan_out_vm_predictions(ctx.vms, self.parallel_prediction, |vm| {
-                self.predictor.predict(vm.id)
-            });
-            for (i, vm) in ctx.vms.iter().enumerate() {
-                if vm.jobs.is_empty() {
-                    continue;
-                }
-                let Some(prediction) = preds[i] else {
-                    continue;
-                };
-                baseline_reclaim(vm, &prediction, &mut pools, &mut plan);
-                let target = ctx.slot + self.window_slots - 1;
-                push_vm_prediction(&mut plan, vm.id, ctx.slot, target, &prediction);
-                self.pending_outcomes.push((vm.id, ctx.slot, prediction));
-            }
-        }
-
-        place_pending(
-            ctx,
-            &mut pools,
-            false,
-            false,
-            &mut self.rng,
-            |_, _, req| *req,
-            &mut plan,
-        );
-        plan
+        self.stage_predictor_mut().set_parallel(enabled);
     }
 }
 
@@ -701,13 +133,12 @@ impl Provisioner for RccrProvisioner {
 /// The CloudScale baseline: VM-level PRESS prediction (FFT signature with
 /// Markov fallback) plus adaptive padding, proportional reclaim, random
 /// placement, no packing, no confidence levels.
-pub struct CloudScaleProvisioner {
-    window_slots: u64,
-    predictor: CloudScalePredictor,
-    rng: StdRng,
-    pending_outcomes: Vec<(usize, u64, ResourceVector)>,
-    parallel_prediction: bool,
-}
+pub type CloudScaleProvisioner = ProvisioningPipeline<
+    VmWindowPredictor<FiniteGuard<CloudScalePredictor>>,
+    BaselineReclaimGate,
+    Packing,
+    DirectBackend,
+>;
 
 impl CloudScaleProvisioner {
     /// Creates a CloudScale provisioner.
@@ -718,76 +149,25 @@ impl CloudScaleProvisioner {
     /// Creates a CloudScale provisioner with a scaled adaptive pad (the
     /// aggressiveness knob swept by the Fig. 8 experiment).
     pub fn with_padding_scale(seed: u64, pad_scale: f64) -> Self {
-        CloudScaleProvisioner {
-            window_slots: 6,
-            predictor: CloudScalePredictor::with_padding_scale(pad_scale),
-            rng: StdRng::seed_from_u64(seed),
-            pending_outcomes: Vec::new(),
-            parallel_prediction: true,
-        }
+        Self::compose(
+            "CloudScale",
+            BASELINE_WINDOW_SLOTS,
+            seed,
+            VmWindowPredictor::new(FiniteGuard::new(CloudScalePredictor::with_padding_scale(
+                pad_scale,
+            ))),
+            BaselineReclaimGate,
+            Packing::Passthrough,
+            DirectBackend::new(VmSelector::Random),
+            AdmissionPolicy::FullRequest,
+        )
     }
 
     /// Enables or disables the scoped-thread prediction fan-out (reports
     /// are byte-identical either way; `false` is the determinism suite's
     /// A/B switch).
     pub fn set_parallel_prediction(&mut self, enabled: bool) {
-        self.parallel_prediction = enabled;
-    }
-}
-
-impl Provisioner for CloudScaleProvisioner {
-    fn name(&self) -> &str {
-        "CloudScale"
-    }
-
-    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
-        let mut plan = ProvisionPlan::default();
-        {
-            let predictor = &mut self.predictor;
-            resolve_window_outcomes(
-                &mut self.pending_outcomes,
-                ctx,
-                self.window_slots,
-                |k, actual, predicted| predictor.record_outcome(k, actual, predicted),
-            );
-        }
-        for vm in ctx.vms {
-            // Poisoned slots are skipped: the smoother holds its previous
-            // state rather than absorbing a NaN it can never flush.
-            if let Some(u) = vm.unused_history.last().filter(|u| u.is_finite()) {
-                self.predictor.observe(vm.id, u);
-            }
-        }
-
-        let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
-        if ctx.slot % self.window_slots == 0 {
-            let preds = fan_out_vm_predictions(ctx.vms, self.parallel_prediction, |vm| {
-                self.predictor.predict(vm.id)
-            });
-            for (i, vm) in ctx.vms.iter().enumerate() {
-                if vm.jobs.is_empty() {
-                    continue;
-                }
-                let Some(prediction) = preds[i] else {
-                    continue;
-                };
-                baseline_reclaim(vm, &prediction, &mut pools, &mut plan);
-                let target = ctx.slot + self.window_slots - 1;
-                push_vm_prediction(&mut plan, vm.id, ctx.slot, target, &prediction);
-                self.pending_outcomes.push((vm.id, ctx.slot, prediction));
-            }
-        }
-
-        place_pending(
-            ctx,
-            &mut pools,
-            false,
-            false,
-            &mut self.rng,
-            |_, _, req| *req,
-            &mut plan,
-        );
-        plan
+        self.stage_predictor_mut().set_parallel(enabled);
     }
 }
 
@@ -796,23 +176,19 @@ impl Provisioner for CloudScaleProvisioner {
 // ---------------------------------------------------------------------------
 
 /// The DRA baseline: demand-based allocation of bulk capacity with 4:2:1
-/// share weights. Jobs are granted their full request (DRA "[does] not
-/// giv[e] the VMs more than what they demand", and the demand a customer
+/// share weights. Jobs are granted their full request (DRA does not give
+/// the VMs more than what they demand, and the demand a customer
 /// states *is* the request) and placement prefers high-share VMs
 /// (share-weighted random among fitting VMs). Crucially, DRA has no
 /// mechanism for reallocating allocated-but-unused resources — under load
 /// it simply runs out of capacity and queues arrivals, which is both its
 /// low-utilization and its high-SLO-violation story in the paper.
-pub struct DraProvisioner {
-    window_slots: u64,
-    predictor: DraPredictor,
-    rng: StdRng,
-    /// Admission overcommit: a job is admitted when `overcommit *
-    /// requested` fits the VM's free pool (its allocation is then capped at
-    /// what is actually free). 1.0 = strict reservations; lower values
-    /// overbook — the aggressiveness knob for the Fig. 8 sweep.
-    overcommit: f64,
-}
+pub type DraProvisioner = ProvisioningPipeline<
+    VmWindowPredictor<FiniteGuard<DraPredictor>>,
+    RecordOnlyGate,
+    Packing,
+    DirectBackend,
+>;
 
 impl DraProvisioner {
     /// Creates a DRA provisioner with strict reservations.
@@ -831,107 +207,53 @@ impl DraProvisioner {
             overcommit > 0.0 && overcommit <= 1.0,
             "overcommit must be in (0,1]"
         );
-        DraProvisioner {
-            window_slots: 6,
-            predictor: DraPredictor::new(),
-            rng: StdRng::seed_from_u64(seed),
-            overcommit,
-        }
-    }
-
-    /// Share-weighted random choice among fitting VMs.
-    fn share_weighted_vm(
-        pools: &[ResourceVector],
-        demand: &ResourceVector,
-        rng: &mut StdRng,
-    ) -> Option<usize> {
-        use rand::Rng;
-        let fitting: Vec<usize> = pools
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| demand.fits_within(p))
-            .map(|(i, _)| i)
-            .collect();
-        if fitting.is_empty() {
-            return None;
-        }
-        let total: f64 = fitting
-            .iter()
-            .map(|&i| crate::predictor::dra::ShareClass::of_vm(i).weight())
-            .sum();
-        let mut x = rng.gen_range(0.0..total);
-        for &i in &fitting {
-            let w = crate::predictor::dra::ShareClass::of_vm(i).weight();
-            if x < w {
-                return Some(i);
-            }
-            x -= w;
-        }
-        fitting.last().copied()
+        Self::compose(
+            "DRA",
+            BASELINE_WINDOW_SLOTS,
+            seed,
+            // The run-time mean is too cheap to be worth a thread; keep
+            // the fan-out serial (the forecast is positional either way).
+            VmWindowPredictor::serial(FiniteGuard::new(DraPredictor::new())),
+            RecordOnlyGate,
+            Packing::Passthrough,
+            DirectBackend::new(VmSelector::ShareWeighted),
+            AdmissionPolicy::Overcommit(overcommit),
+        )
     }
 }
 
-impl Provisioner for DraProvisioner {
-    fn name(&self) -> &str {
-        "DRA"
-    }
+// ---------------------------------------------------------------------------
+// Static peak (the trivial fifth scheme)
+// ---------------------------------------------------------------------------
 
-    fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
-        let mut plan = ProvisionPlan::default();
-        for vm in ctx.vms {
-            // Poisoned slots are skipped: the smoother holds its previous
-            // state rather than absorbing a NaN it can never flush.
-            if let Some(u) = vm.unused_history.last().filter(|u| u.is_finite()) {
-                self.predictor.observe(vm.id, u);
-            }
-        }
+/// Reservation-based first-fit as a pipeline configuration: no prediction,
+/// no reclaim, no packing, full-request first-fit placement — the same
+/// decisions as [`corp_sim::StaticPeakProvisioner`], proving the plug-in
+/// path: a fifth scheme is a stage wiring, not a fifth copy of the slot
+/// loop.
+pub type StaticPeakPipeline =
+    ProvisioningPipeline<NoopUsagePredictor, NoopGate, Packing, DirectBackend>;
 
-        let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
-        if ctx.slot % self.window_slots == 0 {
-            for vm in ctx.vms {
-                if vm.jobs.is_empty() {
-                    continue;
-                }
-                // Register the run-time estimator's prediction so DRA's
-                // accuracy is scored like everyone else's (Fig. 6). DRA
-                // never acts on it opportunistically — it has no mechanism
-                // for reallocating allocated-but-unused resources.
-                if let Some(prediction) = self.predictor.predict(vm.id) {
-                    push_vm_prediction(
-                        &mut plan,
-                        vm.id,
-                        ctx.slot,
-                        ctx.slot + self.window_slots - 1,
-                        &prediction,
-                    );
-                }
-            }
-        }
-
-        // DRA admits each job at its full request (capped by what is free
-        // under overcommit) on a share-weighted random fitting VM; jobs
-        // that fit nowhere wait in the queue.
-        for p in ctx.pending {
-            let admission = p.requested.scaled(self.overcommit);
-            if let Some(vm) = Self::share_weighted_vm(&pools, &admission, &mut self.rng) {
-                let granted = p.requested.min(&pools[vm]).clamp_nonnegative();
-                pools[vm] -= granted;
-                pools[vm] = pools[vm].clamp_nonnegative();
-                plan.placements.push(Placement {
-                    job: p.id,
-                    vm,
-                    allocation: granted,
-                });
-            }
-        }
-        plan
+impl StaticPeakPipeline {
+    /// Creates the static-peak pipeline configuration.
+    pub fn static_peak() -> Self {
+        Self::compose(
+            "static-peak",
+            1,
+            0,
+            NoopUsagePredictor,
+            NoopGate,
+            Packing::Passthrough,
+            DirectBackend::new(VmSelector::FirstFit),
+            AdmissionPolicy::FullRequest,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use corp_sim::{Cluster, EnvironmentProfile, Simulation, SimulationOptions};
+    use corp_sim::{Cluster, EnvironmentProfile, Provisioner, Simulation, SimulationOptions};
     use corp_trace::{WorkloadConfig, WorkloadGenerator};
 
     fn workload(n: usize, seed: u64) -> Vec<corp_trace::JobSpec> {
@@ -1094,5 +416,17 @@ mod tests {
         assert_eq!(RccrProvisioner::new(0.9, 1).name(), "RCCR");
         assert_eq!(CloudScaleProvisioner::new(1).name(), "CloudScale");
         assert_eq!(DraProvisioner::new(1).name(), "DRA");
+    }
+
+    #[test]
+    fn static_peak_pipeline_matches_the_reference_provisioner() {
+        // The pipeline wiring of the trivial fifth scheme reproduces the
+        // hand-written StaticPeakProvisioner decision for decision.
+        let mut pipeline = StaticPeakPipeline::static_peak();
+        let mut reference = corp_sim::StaticPeakProvisioner;
+        assert_eq!(pipeline.name(), reference.name());
+        let a = run_contended(&mut pipeline, 120, 11);
+        let b = run_contended(&mut reference, 120, 11);
+        assert_eq!(serde::json::to_string(&a), serde::json::to_string(&b));
     }
 }

@@ -64,8 +64,9 @@ impl FaultConfig {
         }
     }
 
-    /// A scenario with every expected count at zero: [`generate`]
-    /// (crate::generate) expands it to an empty schedule.
+    /// A scenario with every expected count at zero:
+    /// [`generate`](crate::schedule::generate) expands it to an empty
+    /// schedule.
     pub fn disabled(seed: u64) -> Self {
         Self::scenario(seed, 0.0)
     }

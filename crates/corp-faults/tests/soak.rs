@@ -83,15 +83,15 @@ fn soak_cell(scheme: &str, seed: u64, intensity: f64) -> SimulationReport {
             ..ShardConfig::default()
         },
     );
-    let mut sim = Simulation::with_faults(
+    let mut sim = Simulation::new(
         cluster,
         workload(JOBS, seed),
         SimulationOptions {
             measure_decision_time: false,
             ..Default::default()
         },
-        schedule.timeline,
-    );
+    )
+    .with_fault_timeline(schedule.timeline);
     let report = sim.run(&mut provisioner);
     let label = format!("{scheme} seed={seed} intensity={intensity}");
 

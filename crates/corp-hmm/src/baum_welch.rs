@@ -1,6 +1,6 @@
 //! Baum-Welch re-estimation of `lambda = (A, B, pi)`.
 //!
-//! The paper "use[s] the method in [30] to re-estimate the parameters
+//! The paper "use\[s\] the method in \[30\] to re-estimate the parameters
 //! A, B, pi" — Stamp's exposition of the classic EM recursion. Each
 //! iteration computes `gamma`/`xi` from the scaled forward/backward
 //! variables and re-estimates:

@@ -15,7 +15,7 @@
 //!    lowered by the same amount (`h`/`m`/`l` = highest/average/lowest
 //!    unused resource within the recent period — `min` is chosen because
 //!    "it is more conservative for ensuring sufficient resource being able
-//!    to [be] allocated to jobs").
+//!    to \[be\] allocated to jobs").
 
 use crate::baum_welch::baum_welch;
 use crate::model::Hmm;

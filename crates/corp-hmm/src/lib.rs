@@ -14,7 +14,7 @@
 //!   `E_{P_{T+1}}(k) = sum_j P(q_{T+1} = S_j | q_T) b_j(k)` (Eq. 17).
 //!
 //! No HMM crate exists in the offline registry; everything here is
-//! implemented from Rabiner's tutorial (the paper's own reference [29]) and
+//! implemented from Rabiner's tutorial (the paper's own reference \[29\]) and
 //! verified against brute-force enumeration in the test suite.
 
 #![warn(missing_docs)]

@@ -145,21 +145,26 @@ impl Simulation {
         }
     }
 
-    /// Builds a simulation that replays `timeline` alongside the workload:
+    /// Arms the simulation to replay `timeline` alongside the workload:
     /// VM crash/recovery windows, capacity degradation, and per-slot view
     /// poisoning, all applied at deterministic slots. An empty timeline
-    /// behaves exactly like [`Simulation::new`] except that the report
-    /// carries zeroed [`FaultStats`] instead of `None`.
+    /// behaves exactly like a plain [`Simulation::new`] run except that
+    /// the report carries zeroed [`FaultStats`] instead of `None`.
+    pub fn with_fault_timeline(mut self, timeline: FaultTimeline) -> Self {
+        let num_vms = self.cluster.vms.len();
+        self.faults = Some(FaultRuntime::new(timeline, num_vms));
+        self
+    }
+
+    /// Builds a simulation with a fault schedule.
+    #[deprecated(note = "use `Simulation::new(...).with_fault_timeline(timeline)` instead")]
     pub fn with_faults(
         cluster: Cluster,
         specs: Vec<JobSpec>,
         options: SimulationOptions,
         timeline: FaultTimeline,
     ) -> Self {
-        let num_vms = cluster.vms.len();
-        let mut sim = Simulation::new(cluster, specs, options);
-        sim.faults = Some(FaultRuntime::new(timeline, num_vms));
-        sim
+        Simulation::new(cluster, specs, options).with_fault_timeline(timeline)
     }
 
     /// Read access to the metrics collected so far (or after `run`).
@@ -1029,12 +1034,8 @@ mod tests {
                 event: FaultEvent::VmRecover { vm },
             });
         }
-        let mut sim = Simulation::with_faults(
-            cluster(),
-            jobs,
-            SimulationOptions::default(),
-            FaultTimeline::new(events),
-        );
+        let mut sim = Simulation::new(cluster(), jobs, SimulationOptions::default())
+            .with_fault_timeline(FaultTimeline::new(events));
         let report = sim.run(&mut StaticPeakProvisioner);
         let faults = report.faults.as_ref().expect("fault stats present");
         assert_eq!(faults.vm_crashes as usize, num_vms);
@@ -1074,15 +1075,15 @@ mod tests {
             slot: 0,
             event: FaultEvent::VmCrash { vm: 0 },
         }]);
-        let mut sim = Simulation::with_faults(
+        let mut sim = Simulation::new(
             cluster(),
             small_workload(3, 22),
             SimulationOptions {
                 max_slots: 30,
                 ..SimulationOptions::default()
             },
-            timeline,
-        );
+        )
+        .with_fault_timeline(timeline);
         let report = sim.run(&mut Stubborn);
         let faults = report.faults.as_ref().expect("fault stats present");
         assert!(faults.dropped_down_vm_actions > 0, "{report:?}");
@@ -1153,7 +1154,8 @@ mod tests {
                 event: FaultEvent::VmDegrade { vm, factor: 0.3 },
             })
             .collect();
-        let degraded = Simulation::with_faults(cluster(), jobs, opts, FaultTimeline::new(events))
+        let degraded = Simulation::new(cluster(), jobs, opts)
+            .with_fault_timeline(FaultTimeline::new(events))
             .run(&mut StaticPeakProvisioner);
         let faults = degraded.faults.as_ref().expect("fault stats present");
         assert!(faults.degraded_vm_slots > 0);
@@ -1196,12 +1198,12 @@ mod tests {
                 },
             })
             .collect();
-        let mut sim = Simulation::with_faults(
+        let mut sim = Simulation::new(
             cluster(),
             small_workload(20, 25),
             SimulationOptions::default(),
-            FaultTimeline::new(events),
-        );
+        )
+        .with_fault_timeline(FaultTimeline::new(events));
         let mut p = SeesNan {
             inner: StaticPeakProvisioner,
             saw_nan: false,
@@ -1225,7 +1227,8 @@ mod tests {
         };
         let plain =
             Simulation::new(cluster(), jobs.clone(), opts.clone()).run(&mut StaticPeakProvisioner);
-        let faulty = Simulation::with_faults(cluster(), jobs, opts, FaultTimeline::default())
+        let faulty = Simulation::new(cluster(), jobs, opts)
+            .with_fault_timeline(FaultTimeline::default())
             .run(&mut StaticPeakProvisioner);
         assert_eq!(plain.faults, None);
         assert_eq!(faulty.faults, Some(crate::faults::FaultStats::default()));
@@ -1238,6 +1241,34 @@ mod tests {
         );
         assert_eq!(plain.slo_violation_rate, faulty.slo_violation_rate);
         assert_eq!(plain.invalid_actions, faulty.invalid_actions);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_faults_matches_the_builder() {
+        use corp_faults::{FaultEvent, FaultTimeline, TimedFault};
+        let jobs = small_workload(15, 27);
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let timeline = || {
+            FaultTimeline::new(vec![TimedFault {
+                slot: 2,
+                event: FaultEvent::VmCrash { vm: 0 },
+            }])
+        };
+        let via_alias = Simulation::with_faults(cluster(), jobs.clone(), opts.clone(), timeline())
+            .run(&mut StaticPeakProvisioner);
+        let via_builder = Simulation::new(cluster(), jobs, opts)
+            .with_fault_timeline(timeline())
+            .run(&mut StaticPeakProvisioner);
+        assert_eq!(via_alias.faults, via_builder.faults);
+        assert_eq!(via_alias.completed, via_builder.completed);
+        assert_eq!(
+            via_alias.overall_utilization.to_bits(),
+            via_builder.overall_utilization.to_bits()
+        );
     }
 
     #[test]

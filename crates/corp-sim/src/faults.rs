@@ -1,5 +1,5 @@
 //! Engine-side fault injection: runtime tracking of a
-//! [`FaultTimeline`](corp_faults::FaultTimeline) and the counters the
+//! [`corp_faults::FaultTimeline`] and the counters the
 //! report surfaces.
 //!
 //! The engine consumes a pre-computed schedule (see `corp-faults`) rather

@@ -11,8 +11,27 @@
 #                                 # non-finite or zero throughput and on
 #                                 # tuned-vs-baseline divergence) and
 #                                 # requires BENCH_hotpath.json output
+#   scripts/check.sh doc          # rustdoc gate only: every public item
+#                                 # documented, no broken intra-doc links
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+doc_gate() {
+    # Only the repo's own crates: the vendored stand-ins under vendor/
+    # track upstream API shapes, not our documentation posture.
+    local own_crates=()
+    for d in crates/*/; do
+        own_crates+=(-p "$(basename "$d")")
+    done
+    echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps ${own_crates[*]}"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${own_crates[@]}"
+}
+
+if [[ "${1:-}" == "doc" ]]; then
+    doc_gate
+    echo "Doc gate passed."
+    exit 0
+fi
 
 if [[ "${1:-}" == "chaos-soak" ]]; then
     echo "==> cargo test -p corp-faults --release -- --ignored soak"
@@ -38,6 +57,8 @@ cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+doc_gate
 
 echo "==> cargo build --release"
 cargo build --release
