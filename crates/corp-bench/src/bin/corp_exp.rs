@@ -8,8 +8,13 @@
 //! corp-exp scalability    # sharded-control-plane sweep (1..8 shards)
 //! corp-exp faults         # availability under deterministic fault injection
 //! corp-exp perf           # hot-path throughput baseline (BENCH_hotpath.json)
+//! corp-exp e2e            # end-to-end pooled-vs-scoped throughput (BENCH_e2e.json)
+//! corp-exp perf --e2e     # alias for the e2e runner
 //! corp-exp --json fig6    # machine-readable output (one JSON array)
 //! ```
+//!
+//! `e2e` drives a 1024-VM fleet and is excluded from `all`; ask for it by
+//! name (or via `--e2e`).
 
 use corp_bench::experiments;
 use corp_bench::FigureTable;
@@ -18,11 +23,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let json = args.iter().any(|a| a == "--json");
-    let wanted: Vec<&str> = args
+    let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+    if args.iter().any(|a| a == "--e2e") {
+        // `perf --e2e` means the end-to-end runner, not the hot-path one.
+        wanted.retain(|w| *w != "perf");
+        wanted.push("e2e");
+    }
     let all = wanted.is_empty() || wanted.contains(&"all");
 
     type Runner = Box<dyn Fn(bool) -> FigureTable>;
@@ -41,12 +51,14 @@ fn main() {
         ("scalability", Box::new(experiments::scalability)),
         ("faults", Box::new(experiments::availability)),
         ("perf", Box::new(experiments::perf)),
+        ("e2e", Box::new(experiments::e2e)),
     ];
 
     let mut matched = false;
     let mut collected: Vec<FigureTable> = Vec::new();
     for (name, run) in &runners {
-        if all || wanted.contains(name) {
+        // The 1024-VM e2e benchmark only runs when asked for by name.
+        if (all && *name != "e2e") || wanted.contains(name) {
             matched = true;
             let started = std::time::Instant::now();
             let figure = run(fast);

@@ -145,6 +145,15 @@ pub struct SchemeParams {
     /// instead of the fused ones (bit-identical outputs; the fused path's
     /// A/B switch and the perf runner's baseline arm).
     pub reference_dnn: bool,
+    /// Run predictions on the legacy scoped-thread path (fresh threads and
+    /// fresh scratch every window) instead of the persistent worker-pool
+    /// runtime. Reports are byte-identical either way — this is the
+    /// measured baseline arm of `corp-exp e2e`.
+    pub scoped_runtime: bool,
+    /// Pins the prediction fan-out width for CORP, RCCR, and CloudScale
+    /// (`None` = the `CORP_THREADS` / hardware default). Width only shapes
+    /// chunking — reports are byte-identical at any width.
+    pub pool_width: Option<usize>,
     /// RNG seed for randomized placement.
     pub seed: u64,
 }
@@ -158,6 +167,8 @@ impl Default for SchemeParams {
             fast_dnn: false,
             serial_prediction: false,
             reference_dnn: false,
+            scoped_runtime: false,
+            pool_width: None,
             seed: 7,
         }
     }
@@ -181,6 +192,8 @@ pub fn build_provisioner(
             config.seed = params.seed;
             config.parallel_prediction = !params.serial_prediction;
             config.train.reference_kernels = params.reference_dnn;
+            config.pooled_runtime = !params.scoped_runtime;
+            config.prediction_pool_width = params.pool_width;
             let mut corp = CorpProvisioner::new(config);
             corp.pretrain(&historical_histories(env, 40));
             Box::new(corp)
@@ -188,18 +201,26 @@ pub fn build_provisioner(
         SchemeKind::Rccr => {
             let mut rccr = RccrProvisioner::new(params.confidence, params.seed);
             rccr.set_parallel_prediction(!params.serial_prediction);
+            rccr.set_scoped_runtime(params.scoped_runtime);
+            rccr.set_prediction_pool_width(params.pool_width);
             Box::new(rccr)
         }
         SchemeKind::CloudScale => {
             let mut cs =
                 CloudScaleProvisioner::with_padding_scale(params.seed, params.aggressiveness);
             cs.set_parallel_prediction(!params.serial_prediction);
+            cs.set_scoped_runtime(params.scoped_runtime);
+            cs.set_prediction_pool_width(params.pool_width);
             Box::new(cs)
         }
-        SchemeKind::Dra => Box::new(DraProvisioner::with_overcommit(
-            params.seed,
-            params.aggressiveness.clamp(0.05, 1.0),
-        )),
+        SchemeKind::Dra => {
+            let mut dra = DraProvisioner::with_overcommit(
+                params.seed,
+                params.aggressiveness.clamp(0.05, 1.0),
+            );
+            dra.set_scoped_runtime(params.scoped_runtime);
+            Box::new(dra)
+        }
     }
 }
 

@@ -9,13 +9,14 @@
 //! target, and `tests/experiment_shapes.rs` asserts them.
 
 use crate::env::{
-    build_provisioner, run_cell, run_cell_averaged, run_cell_faulty, run_cell_sharded, Environment,
-    SchemeKind, SchemeParams, ALL_SCHEMES,
+    build_provisioner, build_sharded_provisioner, run_cell, run_cell_averaged, run_cell_faulty,
+    run_cell_sharded, Environment, SchemeKind, SchemeParams, ALL_SCHEMES,
 };
 use crate::table::TextTable;
 use corp_core::CorpConfig;
 use corp_faults::FaultConfig;
-use corp_sim::{Simulation, SimulationOptions, SimulationReport};
+use corp_sim::{Cluster, EnvironmentProfile, Simulation, SimulationOptions, SimulationReport};
+use corp_trace::{JobSpec, WorkloadConfig, WorkloadGenerator};
 use serde::Serialize;
 
 /// A regenerated figure/table plus free-form notes.
@@ -616,6 +617,282 @@ pub fn perf(fast: bool) -> FigureTable {
             ),
         ],
     }
+}
+
+/// One timed arm of the end-to-end throughput benchmark (`BENCH_e2e.json`
+/// row).
+#[derive(Debug, Clone, Serialize)]
+pub struct E2eArm {
+    /// Scheme name (paper spelling).
+    pub scheme: String,
+    /// `"pooled"` (persistent worker-pool runtime, the default),
+    /// `"scoped"` (legacy scoped-thread path with fresh scratch every
+    /// window), or `"sharded"` (pooled runtime behind the 2-shard control
+    /// plane with batched completion messaging).
+    pub arm: String,
+    /// Wall-clock seconds to build the provisioner (DNN pretraining for
+    /// CORP; ~0 for the baselines).
+    pub pretrain_secs: f64,
+    /// Wall-clock seconds of the simulation loop.
+    pub run_secs: f64,
+    /// Simulated slots per wall-clock second.
+    pub slots_per_sec: f64,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+}
+
+/// Machine-readable result of the end-to-end benchmark: the committed
+/// baseline `scripts/check.sh perf-regression` compares fresh runs
+/// against.
+#[derive(Debug, Clone, Serialize)]
+pub struct E2eBaseline {
+    /// Fleet size (VMs) the benchmark drove.
+    pub vms: usize,
+    /// Jobs in the measured workload.
+    pub jobs: usize,
+    /// Whether the cheap test DNN was used (`--fast`).
+    pub fast: bool,
+    /// CORP pooled slots/sec over CORP scoped slots/sec — the headline
+    /// win of the persistent worker-pool runtime.
+    pub corp_pool_speedup: f64,
+    /// Every timed arm.
+    pub arms: Vec<E2eArm>,
+}
+
+/// File the e2e runner writes its machine-readable baseline to (in the
+/// invoking directory; `scripts/check.sh perf-regression` consumes it).
+pub const E2E_BASELINE_FILE: &str = "BENCH_e2e.json";
+
+/// Env var naming a committed [`E2E_BASELINE_FILE`] to regress against:
+/// when set, the runner panics if the fresh CORP pooled slots/sec falls
+/// more than [`E2E_REGRESSION_TOLERANCE`] below the baseline's.
+pub const E2E_BASELINE_ENV: &str = "CORP_E2E_BASELINE";
+
+/// Allowed fractional slots/sec drop before the baseline compare panics.
+pub const E2E_REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Extracts the CORP pooled arm's `slots_per_sec` from a serialized
+/// [`E2eBaseline`]. A string scan, not a parser — the vendored serde has
+/// no deserializer, and the file is always written by this module, so the
+/// field order (`"scheme"`, `"arm"`, ..., `"slots_per_sec"`) is fixed.
+fn baseline_corp_pooled_slots(json: &str) -> Option<f64> {
+    let row = json.find("\"scheme\":\"CORP\",\"arm\":\"pooled\"")?;
+    let rest = &json[row..];
+    let key = "\"slots_per_sec\":";
+    let tail = &rest[rest.find(key)? + key.len()..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+/// The 1024-VM fleet the end-to-end benchmark drives (the best-fit
+/// microbenchmark's fleet size, now end to end): 256 SL230-class PMs at 4
+/// VMs each.
+fn e2e_fleet() -> Cluster {
+    Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(256))
+}
+
+/// The end-to-end workload: the figure sweeps' job mix at steady-state
+/// saturation. Durations sit in the upper half of the paper's short-job
+/// range (2-5 min, still under the 5-minute timeout) so thousands of jobs
+/// run concurrently across the 1024 VMs — the regime where every
+/// provisioning window carries a full fleet of per-job predictions, which
+/// is exactly the traffic the worker-pool runtime amortizes.
+fn e2e_workload(jobs: usize, seed: u64) -> Vec<JobSpec> {
+    let config = WorkloadConfig {
+        num_jobs: jobs,
+        mean_interarrival_slots: Environment::ARRIVAL_WINDOW_SLOTS / jobs.max(1) as f64,
+        min_duration_secs: 120.0,
+        max_duration_secs: 300.0,
+        demand_scale: 1.5,
+        ..WorkloadConfig::default()
+    };
+    WorkloadGenerator::new(config, seed).generate()
+}
+
+/// End-to-end throughput: every scheme driving the 1024-VM fleet, timed in
+/// three arms — the persistent worker-pool runtime (the default), the
+/// legacy scoped-thread path it replaced (fresh threads and fresh scratch
+/// every window), and the pooled runtime behind a 2-shard control plane
+/// with batched completion messaging. Arms run sequentially so each
+/// wall-clock measurement owns the machine, and the pooled and scoped arms
+/// of a scheme must produce byte-identical reports (the runtime swap is
+/// not allowed to change a single decision; the sharded arm decorrelates
+/// per-shard seeds, so only its throughput is comparable). Monolithic arms
+/// are best-of-3; the sharded arm is a single run. Writes
+/// [`E2E_BASELINE_FILE`] next to the table it returns, and when
+/// [`E2E_BASELINE_ENV`] names a committed baseline, panics if CORP's
+/// pooled slots/sec regressed more than [`E2E_REGRESSION_TOLERANCE`]
+/// below it.
+pub fn e2e(fast: bool) -> FigureTable {
+    let jobs = if fast { 4000 } else { 8000 };
+    const SHARDS: usize = 2;
+    let vms = e2e_fleet().vms.len();
+    let mut arms: Vec<E2eArm> = Vec::new();
+    for &scheme in &ALL_SCHEMES {
+        let mut serialized: Vec<String> = Vec::new();
+        for (arm, scoped) in [("pooled", false), ("scoped", true)] {
+            let params = SchemeParams {
+                fast_dnn: fast,
+                scoped_runtime: scoped,
+                ..Default::default()
+            };
+            // Best-of-3: each measurement rebuilds the provisioner and
+            // replays the identical deterministic sim; the minimum is the
+            // least noise-contaminated sample.
+            let mut pretrain_secs = f64::INFINITY;
+            let mut run_secs = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..3 {
+                let building = std::time::Instant::now();
+                let mut provisioner = build_provisioner(scheme, Environment::Cluster, &params);
+                pretrain_secs = pretrain_secs.min(building.elapsed().as_secs_f64());
+                let mut sim = Simulation::new(
+                    e2e_fleet(),
+                    e2e_workload(jobs, params.seed.wrapping_add(jobs as u64)),
+                    SimulationOptions {
+                        measure_decision_time: false,
+                        // The baseline arm runs the whole pre-pool path:
+                        // legacy scoped-thread prediction runtime AND the
+                        // engine's per-slot view reallocation.
+                        legacy_slot_views: scoped,
+                        ..Default::default()
+                    },
+                );
+                let running = std::time::Instant::now();
+                let r = sim.run(provisioner.as_mut());
+                run_secs = run_secs.min(running.elapsed().as_secs_f64());
+                report = Some(r);
+            }
+            let report = report.expect("three timed runs");
+            serialized.push(serde::json::to_string(&report));
+            arms.push(e2e_arm(scheme, arm, pretrain_secs, run_secs, &report));
+        }
+        assert_eq!(
+            serialized[0],
+            serialized[1],
+            "{}: pooled and scoped arms produced different reports",
+            scheme.name()
+        );
+        let params = SchemeParams {
+            fast_dnn: fast,
+            ..Default::default()
+        };
+        let building = std::time::Instant::now();
+        let mut provisioner =
+            build_sharded_provisioner(scheme, Environment::Cluster, &params, SHARDS);
+        let pretrain_secs = building.elapsed().as_secs_f64();
+        let mut sim = Simulation::new(
+            e2e_fleet(),
+            e2e_workload(jobs, params.seed.wrapping_add(jobs as u64)),
+            SimulationOptions {
+                measure_decision_time: false,
+                ..Default::default()
+            },
+        );
+        let running = std::time::Instant::now();
+        let report = sim.run(&mut provisioner);
+        let run_secs = running.elapsed().as_secs_f64();
+        arms.push(e2e_arm(scheme, "sharded", pretrain_secs, run_secs, &report));
+    }
+    let slots = |scheme: &str, arm: &str| {
+        arms.iter()
+            .find(|a| a.scheme == scheme && a.arm == arm)
+            .expect("every scheme ran every arm")
+            .slots_per_sec
+    };
+    let corp_pool_speedup = slots("CORP", "pooled") / slots("CORP", "scoped");
+    if let Ok(path) = std::env::var(E2E_BASELINE_ENV) {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{E2E_BASELINE_ENV}={path}: unreadable baseline: {e}"));
+        let committed_slots = baseline_corp_pooled_slots(&committed)
+            .unwrap_or_else(|| panic!("{path}: no CORP pooled slots_per_sec row"));
+        let fresh = slots("CORP", "pooled");
+        let floor = committed_slots * (1.0 - E2E_REGRESSION_TOLERANCE);
+        assert!(
+            fresh >= floor,
+            "perf regression: CORP pooled {fresh:.0} slots/s is more than \
+             {:.0}% below the committed baseline {committed_slots:.0} (floor {floor:.0})",
+            E2E_REGRESSION_TOLERANCE * 100.0
+        );
+    }
+    let baseline = E2eBaseline {
+        vms,
+        jobs,
+        fast,
+        corp_pool_speedup,
+        arms: arms.clone(),
+    };
+    std::fs::write(E2E_BASELINE_FILE, serde::json::to_string(&baseline))
+        .expect("write e2e baseline json");
+    let mut table = TextTable::new(
+        format!(
+            "E2E — end-to-end throughput, pooled (persistent workers) vs scoped (legacy) vs \
+             sharded ({vms} VMs, {jobs} jobs)"
+        ),
+        &[
+            "scheme",
+            "arm",
+            "pretrain (s)",
+            "sim wall (s)",
+            "slots/s",
+            "jobs/s",
+        ],
+    );
+    for a in &arms {
+        table.push_row(vec![
+            a.scheme.clone(),
+            a.arm.clone(),
+            three(a.pretrain_secs),
+            three(a.run_secs),
+            format!("{:.0}", a.slots_per_sec),
+            format!("{:.1}", a.jobs_per_sec),
+        ]);
+    }
+    FigureTable {
+        id: "e2e".into(),
+        table,
+        notes: vec![
+            format!("machine-readable baseline written to {E2E_BASELINE_FILE}"),
+            format!("CORP pooled/scoped slots-per-sec speedup: {corp_pool_speedup:.2}x"),
+            "per-scheme reports verified byte-identical between the pooled and scoped arms \
+             before timing was recorded; the sharded arm decorrelates per-shard seeds, so \
+             only its throughput is comparable"
+                .into(),
+        ],
+    }
+}
+
+/// Builds one [`E2eArm`] row, asserting finite non-zero throughput so the
+/// regression gate fails loudly on a broken measurement.
+fn e2e_arm(
+    scheme: SchemeKind,
+    arm: &str,
+    pretrain_secs: f64,
+    run_secs: f64,
+    report: &SimulationReport,
+) -> E2eArm {
+    let wall = run_secs.max(1e-9);
+    let row = E2eArm {
+        scheme: scheme.name().to_string(),
+        arm: arm.to_string(),
+        pretrain_secs,
+        run_secs,
+        slots_per_sec: report.slots_run as f64 / wall,
+        jobs_per_sec: report.completed as f64 / wall,
+    };
+    assert!(
+        row.pretrain_secs.is_finite() && row.run_secs.is_finite(),
+        "{} {}: non-finite wall-clock",
+        row.scheme,
+        row.arm
+    );
+    assert!(
+        row.slots_per_sec > 0.0 && row.jobs_per_sec > 0.0,
+        "{} {}: zero throughput: {row:?}",
+        row.scheme,
+        row.arm
+    );
+    row
 }
 
 /// Fault intensities swept by the availability experiment: multiples of

@@ -51,8 +51,8 @@
 use corp_faults::ControlFaultPlan;
 use corp_sim::control_plane::{ControlPlaneStats, ShardStats};
 use corp_sim::{
-    JobId, PendingJobView, Placement, ProvisionPlan, Provisioner, ResourceVector, SlotContext,
-    StaticPeakProvisioner, VmView,
+    JobCompletion, JobId, PendingJobView, Placement, ProvisionPlan, Provisioner, ResourceVector,
+    SlotContext, StaticPeakProvisioner, VmView,
 };
 use crossbeam::channel::RecvTimeoutError;
 use std::collections::{HashMap, HashSet};
@@ -105,11 +105,10 @@ enum ShardRequest {
         pending: Arc<Vec<PendingJobView>>,
         max_vm_capacity: ResourceVector,
     },
-    /// Fold a completed job into the shard's training corpus.
-    JobCompleted {
-        job: JobId,
-        unused_history: Vec<Vec<f64>>,
-    },
+    /// Fold one slot's completed jobs (every completion owned by this
+    /// shard, in completion order) into the shard's training corpus — one
+    /// message per shard per slot rather than one per job.
+    JobsCompleted { jobs: Vec<JobCompletion> },
     /// Chaos: exit immediately, as an unplanned worker crash would.
     Die,
 }
@@ -221,12 +220,9 @@ fn worker_loop(
                     }
                 }
             }
-            ShardRequest::JobCompleted {
-                job,
-                unused_history,
-            } => {
+            ShardRequest::JobsCompleted { jobs } => {
                 if catch_unwind(AssertUnwindSafe(|| {
-                    inner.on_job_completed(job, &unused_history);
+                    inner.on_jobs_completed(&jobs);
                 }))
                 .is_err()
                 {
@@ -675,23 +671,42 @@ impl Provisioner for ShardedProvisioner {
     }
 
     fn on_job_completed(&mut self, job: JobId, unused_history: &[Vec<f64>]) {
-        let owner = owner_of(job, self.workers.len());
-        let request = ShardRequest::JobCompleted {
+        let single = [JobCompletion {
             job,
             unused_history: unused_history.to_vec(),
-        };
-        // FIFO per worker: the notification lands before the next
-        // Provision request, exactly as the engine orders the calls.
-        let delivered = self.workers[owner]
-            .requests
-            .as_ref()
-            .map(|tx| tx.send(request).is_ok())
-            .unwrap_or(false);
-        if !delivered {
-            // The worker is dead: this shard's corpus misses one sample
-            // (restart happens on the next provision call).
-            self.workers[owner].alive = false;
-            self.recovery.messages_dropped += 1;
+        }];
+        self.on_jobs_completed(&single);
+    }
+
+    fn on_jobs_completed(&mut self, completed: &[JobCompletion]) {
+        // Group the slot's completions by owning shard, preserving
+        // completion order within each group, and forward one batch
+        // message per shard — the engine hands the whole slot at once, so
+        // channel traffic is O(shards) per slot instead of O(jobs).
+        let n = self.workers.len();
+        let mut batches: Vec<Vec<JobCompletion>> = vec![Vec::new(); n];
+        for c in completed {
+            batches[owner_of(c.job, n)].push(c.clone());
+        }
+        for (owner, jobs) in batches.into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            // FIFO per worker: the notification lands before the next
+            // Provision request, exactly as the engine orders the calls.
+            let delivered = self.workers[owner]
+                .requests
+                .as_ref()
+                .map(|tx| tx.send(ShardRequest::JobsCompleted { jobs }).is_ok())
+                .unwrap_or(false);
+            if !delivered {
+                // The worker is dead: this shard's corpus misses one
+                // slot's samples (restart happens on the next provision
+                // call). Dropped messages are counted per batch — one
+                // message is what was actually lost on the wire.
+                self.workers[owner].alive = false;
+                self.recovery.messages_dropped += 1;
+            }
         }
     }
 

@@ -51,10 +51,21 @@ pub struct CorpConfig {
     /// RNG seed for any randomized decision (kept for reproducibility).
     pub seed: u64,
     /// Fan the per-job DNN predictions of each provisioning window across
-    /// scoped threads. Results are written by task index and consumed in
+    /// worker threads. Results are written by task index and consumed in
     /// the serial order, so reports are byte-identical either way; `false`
     /// is the A/B switch the determinism suite flips.
     pub parallel_prediction: bool,
+    /// Run predictions on the persistent worker-pool runtime (`true`,
+    /// default: long-lived threads, scratch reused across windows) or the
+    /// legacy scoped-thread path (`false`: fresh threads and fresh scratch
+    /// every window). Reports are byte-identical either way; `false` is
+    /// the measured baseline arm of `corp-exp e2e`.
+    pub pooled_runtime: bool,
+    /// Pins the prediction fan-out width. `None` (default) uses the
+    /// `CORP_THREADS` environment override or the host's available
+    /// parallelism. Width only shapes chunking — results are byte-identical
+    /// at any width.
+    pub prediction_pool_width: Option<usize>,
 }
 
 impl Default for CorpConfig {
@@ -81,6 +92,8 @@ impl Default for CorpConfig {
             },
             seed: 0xC0 & 0xFF | 0xC000, // deterministic, arbitrary
             parallel_prediction: true,
+            pooled_runtime: true,
+            prediction_pool_width: None,
         }
     }
 }
@@ -136,6 +149,10 @@ impl CorpConfig {
         assert!(
             (0.0..=1.0).contains(&self.reclaim_floor),
             "reclaim floor must be in [0,1]"
+        );
+        assert!(
+            self.prediction_pool_width != Some(0),
+            "prediction pool width must be at least 1"
         );
     }
 }

@@ -39,6 +39,12 @@ pub struct ProvisioningPipeline<U, G, K, B> {
     admission: AdmissionPolicy,
     rng: StdRng,
     outcomes: Vec<PendingOutcome>,
+    // Per-slot working buffers, cleared and refilled every slot instead of
+    // reallocated (the driver runs once per slot for the whole fleet, so
+    // these amortize to zero allocation at steady state).
+    pools_buf: Vec<ResourceVector>,
+    requested_buf: HashMap<u64, ResourceVector>,
+    packable_buf: Vec<PackableJob>,
 }
 
 impl<U, G, K, B> ProvisioningPipeline<U, G, K, B> {
@@ -69,6 +75,9 @@ impl<U, G, K, B> ProvisioningPipeline<U, G, K, B> {
             admission,
             rng: StdRng::seed_from_u64(seed),
             outcomes: Vec::new(),
+            pools_buf: Vec::new(),
+            requested_buf: HashMap::new(),
+            packable_buf: Vec::new(),
         }
     }
 
@@ -139,7 +148,9 @@ where
         self.predictor
             .ingest(ctx, self.window_slots, &mut self.outcomes);
 
-        let mut pools: Vec<ResourceVector> = ctx.vms.iter().map(|v| v.free).collect();
+        let pools = &mut self.pools_buf;
+        pools.clear();
+        pools.extend(ctx.vms.iter().map(|v| v.free));
 
         if ctx.slot % self.window_slots == 0 {
             let forecast = self.predictor.forecast(ctx);
@@ -152,38 +163,37 @@ where
                 &forecast,
                 &unlocked,
                 self.window_slots,
-                &mut pools,
+                pools,
                 &mut self.outcomes,
                 &mut plan,
             );
         }
 
         // Placement: pack, then choose/debit per entity.
-        let requested: HashMap<u64, ResourceVector> =
-            ctx.pending.iter().map(|p| (p.id, p.requested)).collect();
-        let packable: Vec<PackableJob> = ctx
-            .pending
-            .iter()
-            .map(|p| PackableJob {
-                id: p.id,
-                demand: p.requested,
-            })
-            .collect();
-        let entities = self.packer.pack(&packable, &ctx.max_vm_capacity);
+        let requested = &mut self.requested_buf;
+        requested.clear();
+        requested.extend(ctx.pending.iter().map(|p| (p.id, p.requested)));
+        let packable = &mut self.packable_buf;
+        packable.clear();
+        packable.extend(ctx.pending.iter().map(|p| PackableJob {
+            id: p.id,
+            demand: p.requested,
+        }));
+        let entities = self.packer.pack(packable, &ctx.max_vm_capacity);
         if entities.is_empty() {
             return plan;
         }
         // Only a slot with something to place pays for backend setup
         // (volume-index construction) — hot-path critical.
-        self.backend.begin_slot(&pools, &ctx.max_vm_capacity);
+        self.backend.begin_slot(pools, &ctx.max_vm_capacity);
         for entity in &entities {
             if place_entity(
                 &mut self.backend,
                 self.admission,
                 ctx,
-                &mut pools,
+                pools,
                 entity,
-                &requested,
+                requested,
                 &mut self.rng,
                 &mut plan,
             ) {
@@ -201,9 +211,9 @@ where
                         &mut self.backend,
                         self.admission,
                         ctx,
-                        &mut pools,
+                        pools,
                         &single,
-                        &requested,
+                        requested,
                         &mut self.rng,
                         &mut plan,
                     );
@@ -215,5 +225,14 @@ where
 
     fn on_job_completed(&mut self, job: u64, unused_history: &[Vec<f64>]) {
         self.predictor.absorb_completion(job, unused_history);
+    }
+
+    /// Deep view histories are only consumed on window boundaries: the
+    /// forecast/reallocation stages run under `slot % window_slots == 0`,
+    /// and prediction outcomes (made on a boundary, due one window later)
+    /// mature on boundaries too. Off-boundary slots touch only the newest
+    /// sample of each history, so the engine may skip the deep tail copies.
+    fn full_view_period(&self) -> u64 {
+        self.window_slots
     }
 }

@@ -1,4 +1,4 @@
-//! The one scoped-thread prediction fan-out every scheme shares.
+//! The scoped-thread prediction fan-out (the pre-pool execution path).
 //!
 //! Both prediction granularities — CORP's per-(vm, job) DNN tasks and the
 //! baselines' per-VM forecasts — funnel through [`fan_out`]: tasks are
@@ -8,22 +8,61 @@
 //! thread count. Worker states are returned for the caller to merge after
 //! the join (CORP folds fallback counters back in — u64 adds,
 //! order-independent).
+//!
+//! This module is the *legacy* arm of the runtime A/B: the default
+//! execution path is the persistent [`PredictRuntime`](super::PredictRuntime)
+//! pool, which reuses threads and scratch across windows. The scoped path
+//! is kept as the measured baseline (`corp-exp e2e` runs both) and as the
+//! determinism suite's reference.
 
 use corp_sim::{ResourceVector, VmView};
+use std::sync::OnceLock;
 
-/// Number of worker threads for a prediction fan-out over `tasks` tasks.
+/// Below this many tasks every fan-out runs serially: a prediction task is
+/// tens of microseconds of work, so for small fleets the per-window spawn
+/// (scoped path) or dispatch (pool path) overhead exceeds the win. This is
+/// the fix for the `BENCH_hotpath.json` tuned-slower-than-baseline
+/// inversion on small workloads (DESIGN.md §9); serial and parallel
+/// results are bit-identical, so the cutoff never changes a report.
+pub const SERIAL_FANOUT_CUTOFF: usize = 64;
+
+/// Hardware parallelism, queried once per process (the old code re-asked
+/// `std::thread::available_parallelism` every provisioning window).
+pub fn hardware_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The configured fan-out width: the `CORP_THREADS` environment variable
+/// when set to a positive integer (bench runs pin pool width with it),
+/// otherwise [`hardware_parallelism`]. Read once per process.
+pub fn configured_pool_width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        std::env::var("CORP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(hardware_parallelism)
+    })
+}
+
+/// Number of worker threads for a prediction fan-out over `tasks` tasks:
+/// 1 when disabled or below [`SERIAL_FANOUT_CUTOFF`], else the configured
+/// width capped by the task count.
 pub fn prediction_threads(parallel: bool, tasks: usize) -> usize {
-    if !parallel || tasks < 2 {
+    if !parallel || tasks < SERIAL_FANOUT_CUTOFF {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(tasks)
+    configured_pool_width().min(tasks)
 }
 
 /// Fans `f` over `tasks` across scoped threads (serially when `parallel`
-/// is false or fewer than two tasks exist).
+/// is false or the task count is below [`SERIAL_FANOUT_CUTOFF`]).
 ///
 /// Each worker thread gets its own state from `init`; `f` maps one task
 /// through that state to a result, written at the task's index into a
@@ -80,7 +119,9 @@ where
 
 /// Fans the per-VM predictions of one provisioning window across scoped
 /// threads, returning one slot per VM position (`None` for VMs with no
-/// jobs or no forecast). A thin stateless wrapper over [`fan_out`].
+/// jobs or no forecast). When every VM has jobs — the common case under
+/// load — the fleet slice itself is the task list, skipping the
+/// intermediate index vector and the scatter copy.
 pub fn fan_out_vm_predictions<F>(
     vms: &[VmView],
     parallel: bool,
@@ -89,6 +130,10 @@ pub fn fan_out_vm_predictions<F>(
 where
     F: Fn(&VmView) -> Option<ResourceVector> + Sync,
 {
+    if vms.iter().all(|v| !v.jobs.is_empty()) {
+        let (results, _) = fan_out(vms, parallel, None, || (), |vm, ()| predict(vm));
+        return results;
+    }
     let tasks: Vec<usize> = vms
         .iter()
         .enumerate()

@@ -7,7 +7,9 @@
 //! on. Two granularities exist:
 //!
 //! * [`CorpUsagePredictor`] — per-job DNN + HMM + CI (Eqs. 5–19) behind
-//!   the Eq. 21 preemption gate, fanned across scoped threads.
+//!   the Eq. 21 preemption gate, fanned through the persistent
+//!   [`PredictRuntime`] (legacy scoped threads in
+//!   [`RuntimeMode::Scoped`]).
 //! * [`VmWindowPredictor`] — the baselines' per-VM forecasters
 //!   (exponential smoothing, FFT/Markov, run-time mean) behind one shared
 //!   observe/resolve loop, with [`FiniteGuard`] decorating the raw
@@ -15,7 +17,7 @@
 //!   before it can wedge a smoother.
 
 use crate::config::CorpConfig;
-use crate::pipeline::fanout::{fan_out, fan_out_vm_predictions};
+use crate::pipeline::pool::{PredictRuntime, RuntimeMode};
 use crate::predictor::{CorpJobPredictor, PredictionScratch};
 use corp_sim::{ResourceVector, RunningJobView, SlotContext};
 use corp_trace::NUM_RESOURCES;
@@ -83,6 +85,18 @@ pub(crate) fn job_unused_series(job: &RunningJobView) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// [`job_unused_series`] into a reused buffer: same values, zero
+/// allocation once the buffers have grown to the window length. The pool
+/// runtime's per-task path.
+pub(crate) fn fill_job_series(job: &RunningJobView, series: &mut Vec<Vec<f64>>) {
+    series.resize_with(NUM_RESOURCES, Vec::new);
+    series.truncate(NUM_RESOURCES);
+    for (k, s) in series.iter_mut().enumerate() {
+        s.clear();
+        s.extend(job.recent_unused.iter().map(|u| u[k]));
+    }
+}
+
 /// Resolves window predictions whose horizon has elapsed: the prediction
 /// made at `made_at` for the window `(made_at, made_at + window]` is scored
 /// at `made_at + window` against the *mean* unused level the VM exhibited
@@ -131,22 +145,38 @@ fn resolve_window_outcomes(
 
 /// CORP's prediction stage: the per-job DNN forecast with HMM fluctuation
 /// correction and confidence-interval margin (Eqs. 5–19), fanned across
-/// scoped threads at window boundaries. Outcome keys are job ids; matured
-/// predictions are scored against the job's own mean unused level, keeping
-/// `sigma_hat` on the scale of individual predictions — a VM-aggregate
-/// error would overwhelm the per-job confidence interval.
+/// the persistent prediction runtime at window boundaries. Outcome keys
+/// are job ids; matured predictions are scored against the job's own mean
+/// unused level, keeping `sigma_hat` on the scale of individual
+/// predictions — a VM-aggregate error would overwhelm the per-job
+/// confidence interval.
 pub struct CorpUsagePredictor {
     predictor: CorpJobPredictor,
-    parallel: bool,
+    runtime: PredictRuntime,
+    /// Reused per-window (vm, job) task list — cleared, never dropped.
+    tasks: Vec<(usize, usize)>,
 }
 
 impl CorpUsagePredictor {
     /// Builds the stage from a validated CORP configuration.
     pub fn new(config: &CorpConfig) -> Self {
+        let mode = if config.pooled_runtime {
+            RuntimeMode::Pooled
+        } else {
+            RuntimeMode::Scoped
+        };
+        let mut runtime = PredictRuntime::new(mode, config.parallel_prediction);
+        runtime.set_width(config.prediction_pool_width);
         CorpUsagePredictor {
             predictor: CorpJobPredictor::new(config),
-            parallel: config.parallel_prediction,
+            runtime,
+            tasks: Vec::new(),
         }
+    }
+
+    /// The prediction runtime (mode/width switches for A/B benchmarking).
+    pub fn runtime_mut(&mut self) -> &mut PredictRuntime {
+        &mut self.runtime
     }
 
     /// Offline-trains the predictor on a historical workload (paper: the
@@ -166,7 +196,15 @@ impl CorpUsagePredictor {
 impl UsagePredictor for CorpUsagePredictor {
     fn ingest(&mut self, ctx: &SlotContext<'_>, window: u64, outcomes: &mut Vec<PendingOutcome>) {
         // Resolve matured per-job predictions against the job's own mean
-        // unused level over the predicted window (paper Eq. 20).
+        // unused level over the predicted window (paper Eq. 20). Outcomes
+        // mature only on window boundaries, so the job-id index over the
+        // whole fleet is built lazily: on the (window - 1) out of window
+        // slots where nothing is due, retain() below would keep every
+        // entry and the map would never be probed.
+        if !outcomes.iter().any(|o| ctx.slot >= o.made_at + window) {
+            self.predictor.maybe_train();
+            return;
+        }
         let mut job_views: HashMap<u64, &RunningJobView> = HashMap::new();
         for vm in ctx.vms {
             for job in &vm.jobs {
@@ -207,40 +245,56 @@ impl UsagePredictor for CorpUsagePredictor {
 
     fn forecast(&mut self, ctx: &SlotContext<'_>) -> WindowForecast {
         // Flatten the fleet's prediction work into (vm, job) tasks and fan
-        // them across scoped threads. Each worker predicts through its own
-        // scratch against the shared immutable predictor and writes by task
-        // index, so the forecast — and everything downstream — is
-        // bit-identical to the serial path regardless of thread count;
-        // fallback-counter deltas merge after the join (u64 adds,
-        // order-independent).
-        let tasks: Vec<(usize, usize)> = ctx
-            .vms
-            .iter()
-            .enumerate()
-            .flat_map(|(vi, vm)| {
-                vm.jobs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, job)| !job.recent_unused.is_empty())
-                    .map(move |(ji, _)| (vi, ji))
-            })
-            .collect();
-        let (u_hats, scratches) = {
-            let predictor = &self.predictor;
-            fan_out(
-                &tasks,
-                self.parallel,
-                ResourceVector::ZERO,
-                PredictionScratch::new,
-                |&(vi, ji), scratch| {
-                    let job = &ctx.vms[vi].jobs[ji];
+        // them through the prediction runtime. Each worker predicts through
+        // its own scratch against the shared immutable predictor and writes
+        // by task index, so the forecast — and everything downstream — is
+        // bit-identical to the serial path regardless of mode or thread
+        // count; fallback-counter deltas merge after the join (u64 adds,
+        // order-independent). In pooled mode worker scratch persists across
+        // windows (reset-not-reallocate); the scoped arm keeps the legacy
+        // fresh-scratch, allocating path for the A/B benchmark.
+        let predictor = &self.predictor;
+        let runtime = &mut self.runtime;
+        let tasks = &mut self.tasks;
+        tasks.clear();
+        tasks.extend(ctx.vms.iter().enumerate().flat_map(|(vi, vm)| {
+            vm.jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, job)| !job.recent_unused.is_empty())
+                .map(move |(ji, _)| (vi, ji))
+        }));
+        let persistent = runtime.is_pooled();
+        let (u_hats, deltas) = runtime.fan_out(
+            tasks.as_slice(),
+            ResourceVector::ZERO,
+            move || {
+                if persistent {
+                    PredictionScratch::persistent()
+                } else {
+                    PredictionScratch::new()
+                }
+            },
+            |&(vi, ji), scratch: &mut PredictionScratch| {
+                let job = &ctx.vms[vi].jobs[ji];
+                if persistent {
+                    // Stage the series through the scratch-owned buffers
+                    // (taken out for the call to satisfy the borrow
+                    // checker; the buffers go straight back).
+                    let mut series = std::mem::take(&mut scratch.series);
+                    fill_job_series(job, &mut series);
+                    let out = predictor.predict_job_in(&series, &job.requested, scratch);
+                    scratch.series = series;
+                    out
+                } else {
                     let series = job_unused_series(job);
                     predictor.predict_job_in(&series, &job.requested, scratch)
-                },
-            )
-        };
-        for scratch in &scratches {
-            self.predictor.merge_fallbacks(&scratch.fallbacks);
+                }
+            },
+            |scratch| std::mem::take(&mut scratch.fallbacks),
+        );
+        for delta in &deltas {
+            self.predictor.merge_fallbacks(delta);
         }
         WindowForecast::PerJob(u_hats)
     }
@@ -347,11 +401,10 @@ impl<P: VmPredictorCore> VmPredictorCore for FiniteGuard<P> {
 
 /// The baselines' prediction stage: one shared resolve/observe/forecast
 /// window loop over any [`VmPredictorCore`]. Outcome keys are VM ids;
-/// forecasts fan out per VM through the shared
-/// [`fan_out`](crate::pipeline::fan_out) helper.
+/// forecasts fan out per VM through the stage's [`PredictRuntime`].
 pub struct VmWindowPredictor<P> {
     core: P,
-    parallel: bool,
+    runtime: PredictRuntime,
 }
 
 impl<P> VmWindowPredictor<P> {
@@ -359,7 +412,7 @@ impl<P> VmWindowPredictor<P> {
     pub fn new(core: P) -> Self {
         VmWindowPredictor {
             core,
-            parallel: true,
+            runtime: PredictRuntime::new(RuntimeMode::Pooled, true),
         }
     }
 
@@ -369,15 +422,20 @@ impl<P> VmWindowPredictor<P> {
     pub fn serial(core: P) -> Self {
         VmWindowPredictor {
             core,
-            parallel: false,
+            runtime: PredictRuntime::new(RuntimeMode::Pooled, false),
         }
     }
 
-    /// Enables or disables the scoped-thread prediction fan-out (reports
-    /// are byte-identical either way; `false` is the determinism suite's
-    /// A/B switch).
+    /// Enables or disables the parallel prediction fan-out (reports are
+    /// byte-identical either way; `false` is the determinism suite's A/B
+    /// switch).
     pub fn set_parallel(&mut self, enabled: bool) {
-        self.parallel = enabled;
+        self.runtime.set_parallel(enabled);
+    }
+
+    /// The prediction runtime (mode/width switches for A/B benchmarking).
+    pub fn runtime_mut(&mut self) -> &mut PredictRuntime {
+        &mut self.runtime
     }
 
     /// The underlying forecaster core (diagnostics).
@@ -403,9 +461,8 @@ impl<P: VmPredictorCore> UsagePredictor for VmWindowPredictor<P> {
 
     fn forecast(&mut self, ctx: &SlotContext<'_>) -> WindowForecast {
         let core = &self.core;
-        WindowForecast::PerVm(fan_out_vm_predictions(ctx.vms, self.parallel, |vm| {
-            core.predict(vm.id)
-        }))
+        let runtime = &mut self.runtime;
+        WindowForecast::PerVm(runtime.fan_out_vms(ctx.vms, |vm| core.predict(vm.id)))
     }
 }
 

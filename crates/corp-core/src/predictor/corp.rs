@@ -22,7 +22,7 @@
 use crate::config::CorpConfig;
 use crate::preemption::PreemptionGate;
 use corp_dnn::{PredictScratch, UnusedResourcePredictor};
-use corp_hmm::FluctuationPredictor;
+use corp_hmm::{FluctuationPredictor, HmmScratch};
 use corp_sim::ResourceVector;
 use corp_stats::{z_for_confidence, SimpleExp};
 use corp_trace::NUM_RESOURCES;
@@ -83,21 +83,56 @@ impl FallbackCounters {
 /// resource plus a local [`FallbackCounters`] delta that the owner merges
 /// back via [`CorpJobPredictor::merge_fallbacks`] after joining its
 /// threads.
+///
+/// Two flavors exist. [`new`](Self::new) is the legacy per-window scratch:
+/// the HMM correction and the fallback ladder allocate per call, exactly
+/// as the pre-pool runtime did. [`persistent`](Self::persistent) is the
+/// pool runtime's worker-owned scratch: HMM decode buffers, the series
+/// staging buffers, and the fallback filter buffer all live across windows
+/// and are reset-not-reallocated per use. Predicted values are
+/// bit-identical either way.
 #[derive(Debug, Clone, Default)]
 pub struct PredictionScratch {
     nets: Vec<PredictScratch>,
+    /// HMM observation/trellis buffers (used only by persistent scratch).
+    hmm: HmmScratch,
+    /// Staging for one job's per-resource recent-unused series (used by
+    /// the pool runtime to avoid the per-task series allocation).
+    pub(crate) series: Vec<Vec<f64>>,
+    /// Finite-subset filter buffer for the fallback ladder.
+    finite: Vec<f64>,
+    /// Whether buffer-reusing code paths are taken (`persistent()`).
+    persistent: bool,
     /// Fallback-rung increments recorded by predictions through this
     /// scratch.
     pub fallbacks: FallbackCounters,
 }
 
 impl PredictionScratch {
-    /// A fresh scratch (buffers sized lazily on first use).
+    /// A fresh per-window scratch taking the legacy allocate-per-call HMM
+    /// and fallback paths (buffers sized lazily on first use).
     pub fn new() -> Self {
         PredictionScratch {
             nets: (0..NUM_RESOURCES).map(|_| PredictScratch::new()).collect(),
-            fallbacks: FallbackCounters::default(),
+            ..PredictionScratch::default()
         }
+    }
+
+    /// A worker-owned scratch for the persistent pool runtime: all hot-path
+    /// buffers are reused across windows behind reset-not-reallocate.
+    pub fn persistent() -> Self {
+        PredictionScratch {
+            persistent: true,
+            ..PredictionScratch::new()
+        }
+    }
+
+    /// Resets the scratch to its post-construction observable state:
+    /// counters cleared, buffers kept (their contents are fully rewritten
+    /// before every read, so predictions after a reset are bit-identical
+    /// to predictions through a fresh scratch — pinned by proptest).
+    pub fn reset(&mut self) {
+        self.fallbacks = FallbackCounters::default();
     }
 }
 
@@ -347,9 +382,15 @@ impl CorpJobPredictor {
         if healthy {
             // Step 1: DNN prediction (persistence fallback if untrained).
             let mut u_hat = self.dnn[k].predict_with(series, &mut scratch.nets[k]);
-            // Step 2: HMM peak/valley correction.
+            // Step 2: HMM peak/valley correction. Persistent scratch
+            // routes through the buffer-reusing decode; values are
+            // bit-identical to the allocating form.
             if self.use_hmm {
-                u_hat = self.hmm[k].adjust(u_hat, series);
+                u_hat = if scratch.persistent {
+                    self.hmm[k].adjust_with(u_hat, series, &mut scratch.hmm)
+                } else {
+                    self.hmm[k].adjust(u_hat, series)
+                };
             }
             // Step 3: confidence-interval lower bound (Eq. 19), on the
             // job's own scale.
@@ -361,7 +402,7 @@ impl CorpJobPredictor {
             }
         }
         scratch.fallbacks.dnn_rejected += 1;
-        self.fallback_estimate_in(k, series, &mut scratch.fallbacks)
+        self.fallback_estimate_in(k, series, scratch)
     }
 
     /// Degraded prediction rungs, used when the DNN path is rejected:
@@ -371,31 +412,40 @@ impl CorpJobPredictor {
     /// 2. exponential smoothing over the finite subset of the series;
     /// 3. 0.0 — with no finite evidence, claim no unused resource (the
     ///    conservative end: nothing is reclaimed on a blind prediction).
+    ///
+    /// Persistent scratch reuses the finite-subset buffer and the HMM
+    /// decode buffers; legacy scratch allocates both per call as the
+    /// pre-pool runtime did. Same values either way.
     fn fallback_estimate_in(
         &self,
         k: usize,
         series: &[f64],
-        counters: &mut FallbackCounters,
+        scratch: &mut PredictionScratch,
     ) -> f64 {
-        let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
-        if let Some(&last) = finite.last() {
-            let adjusted = if self.use_hmm {
-                self.hmm[k].adjust(last, &finite)
-            } else {
+        scratch.finite.clear();
+        scratch
+            .finite
+            .extend(series.iter().copied().filter(|v| v.is_finite()));
+        if let Some(&last) = scratch.finite.last() {
+            let adjusted = if !self.use_hmm {
                 last
+            } else if scratch.persistent {
+                self.hmm[k].adjust_with(last, &scratch.finite, &mut scratch.hmm)
+            } else {
+                self.hmm[k].adjust(last, &scratch.finite)
             };
             if adjusted.is_finite() {
-                counters.hmm_last_value += 1;
+                scratch.fallbacks.hmm_last_value += 1;
                 return adjusted.max(0.0);
             }
             let mut ets = SimpleExp::new(FALLBACK_ETS_ALPHA);
-            ets.observe_all(&finite);
+            ets.observe_all(&scratch.finite);
             if let Some(forecast) = ets.forecast(1).filter(|f| f.is_finite()) {
-                counters.ets += 1;
+                scratch.fallbacks.ets += 1;
                 return forecast.max(0.0);
             }
         }
-        counters.zero += 1;
+        scratch.fallbacks.zero += 1;
         0.0
     }
 

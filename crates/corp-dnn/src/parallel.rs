@@ -82,6 +82,12 @@ impl ParallelTrainer {
         let val_targets: Vec<Vec<f64>> = val_idx.iter().map(|&i| targets[i].clone()).collect();
 
         let mut train_order: Vec<usize> = train_idx.to_vec();
+        // Per-worker batch scratch, handed out to the epoch's threads and
+        // collected back at the join: the blocked-kernel buffers are sized
+        // on the first epoch and reused for the rest of training instead
+        // of reallocated every epoch. Scratch contents are fully rewritten
+        // before every read, so reuse cannot change a gradient.
+        let mut scratches: Vec<crate::network::BatchScratch> = Vec::new();
         let mut history = Vec::new();
         let mut best = f64::INFINITY;
         let mut calm_epochs = 0;
@@ -105,10 +111,11 @@ impl ParallelTrainer {
                 let mut handles = Vec::with_capacity(shards.len());
                 for shard in &shards {
                     let mut replica = net.clone();
+                    let mut scratch: crate::network::BatchScratch =
+                        scratches.pop().unwrap_or_default();
                     let lr = self.config.learning_rate * batch as f64;
                     let momentum = self.config.momentum;
                     handles.push(scope.spawn(move || {
-                        let mut scratch = crate::network::BatchScratch::new();
                         replica.train_minibatches(
                             inputs,
                             targets,
@@ -118,11 +125,13 @@ impl ParallelTrainer {
                             momentum,
                             &mut scratch,
                         );
-                        replica
+                        (replica, scratch)
                     }));
                 }
                 for h in handles {
-                    replicas.push(h.join().expect("training worker panicked"));
+                    let (replica, scratch) = h.join().expect("training worker panicked");
+                    replicas.push(replica);
+                    scratches.push(scratch);
                 }
             });
             average_into(net, &replicas);

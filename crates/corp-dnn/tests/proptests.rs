@@ -1,6 +1,9 @@
 //! Property-based tests for the DNN substrate.
 
-use corp_dnn::{Activation, Matrix, Network, UnusedResourcePredictor, WindowPredictorConfig};
+use corp_dnn::{
+    Activation, Matrix, Network, PredictScratch, TrainConfig, UnusedResourcePredictor,
+    WindowPredictorConfig,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -92,5 +95,37 @@ proptest! {
             ..WindowPredictorConfig::default()
         });
         prop_assert!(p.predict(&recent) >= 0.0);
+    }
+
+    #[test]
+    fn predict_scratch_reuse_matches_fresh_init(
+        serieses in prop::collection::vec(
+            prop::collection::vec(0.0f64..100.0, 1..14),
+            1..6,
+        ),
+        level in 1.0f64..50.0,
+    ) {
+        // The pool runtime reuses one PredictScratch across every window a
+        // worker serves; predictions through a long-lived scratch must be
+        // bit-identical to predictions through a fresh one. Train so the
+        // DNN path (and its activation buffers) is actually exercised.
+        let mut p = UnusedResourcePredictor::new(WindowPredictorConfig {
+            window: 4,
+            horizon: 1,
+            units: 5,
+            hidden_layers: 1,
+            train: TrainConfig { max_epochs: 3, ..TrainConfig::default() },
+            ..WindowPredictorConfig::default()
+        });
+        let histories: Vec<Vec<f64>> = (0..4)
+            .map(|j| (0..12).map(|t| level + ((t + j) % 3) as f64).collect())
+            .collect();
+        p.fit(&histories);
+        let mut reused = PredictScratch::new();
+        for s in &serieses {
+            let with_reused = p.predict_with(s, &mut reused);
+            let fresh = p.predict_with(s, &mut PredictScratch::new());
+            prop_assert_eq!(with_reused.to_bits(), fresh.to_bits());
+        }
     }
 }

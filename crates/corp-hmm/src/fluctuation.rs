@@ -20,8 +20,26 @@
 use crate::baum_welch::baum_welch;
 use crate::model::Hmm;
 use crate::quantize::{FluctuationSymbol, SpreadQuantizer};
-use crate::viterbi::viterbi;
+use crate::viterbi::{viterbi, viterbi_last_in, ViterbiScratch};
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the scratch-variant prediction entry points
+/// ([`FluctuationPredictor::adjust_with`] and friends): the observation
+/// sequence and the Viterbi trellis rows, reset-not-reallocated per call.
+/// Reuse never changes a result — every buffer is fully rewritten before
+/// it is read.
+#[derive(Debug, Clone, Default)]
+pub struct HmmScratch {
+    obs: Vec<usize>,
+    viterbi: ViterbiScratch,
+}
+
+impl HmmScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        HmmScratch::default()
+    }
+}
 
 /// Hidden provisioning states of the paper's HMM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -152,6 +170,41 @@ impl FluctuationPredictor {
         FluctuationSymbol::from_index(best_k)
     }
 
+    /// [`predict_next_symbol`](Self::predict_next_symbol) through
+    /// caller-provided scratch: no allocation on the hot path, bit-identical
+    /// symbol (same quantization, same Viterbi recurrence, same Eq. 17
+    /// arg-max).
+    pub fn predict_next_symbol_with(
+        &self,
+        recent: &[f64],
+        scratch: &mut HmmScratch,
+    ) -> FluctuationSymbol {
+        let Some(quantizer) = &self.quantizer else {
+            return FluctuationSymbol::Center;
+        };
+        if !self.fitted {
+            return FluctuationSymbol::Center;
+        }
+        quantizer.observations_into(recent, self.window_len, &mut scratch.obs);
+        if scratch.obs.is_empty() {
+            return FluctuationSymbol::Center;
+        }
+        let (q_last, _) = viterbi_last_in(&self.hmm, &scratch.obs, &mut scratch.viterbi);
+
+        let mut best_k = 0;
+        let mut best_p = f64::NEG_INFINITY;
+        for k in 0..self.hmm.num_symbols {
+            let p: f64 = (0..self.hmm.num_states)
+                .map(|j| self.hmm.a[q_last][j] * self.hmm.b[j][k])
+                .sum();
+            if p > best_p {
+                best_p = p;
+                best_k = k;
+            }
+        }
+        FluctuationSymbol::from_index(best_k)
+    }
+
     /// The most likely current provisioning state for a recent series,
     /// via Viterbi. `None` when unfitted or without observations.
     pub fn current_state(&self, recent: &[f64]) -> Option<ProvisioningState> {
@@ -188,6 +241,19 @@ impl FluctuationPredictor {
     pub fn adjust(&self, u_hat: f64, recent: &[f64]) -> f64 {
         let mag = Self::correction_magnitude(recent);
         let corrected = match self.predict_next_symbol(recent) {
+            FluctuationSymbol::Peak => u_hat + mag,
+            FluctuationSymbol::Valley => u_hat - mag,
+            FluctuationSymbol::Center => u_hat,
+        };
+        corrected.max(0.0)
+    }
+
+    /// [`adjust`](Self::adjust) through caller-provided scratch — the
+    /// allocation-free form the persistent prediction runtime calls once
+    /// per (job, resource) per window. Bit-identical to `adjust`.
+    pub fn adjust_with(&self, u_hat: f64, recent: &[f64], scratch: &mut HmmScratch) -> f64 {
+        let mag = Self::correction_magnitude(recent);
+        let corrected = match self.predict_next_symbol_with(recent, scratch) {
             FluctuationSymbol::Peak => u_hat + mag,
             FluctuationSymbol::Valley => u_hat - mag,
             FluctuationSymbol::Center => u_hat,
@@ -323,5 +389,46 @@ mod tests {
     #[should_panic]
     fn window_len_one_rejected() {
         FluctuationPredictor::new(1);
+    }
+
+    #[test]
+    fn scratch_variants_are_bit_identical_to_allocating_ones() {
+        let mut p = FluctuationPredictor::new(4);
+        p.fit(&mixed_history(240)).unwrap();
+        let mut scratch = HmmScratch::new();
+        // One reused scratch across many series of different shapes and
+        // lengths — including degenerate ones — must reproduce the
+        // allocating path exactly.
+        let serieses: Vec<Vec<f64>> = vec![
+            vec![5.0; 40],
+            (0..40)
+                .map(|t| if t % 2 == 0 { 0.5 } else { 11.0 })
+                .collect(),
+            mixed_history(60),
+            vec![1.0],
+            vec![],
+            vec![3.0, 3.1, 2.9, 10.0, 0.0, 5.0, 5.0, 5.0],
+        ];
+        for recent in &serieses {
+            assert_eq!(
+                p.predict_next_symbol_with(recent, &mut scratch),
+                p.predict_next_symbol(recent),
+                "series {recent:?}"
+            );
+            for u_hat in [0.0, 1.5, 7.0, 100.0] {
+                assert_eq!(
+                    p.adjust_with(u_hat, recent, &mut scratch).to_bits(),
+                    p.adjust(u_hat, recent).to_bits(),
+                    "series {recent:?}, u_hat {u_hat}"
+                );
+            }
+        }
+        // Unfitted predictors short-circuit identically too.
+        let cold = FluctuationPredictor::new(4);
+        assert_eq!(
+            cold.predict_next_symbol_with(&[1.0, 2.0], &mut scratch),
+            cold.predict_next_symbol(&[1.0, 2.0]),
+        );
+        assert_eq!(cold.adjust_with(7.0, &[1.0, 2.0], &mut scratch), 7.0);
     }
 }

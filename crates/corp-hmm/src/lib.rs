@@ -31,8 +31,8 @@ pub mod quantize;
 pub mod viterbi;
 
 pub use baum_welch::baum_welch;
-pub use fluctuation::{FluctuationPredictor, ProvisioningState};
+pub use fluctuation::{FluctuationPredictor, HmmScratch, ProvisioningState};
 pub use forward_backward::{backward_scaled, forward_scaled, log_likelihood, state_posteriors};
 pub use model::Hmm;
 pub use quantize::{FluctuationSymbol, SpreadQuantizer};
-pub use viterbi::viterbi;
+pub use viterbi::{viterbi, viterbi_last_in, ViterbiScratch};

@@ -65,6 +65,75 @@ pub fn viterbi(hmm: &Hmm, obs: &[usize]) -> ViterbiPath {
     ViterbiPath { states, log_prob }
 }
 
+/// Reusable buffers for [`viterbi_last_in`]: two rolling rows of the
+/// `delta` trellis. Cleared and refilled on every call — reuse never
+/// changes a result, it only skips the per-call allocations.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiScratch {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+}
+
+impl ViterbiScratch {
+    /// An empty scratch; sized lazily on first use.
+    pub fn new() -> Self {
+        ViterbiScratch::default()
+    }
+}
+
+/// The final state of the single best path and `log P(Q*, O | lambda)`,
+/// computed through caller-provided scratch without allocating.
+///
+/// Runs the same log-space recurrence as [`viterbi`] in the same
+/// arithmetic order, so the returned pair is bit-identical to
+/// `(*path.states.last().unwrap(), path.log_prob)`; it just keeps only the
+/// rolling `delta` rows instead of the full trellis (the last state is the
+/// arg-max of the final row — no backtrack needed).
+///
+/// # Panics
+///
+/// Panics if `obs` is empty or contains out-of-range symbols.
+pub fn viterbi_last_in(hmm: &Hmm, obs: &[usize], scratch: &mut ViterbiScratch) -> (usize, f64) {
+    assert!(!obs.is_empty(), "observation sequence must be non-empty");
+    hmm.check_observations(obs);
+    let h = hmm.num_states;
+    let t_len = obs.len();
+    let ln = |p: f64| if p > 0.0 { p.ln() } else { f64::NEG_INFINITY };
+
+    let prev = &mut scratch.prev;
+    let cur = &mut scratch.cur;
+    prev.clear();
+    prev.resize(h, f64::NEG_INFINITY);
+    cur.clear();
+    cur.resize(h, f64::NEG_INFINITY);
+
+    for i in 0..h {
+        prev[i] = ln(hmm.pi[i]) + ln(hmm.b[i][obs[0]]);
+    }
+    for t in 1..t_len {
+        for j in 0..h {
+            let mut best = f64::NEG_INFINITY;
+            for i in 0..h {
+                let cand = prev[i] + ln(hmm.a[i][j]);
+                if cand > best {
+                    best = cand;
+                }
+            }
+            cur[j] = best + ln(hmm.b[j][obs[t]]);
+        }
+        std::mem::swap(prev, cur);
+    }
+
+    let (mut last, mut log_prob) = (0usize, f64::NEG_INFINITY);
+    for (i, &d) in prev.iter().enumerate() {
+        if d > log_prob {
+            log_prob = d;
+            last = i;
+        }
+    }
+    (last, log_prob)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +239,32 @@ mod tests {
     #[should_panic]
     fn rejects_empty_sequence() {
         viterbi(&test_model(), &[]);
+    }
+
+    #[test]
+    fn last_state_in_is_bit_identical_to_full_decode() {
+        let hmm = test_model();
+        let mut scratch = ViterbiScratch::new();
+        // Reusing one scratch across calls of different lengths must keep
+        // every result bit-identical to the allocating path.
+        for obs in [
+            vec![0],
+            vec![1, 0],
+            vec![0, 1, 1],
+            vec![1, 1, 0, 0, 1],
+            vec![0, 0, 0, 1, 1, 1],
+            (0..500).map(|t| (t / 7) % 2).collect::<Vec<_>>(),
+        ] {
+            let full = viterbi(&hmm, &obs);
+            let (last, log_prob) = viterbi_last_in(&hmm, &obs, &mut scratch);
+            assert_eq!(last, *full.states.last().unwrap(), "obs {obs:?}");
+            assert_eq!(log_prob.to_bits(), full.log_prob.to_bits(), "obs {obs:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn last_state_in_rejects_empty_sequence() {
+        viterbi_last_in(&test_model(), &[], &mut ViterbiScratch::new());
     }
 }

@@ -2,7 +2,7 @@
 
 use corp_hmm::{
     baum_welch, forward_scaled, log_likelihood, state_posteriors, viterbi, FluctuationPredictor,
-    FluctuationSymbol, Hmm, SpreadQuantizer,
+    FluctuationSymbol, Hmm, HmmScratch, SpreadQuantizer,
 };
 use proptest::prelude::*;
 
@@ -114,5 +114,26 @@ proptest! {
         let mut p = FluctuationPredictor::new(4);
         let _ = p.fit(&recent);
         prop_assert!(p.adjust(u_hat, &recent) >= 0.0);
+    }
+
+    #[test]
+    fn hmm_scratch_reuse_matches_fresh_init(
+        u_hats in prop::collection::vec(-5.0f64..60.0, 1..8),
+        recent in prop::collection::vec(0.0f64..50.0, 2..40),
+    ) {
+        // The pool runtime reuses one HmmScratch across every window a
+        // worker serves; corrections through a long-lived scratch must be
+        // bit-identical both to a fresh scratch and to the allocating
+        // `adjust` path.
+        let mut p = FluctuationPredictor::new(4);
+        let _ = p.fit(&recent);
+        let mut reused = HmmScratch::new();
+        for &u in &u_hats {
+            let with_reused = p.adjust_with(u, &recent, &mut reused);
+            let fresh = p.adjust_with(u, &recent, &mut HmmScratch::new());
+            let allocating = p.adjust(u, &recent);
+            prop_assert_eq!(with_reused.to_bits(), fresh.to_bits());
+            prop_assert_eq!(with_reused.to_bits(), allocating.to_bits());
+        }
     }
 }

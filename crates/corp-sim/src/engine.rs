@@ -19,7 +19,9 @@ use crate::cluster::Cluster;
 use crate::faults::{corrupt_vector, FaultRuntime, FaultStats};
 use crate::job::{JobId, JobState, RunningJob};
 use crate::metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};
-use crate::provisioner::{PendingJobView, PredictionRecord, Provisioner, SlotContext, VmView};
+use crate::provisioner::{
+    JobCompletion, PendingJobView, PredictionRecord, Provisioner, SlotContext, VmView,
+};
 use crate::resources::ResourceVector;
 use corp_faults::{FaultEvent, FaultTimeline};
 use corp_trace::{JobSpec, NUM_RESOURCES};
@@ -41,6 +43,12 @@ pub struct SimulationOptions {
     /// resource types live on very different scales (cores vs. hundreds of
     /// GB), so a relative tolerance is the only meaningful one.
     pub prediction_eps_frac: f64,
+    /// Rebuild the per-slot provisioner views from freshly allocated
+    /// vectors every slot (the pre-pool engine behavior) instead of
+    /// rewriting persistent view buffers in place. View contents — and
+    /// therefore reports — are byte-identical either way; `true` is the
+    /// measured baseline arm of `corp-exp e2e`.
+    pub legacy_slot_views: bool,
 }
 
 impl Default for SimulationOptions {
@@ -49,6 +57,7 @@ impl Default for SimulationOptions {
             max_slots: 100_000,
             measure_decision_time: true,
             prediction_eps_frac: 0.25,
+            legacy_slot_views: false,
         }
     }
 }
@@ -191,8 +200,47 @@ impl Simulation {
         // Per-slot scratch, hoisted so the hot loop reuses the allocations
         // instead of rebuilding them every slot.
         let mut slot_vm_unused = vec![ResourceVector::ZERO; self.cluster.vms.len()];
-        let mut vm_views: Vec<VmView> = Vec::with_capacity(self.cluster.vms.len());
+        // VM views are updated in place each slot rather than rebuilt: the
+        // fleet is fixed for the run, so every view — and every history
+        // buffer inside it — survives across slots and only its contents
+        // are rewritten. At thousands of running jobs this removes two
+        // history-tail clones per job per slot from the hot loop.
+        let mut vm_views: Vec<VmView> = self
+            .cluster
+            .vms
+            .iter()
+            .map(|vm| VmView {
+                id: vm.id,
+                capacity: vm.capacity,
+                committed: ResourceVector::ZERO,
+                free: ResourceVector::ZERO,
+                jobs: Vec::new(),
+                unused_history: Vec::new(),
+            })
+            .collect();
+        // Copies the capped newest tail of `src` into the reused `dst`
+        // buffer — same bytes as `src[start..].to_vec()`, no allocation
+        // once `dst` has grown to the cap.
+        let copy_tail = |src: &[ResourceVector], dst: &mut Vec<ResourceVector>| {
+            let start = src
+                .len()
+                .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+            dst.clear();
+            dst.extend_from_slice(&src[start..]);
+        };
+        // How often the provisioner reads deep history tails (see
+        // `Provisioner::full_view_period`). Off-period slots carry only the
+        // newest sample of each history, skipping the deep copies. The
+        // legacy path ignores this and always builds full views — the
+        // byte-identity check between the two `corp-exp e2e` arms is what
+        // holds window-driven provisioners to their declared period.
+        let full_view_period = provisioner.full_view_period().max(1);
+        let copy_newest = |src: &[ResourceVector], dst: &mut Vec<ResourceVector>| {
+            dst.clear();
+            dst.extend(src.last().copied());
+        };
         let mut pending_views: Vec<PendingJobView> = Vec::new();
+        let mut completions: Vec<JobCompletion> = Vec::new();
         // The runtime is threaded as a local so fault handling can borrow
         // job/VM state alongside it.
         let mut fault_rt = self.faults.take();
@@ -255,70 +303,129 @@ impl Simulation {
 
             // 2. Ask the provisioner for a plan.
             let plan = {
-                vm_views.clear();
-                vm_views.extend(self.cluster.vms.iter().map(|vm| {
-                    // A down VM presents as zero capacity with nothing
-                    // running: provisioners cannot place onto it, and
-                    // sharded stores rebase it to an empty ledger.
-                    if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
-                        return VmView {
+                if self.options.legacy_slot_views {
+                    // Pre-pool path, kept as the measured baseline arm of
+                    // `corp-exp e2e`: every slot drops the previous views
+                    // and clones each job's history tails into fresh
+                    // vectors. Identical contents to the in-place path.
+                    vm_views.clear();
+                    vm_views.extend(self.cluster.vms.iter().map(|vm| {
+                        if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
+                            return VmView {
+                                id: vm.id,
+                                capacity: ResourceVector::ZERO,
+                                committed: ResourceVector::ZERO,
+                                free: ResourceVector::ZERO,
+                                jobs: Vec::new(),
+                                unused_history: Vec::new(),
+                            };
+                        }
+                        let mut view = VmView {
                             id: vm.id,
-                            capacity: ResourceVector::ZERO,
-                            committed: ResourceVector::ZERO,
-                            free: ResourceVector::ZERO,
-                            jobs: Vec::new(),
-                            unused_history: Vec::new(),
+                            capacity: vm.capacity,
+                            committed: vm_committed[vm.id],
+                            free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
+                            jobs: vm_jobs[vm.id]
+                                .iter()
+                                .map(|&ji| {
+                                    let j = &self.jobs[ji];
+                                    let tail = |v: &Vec<ResourceVector>| {
+                                        let start = v
+                                            .len()
+                                            .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                                        v[start..].to_vec()
+                                    };
+                                    crate::provisioner::RunningJobView {
+                                        id: j.id(),
+                                        requested: j.requested(),
+                                        allocation: j.allocation,
+                                        recent_demand: tail(&j.observed_demand),
+                                        recent_unused: tail(&j.observed_unused),
+                                    }
+                                })
+                                .collect(),
+                            unused_history: {
+                                let h = &self.vm_unused_history[vm.id];
+                                let start =
+                                    h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                                h[start..].to_vec()
+                            },
                         };
-                    }
-                    let mut view = VmView {
-                        id: vm.id,
-                        capacity: vm.capacity,
-                        committed: vm_committed[vm.id],
-                        free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
-                        jobs: vm_jobs[vm.id]
-                            .iter()
-                            .map(|&ji| {
-                                let j = &self.jobs[ji];
-                                let tail = |v: &Vec<ResourceVector>| {
-                                    let start = v
-                                        .len()
-                                        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                                    v[start..].to_vec()
-                                };
-                                crate::provisioner::RunningJobView {
-                                    id: j.id(),
-                                    requested: j.requested(),
-                                    allocation: j.allocation,
-                                    recent_demand: tail(&j.observed_demand),
-                                    recent_unused: tail(&j.observed_unused),
+                        if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
+                            for job in &mut view.jobs {
+                                if let Some(v) = job.recent_demand.last_mut() {
+                                    corrupt_vector(v, kind);
                                 }
-                            })
-                            .collect(),
-                        unused_history: {
-                            let h = &self.vm_unused_history[vm.id];
-                            let start =
-                                h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                            h[start..].to_vec()
-                        },
-                    };
-                    // Poisoning corrupts only the monitoring tails the
-                    // provisioner sees this slot; ground truth stays
-                    // intact.
-                    if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
-                        for job in &mut view.jobs {
-                            if let Some(v) = job.recent_demand.last_mut() {
-                                corrupt_vector(v, kind);
+                                if let Some(v) = job.recent_unused.last_mut() {
+                                    corrupt_vector(v, kind);
+                                }
                             }
-                            if let Some(v) = job.recent_unused.last_mut() {
+                            if let Some(v) = view.unused_history.last_mut() {
                                 corrupt_vector(v, kind);
                             }
                         }
-                        if let Some(v) = view.unused_history.last_mut() {
-                            corrupt_vector(v, kind);
+                        view
+                    }));
+                } else {
+                    let full = slot % full_view_period == 0;
+                    let copy_history: &dyn Fn(&[ResourceVector], &mut Vec<ResourceVector>) =
+                        if full { &copy_tail } else { &copy_newest };
+                    for vm in &self.cluster.vms {
+                        let view = &mut vm_views[vm.id];
+                        // A down VM presents as zero capacity with nothing
+                        // running: provisioners cannot place onto it, and
+                        // sharded stores rebase it to an empty ledger.
+                        if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
+                            view.capacity = ResourceVector::ZERO;
+                            view.committed = ResourceVector::ZERO;
+                            view.free = ResourceVector::ZERO;
+                            view.jobs.clear();
+                            view.unused_history.clear();
+                            continue;
+                        }
+                        view.capacity = vm.capacity;
+                        view.committed = vm_committed[vm.id];
+                        view.free = vm.capacity.saturating_sub(&vm_committed[vm.id]);
+                        // Match the view list to the VM's occupancy, keeping
+                        // the history buffers of surviving entries alive.
+                        let occupants = &vm_jobs[vm.id];
+                        view.jobs.truncate(occupants.len());
+                        while view.jobs.len() < occupants.len() {
+                            view.jobs.push(crate::provisioner::RunningJobView {
+                                id: 0,
+                                requested: ResourceVector::ZERO,
+                                allocation: ResourceVector::ZERO,
+                                recent_demand: Vec::new(),
+                                recent_unused: Vec::new(),
+                            });
+                        }
+                        for (jv, &ji) in view.jobs.iter_mut().zip(occupants) {
+                            let j = &self.jobs[ji];
+                            jv.id = j.id();
+                            jv.requested = j.requested();
+                            jv.allocation = j.allocation;
+                            copy_history(&j.observed_demand, &mut jv.recent_demand);
+                            copy_history(&j.observed_unused, &mut jv.recent_unused);
+                        }
+                        copy_history(&self.vm_unused_history[vm.id], &mut view.unused_history);
+                        // Poisoning corrupts only the monitoring tails the
+                        // provisioner sees this slot; ground truth stays
+                        // intact (the tails are rewritten from it next slot).
+                        if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
+                            for job in &mut view.jobs {
+                                if let Some(v) = job.recent_demand.last_mut() {
+                                    corrupt_vector(v, kind);
+                                }
+                                if let Some(v) = job.recent_unused.last_mut() {
+                                    corrupt_vector(v, kind);
+                                }
+                            }
+                            if let Some(v) = view.unused_history.last_mut() {
+                                corrupt_vector(v, kind);
+                            }
                         }
                     }
-                    view
-                }));
+                }
                 pending_views.clear();
                 pending_views.extend(pending.iter().map(|&ji| {
                     let j = &self.jobs[ji];
@@ -531,7 +638,11 @@ impl Simulation {
                 }
             }
 
-            // 7. Completions.
+            // 7. Completions — collected across the fleet in completion
+            // order (VM id ascending, scan order within a VM) and delivered
+            // as one batch per slot, so distributed provisioners can send
+            // one message per shard instead of one per job.
+            completions.clear();
             for (vm_id, jobs_here) in vm_jobs.iter_mut().enumerate() {
                 let mut i = 0;
                 while i < jobs_here.len() {
@@ -547,16 +658,21 @@ impl Simulation {
                             violated,
                         };
                         self.metrics.record_completion(response, violated);
-                        let histories: Vec<Vec<f64>> = (0..NUM_RESOURCES)
-                            .map(|r| self.jobs[ji].unused_series(r))
-                            .collect();
-                        provisioner.on_job_completed(self.jobs[ji].id(), &histories);
+                        completions.push(JobCompletion {
+                            job: self.jobs[ji].id(),
+                            unused_history: (0..NUM_RESOURCES)
+                                .map(|r| self.jobs[ji].unused_series(r))
+                                .collect(),
+                        });
                         jobs_here.swap_remove(i);
                         active -= 1;
                     } else {
                         i += 1;
                     }
                 }
+            }
+            if !completions.is_empty() {
+                provisioner.on_jobs_completed(&completions);
             }
 
             // 8. Termination.

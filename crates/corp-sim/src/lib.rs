@@ -51,7 +51,7 @@ pub use faults::FaultStats;
 pub use job::{JobId, JobState, RunningJob};
 pub use metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};
 pub use provisioner::{
-    PendingJobView, Placement, PredictionRecord, ProvisionPlan, Provisioner, RunningJobView,
-    SlotContext, StaticPeakProvisioner, VmView, VIEW_HISTORY_CAP,
+    JobCompletion, PendingJobView, Placement, PredictionRecord, ProvisionPlan, Provisioner,
+    RunningJobView, SlotContext, StaticPeakProvisioner, VmView, VIEW_HISTORY_CAP,
 };
 pub use resources::{ResourceVector, RESOURCE_WEIGHTS};

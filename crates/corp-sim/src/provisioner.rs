@@ -134,6 +134,16 @@ pub struct SlotContext<'a> {
     pub max_vm_capacity: ResourceVector,
 }
 
+/// One completed job's identity and full per-resource unused history —
+/// the unit of the engine's batched completion notification.
+#[derive(Debug, Clone)]
+pub struct JobCompletion {
+    /// The completed job.
+    pub job: JobId,
+    /// Full unused-resource history, one series per resource.
+    pub unused_history: Vec<Vec<f64>>,
+}
+
 /// A scheduling policy driving the simulator.
 pub trait Provisioner {
     /// Display name (used in experiment tables).
@@ -149,11 +159,38 @@ pub trait Provisioner {
         let _ = (job, unused_history);
     }
 
+    /// Notifies the provisioner of every job that completed this slot, in
+    /// completion order (VM id ascending, scan order within a VM). The
+    /// engine calls this once per slot with the slot's batch instead of one
+    /// [`on_job_completed`](Self::on_job_completed) call per job, letting
+    /// distributed provisioners forward one message per shard per slot.
+    /// Default: deliver each completion through `on_job_completed`, so
+    /// monolithic provisioners observe the exact per-job sequence they
+    /// always did.
+    fn on_jobs_completed(&mut self, completed: &[JobCompletion]) {
+        for c in completed {
+            self.on_job_completed(c.job, &c.unused_history);
+        }
+    }
+
     /// Control-plane counters for sharded (multi-scheduler) provisioners,
     /// folded into the [`SimulationReport`](crate::SimulationReport) after
     /// a run. Monolithic schedulers have no control plane; default `None`.
     fn control_plane_stats(&self) -> Option<crate::control_plane::ControlPlaneStats> {
         None
+    }
+
+    /// Slot period at which this provisioner reads *deep* view histories —
+    /// `recent_demand`, `recent_unused`, or `unused_history` beyond the
+    /// newest sample. On slots not divisible by the period the engine fills
+    /// each view history with only its newest sample, skipping the deep
+    /// tail copies; on divisible slots (and slot 0) views carry the full
+    /// [`VIEW_HISTORY_CAP`] tail as always. Window-driven pipelines return
+    /// their window length (forecast, reallocation, and outcome scoring all
+    /// land on window boundaries); any provisioner that reads deep tails
+    /// every slot must keep the default of 1 (full depth every slot).
+    fn full_view_period(&self) -> u64 {
+        1
     }
 }
 

@@ -13,6 +13,11 @@
 #                                 # requires BENCH_hotpath.json output
 #   scripts/check.sh doc          # rustdoc gate only: every public item
 #                                 # documented, no broken intra-doc links
+#   scripts/check.sh perf-regression
+#                                 # end-to-end throughput gate: reruns the
+#                                 # e2e experiment against the committed
+#                                 # BENCH_e2e.json and fails if CORP's
+#                                 # pooled slots/sec drops >20% below it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,6 +54,23 @@ if [[ "${1:-}" == "perf-smoke" ]]; then
         exit 1
     fi
     echo "Perf smoke passed ($(wc -c < BENCH_hotpath.json) bytes of baseline)."
+    exit 0
+fi
+
+if [[ "${1:-}" == "perf-regression" ]]; then
+    if [[ ! -s BENCH_e2e.json ]]; then
+        echo "perf-regression FAILED: no committed BENCH_e2e.json to compare against" >&2
+        exit 1
+    fi
+    # Snapshot the committed baseline first: the runner rewrites
+    # BENCH_e2e.json with the fresh numbers after the comparison passes.
+    committed=$(mktemp)
+    trap 'rm -f "$committed"' EXIT
+    cp BENCH_e2e.json "$committed"
+    echo "==> CORP_E2E_BASELINE=<committed BENCH_e2e.json> cargo run --release -p corp-bench --bin corp-exp -- --fast e2e"
+    CORP_E2E_BASELINE="$committed" cargo run --release -p corp-bench --bin corp-exp -- --fast e2e
+    git checkout -- BENCH_e2e.json 2>/dev/null || true
+    echo "Perf regression gate passed."
     exit 0
 fi
 
