@@ -14,13 +14,26 @@
 //! ```
 //!
 //! `e2e` drives a 1024-VM fleet and is excluded from `all`; ask for it by
-//! name (or via `--e2e`).
+//! name (or via `--e2e`). `serve` runs the event-driven daemon and takes
+//! its own flags (`--replay PATH`, `--record PATH`, `--speed inf|N`,
+//! `--seed S`, `--jobs N`, `--queue-cap C`,
+//! `--policy block|shed-oldest|reject-new`, `--width W`, `--smoke`):
+//!
+//! ```text
+//! corp-exp serve --fast --jobs 120 --speed inf --seed 7
+//! corp-exp serve --replay t.trace --policy shed-oldest --queue-cap 16
+//! ```
 
 use corp_bench::experiments;
+use corp_bench::serve::{serve_experiment, ServeArgs};
 use corp_bench::FigureTable;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+        return;
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let json = args.iter().any(|a| a == "--json");
     let mut wanted: Vec<&str> = args
@@ -87,5 +100,37 @@ fn main() {
                 .join(", ")
         );
         std::process::exit(2);
+    }
+}
+
+/// Handles `corp-exp serve <flags>`: parse, run, render. Bad flags and
+/// failed smoke assertions exit 2, matching the unknown-experiment path.
+fn run_serve(rest: &[String]) {
+    let fast = rest.iter().any(|a| a == "--fast");
+    let json = rest.iter().any(|a| a == "--json");
+    let parsed = match ServeArgs::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    match serve_experiment(fast, &parsed) {
+        Ok(figure) => {
+            if json {
+                println!("{}", serde::json::to_string(&vec![figure]));
+            } else {
+                println!("{figure}");
+            }
+            eprintln!(
+                "[serve regenerated in {:.1}s]",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod env;
 pub mod experiments;
+pub mod serve;
 pub mod table;
 
 pub use env::{
@@ -39,4 +40,5 @@ pub use experiments::{
     ablations, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, scalability, table2,
     FigureTable, SHARD_COUNTS,
 };
+pub use serve::{parse_seed, run_serve, serve_experiment, serve_workload, ServeArgs};
 pub use table::TextTable;

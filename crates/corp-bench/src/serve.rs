@@ -1,0 +1,382 @@
+//! The `corp-exp serve` subcommand: CLI parsing, the serving-mode
+//! experiment cell, and its report table.
+//!
+//! `serve` is a different shape from the figure runners: it takes flags
+//! (`--replay`, `--speed`, `--seed`, …), so `corp_exp` special-cases it
+//! before the figure loop and hands the raw argument list to
+//! [`ServeArgs::parse`]. The actual run goes through [`run_serve`], which
+//! tests reuse to pin byte-determinism across pool widths and replay
+//! speeds and cross-mode equivalence against the batch simulation.
+
+use crate::env::{build_provisioner, Environment, SchemeKind, SchemeParams};
+use crate::FigureTable;
+use crate::TextTable;
+use corp_serve::{BackpressurePolicy, ReplaySpeed, ServeConfig, ServeDaemon, ServeOutcome};
+use corp_sim::SimulationOptions;
+use corp_trace::JobSpec;
+use std::path::PathBuf;
+
+/// Validates a `--seed` value: it must parse as `u64` and be non-zero
+/// (seed 0 is reserved as "unset" by several vendored-RNG call sites, and
+/// a silently-defaulted seed would defeat the reproducibility contract).
+pub fn parse_seed(s: &str) -> Result<u64, String> {
+    match s.trim().parse::<u64>() {
+        Ok(0) => Err("invalid --seed `0`: seed must be non-zero".to_string()),
+        Ok(v) => Ok(v),
+        Err(_) => Err(format!(
+            "invalid --seed `{s}`: expected a non-zero unsigned integer"
+        )),
+    }
+}
+
+/// Parsed `corp-exp serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Recorded trace to replay (`--replay PATH`); synthesized workload
+    /// when absent.
+    pub replay: Option<PathBuf>,
+    /// Record the (synthesized) workload to this path before serving
+    /// (`--record PATH`).
+    pub record: Option<PathBuf>,
+    /// Replay pacing (`--speed inf|N`).
+    pub speed: ReplaySpeed,
+    /// Workload/scheme seed (`--seed S`, non-zero).
+    pub seed: u64,
+    /// Synthesized workload size (`--jobs N`).
+    pub jobs: usize,
+    /// Admission-queue capacity (`--queue-cap C`).
+    pub queue_cap: usize,
+    /// Backpressure policy (`--policy block|shed-oldest|reject-new`).
+    pub policy: BackpressurePolicy,
+    /// Worker-pool width override (`--width W`).
+    pub width: Option<usize>,
+    /// Assert the smoke invariants after the run (`--smoke`).
+    pub smoke: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            replay: None,
+            record: None,
+            speed: ReplaySpeed::Infinite,
+            seed: SchemeParams::default().seed,
+            jobs: 200,
+            queue_cap: ServeConfig::default().queue_capacity,
+            policy: BackpressurePolicy::Block,
+            width: None,
+            smoke: false,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Parses the flags following `serve` on the command line. Unknown
+    /// flags and malformed values produce an error string for the caller
+    /// to print (exit 2), never a panic.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = ServeArgs::default();
+        let mut i = 0;
+        let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--replay" => {
+                    out.replay = Some(PathBuf::from(value(args, i, "--replay")?));
+                    i += 2;
+                }
+                "--record" => {
+                    out.record = Some(PathBuf::from(value(args, i, "--record")?));
+                    i += 2;
+                }
+                "--speed" => {
+                    out.speed = ReplaySpeed::parse(&value(args, i, "--speed")?)?;
+                    i += 2;
+                }
+                "--seed" => {
+                    out.seed = parse_seed(&value(args, i, "--seed")?)?;
+                    i += 2;
+                }
+                "--jobs" => {
+                    out.jobs = value(args, i, "--jobs")?
+                        .parse::<usize>()
+                        .map_err(|_| "invalid --jobs: expected a count".to_string())?;
+                    i += 2;
+                }
+                "--queue-cap" => {
+                    let cap = value(args, i, "--queue-cap")?
+                        .parse::<usize>()
+                        .map_err(|_| "invalid --queue-cap: expected a count".to_string())?;
+                    if cap == 0 {
+                        return Err("invalid --queue-cap: must be at least 1".to_string());
+                    }
+                    out.queue_cap = cap;
+                    i += 2;
+                }
+                "--policy" => {
+                    out.policy = BackpressurePolicy::parse(&value(args, i, "--policy")?)?;
+                    i += 2;
+                }
+                "--width" => {
+                    let w = value(args, i, "--width")?
+                        .parse::<usize>()
+                        .map_err(|_| "invalid --width: expected a count".to_string())?;
+                    if w == 0 {
+                        return Err("invalid --width: must be at least 1".to_string());
+                    }
+                    out.width = Some(w);
+                    i += 2;
+                }
+                "--smoke" => {
+                    out.smoke = true;
+                    i += 1;
+                }
+                // Global corp-exp flags that may trail the subcommand.
+                "--fast" | "--json" => {
+                    i += 1;
+                }
+                other => return Err(format!("unknown serve flag `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Runs one serving-mode cell: builds the scheme provisioner exactly as
+/// `run_cell` does (same seeding, same pool knobs) and replays `jobs`
+/// through the daemon. The pool width rides in through `params`, so the
+/// serve determinism tests sweep it the same way `tests/pool_runtime.rs`
+/// does for batch mode.
+pub fn run_serve(
+    env: Environment,
+    scheme: SchemeKind,
+    jobs: Vec<JobSpec>,
+    params: &SchemeParams,
+    config: ServeConfig,
+) -> ServeOutcome {
+    let mut provisioner = build_provisioner(scheme, env, params);
+    let mut daemon = ServeDaemon::new(
+        env.cluster(),
+        SimulationOptions {
+            measure_decision_time: false,
+            ..Default::default()
+        },
+        config,
+    );
+    daemon.run(provisioner.as_mut(), jobs)
+}
+
+/// The workload a `serve` invocation uses when not replaying a recorded
+/// file: the standard CORP cluster workload under the CLI seed (the same
+/// generator `run_cell` drives, so cross-mode comparisons are meaningful).
+pub fn serve_workload(env: Environment, num_jobs: usize, seed: u64) -> Vec<JobSpec> {
+    env.workload(num_jobs, seed.wrapping_add(num_jobs as u64))
+}
+
+/// Executes `corp-exp serve` end to end and renders the report table.
+/// Returns an error string (for exit 2) on unreadable traces or failed
+/// smoke assertions.
+pub fn serve_experiment(fast: bool, args: &ServeArgs) -> Result<FigureTable, String> {
+    let env = Environment::Cluster;
+    let jobs = match &args.replay {
+        Some(path) => corp_trace::load_trace(path).map_err(|e| e.to_string())?,
+        None => serve_workload(env, args.jobs, args.seed),
+    };
+    if let Some(path) = &args.record {
+        corp_trace::save_trace(path, &jobs).map_err(|e| e.to_string())?;
+    }
+    let params = SchemeParams {
+        fast_dnn: fast,
+        seed: args.seed,
+        pool_width: args.width,
+        ..Default::default()
+    };
+    let config = ServeConfig {
+        queue_capacity: args.queue_cap,
+        policy: args.policy,
+        speed: args.speed,
+        ..ServeConfig::default()
+    };
+    let num_jobs = jobs.len();
+    let outcome = run_serve(env, SchemeKind::Corp, jobs, &params, config);
+    let r = &outcome.report;
+
+    if args.smoke {
+        // The serve-smoke gate: at low load the daemon must measure a
+        // latency for every placed job and shed nothing.
+        if r.placement_latency.count == 0 {
+            return Err("serve smoke: no placement latencies measured".to_string());
+        }
+        if r.queue.shed != 0 || r.queue.rejected != 0 {
+            return Err(format!(
+                "serve smoke: lossless low-load run shed {} / rejected {}",
+                r.queue.shed, r.queue.rejected
+            ));
+        }
+        if r.sim.completed + r.sim.rejected + r.sim.unfinished != num_jobs {
+            return Err("serve smoke: job conservation violated".to_string());
+        }
+    }
+
+    let mut table = TextTable::new(
+        format!(
+            "Serving mode: {} jobs, queue cap {}, policy {}, CORP on the cluster profile",
+            num_jobs,
+            args.queue_cap,
+            args.policy.name()
+        ),
+        &["metric", "value"],
+    );
+    let mut row = |k: &str, v: String| table.push_row(vec![k.to_string(), v]);
+    row(
+        "placements measured",
+        format!("{}", r.placement_latency.count),
+    );
+    row(
+        "placement latency p50",
+        format!("{:.1} s", r.placement_latency.p50_micros / 1e6),
+    );
+    row(
+        "placement latency p95",
+        format!("{:.1} s", r.placement_latency.p95_micros / 1e6),
+    );
+    row(
+        "placement latency p99",
+        format!("{:.1} s", r.placement_latency.p99_micros / 1e6),
+    );
+    row(
+        "placement latency max",
+        format!("{:.1} s", r.placement_latency.max_micros / 1e6),
+    );
+    row("queue high-water", format!("{}", r.queue.high_water));
+    row(
+        "admitted / blocked / shed / rejected",
+        format!(
+            "{} / {} / {} / {}",
+            r.queue.admitted, r.queue.blocked, r.queue.shed, r.queue.rejected
+        ),
+    );
+    row(
+        "overall utilization",
+        format!("{:.3}", r.sim.overall_utilization),
+    );
+    row(
+        "SLO violation rate",
+        format!("{:.1}%", r.sim.slo_violation_rate * 100.0),
+    );
+    row(
+        "completed / unfinished",
+        format!("{} / {}", r.sim.completed, r.sim.unfinished),
+    );
+    row("ticks (slots)", format!("{}", r.ticks));
+    row("events processed", format!("{}", r.events_processed));
+    row(
+        "virtual time served",
+        format!("{:.0} s", r.virtual_end_micros as f64 / 1e6),
+    );
+    row(
+        "throughput (wall)",
+        format!("{:.0} events/s", outcome.events_per_sec),
+    );
+
+    Ok(FigureTable {
+        id: "serve".to_string(),
+        table,
+        notes: vec![
+            format!(
+                "Report serialization is byte-deterministic for a fixed seed/trace; \
+                 wall throughput ({:.2}s total) deliberately rides outside it.",
+                outcome.wall_secs
+            ),
+            "At infinite speed and open queue capacity, serve mode places the same jobs \
+             on the same VMs as the slot-loop simulation (pinned by tests/serve_runtime.rs)."
+                .to_string(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_validation_accepts_nonzero_integers() {
+        assert_eq!(parse_seed("7"), Ok(7));
+        assert_eq!(parse_seed(" 42 "), Ok(42));
+        assert_eq!(parse_seed(&u64::MAX.to_string()), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn seed_validation_rejects_zero_and_garbage() {
+        assert!(parse_seed("0").unwrap_err().contains("non-zero"));
+        assert!(parse_seed("abc").unwrap_err().contains("invalid --seed"));
+        assert!(parse_seed("-3").unwrap_err().contains("invalid --seed"));
+        assert!(parse_seed("1.5").unwrap_err().contains("invalid --seed"));
+        assert!(parse_seed("").unwrap_err().contains("invalid --seed"));
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_args_parse_full_flag_set() {
+        let args = ServeArgs::parse(&strings(&[
+            "--replay",
+            "/tmp/t.trace",
+            "--speed",
+            "inf",
+            "--seed",
+            "9",
+            "--queue-cap",
+            "32",
+            "--policy",
+            "shed-oldest",
+            "--width",
+            "2",
+            "--smoke",
+        ]))
+        .expect("parse");
+        assert_eq!(args.replay, Some(PathBuf::from("/tmp/t.trace")));
+        assert_eq!(args.speed, ReplaySpeed::Infinite);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.queue_cap, 32);
+        assert_eq!(args.policy, BackpressurePolicy::ShedOldest);
+        assert_eq!(args.width, Some(2));
+        assert!(args.smoke);
+    }
+
+    #[test]
+    fn serve_args_reject_bad_values_without_panicking() {
+        assert!(ServeArgs::parse(&strings(&["--seed", "0"]))
+            .unwrap_err()
+            .contains("non-zero"));
+        assert!(ServeArgs::parse(&strings(&["--seed"]))
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(ServeArgs::parse(&strings(&["--speed", "-1"]))
+            .unwrap_err()
+            .contains("replay speed"));
+        assert!(ServeArgs::parse(&strings(&["--queue-cap", "0"]))
+            .unwrap_err()
+            .contains("queue-cap"));
+        assert!(ServeArgs::parse(&strings(&["--frobnicate"]))
+            .unwrap_err()
+            .contains("unknown serve flag"));
+    }
+
+    #[test]
+    fn smoke_run_passes_at_low_load() {
+        let args = ServeArgs {
+            jobs: 30,
+            smoke: true,
+            ..ServeArgs::default()
+        };
+        let figure = serve_experiment(true, &args).expect("smoke must pass at low load");
+        assert_eq!(figure.id, "serve");
+        assert!(!figure.table.is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! The serving daemon: an event loop over the slot engine.
+//!
+//! Where the batch `Simulation` walks a pre-sorted workload slot by slot,
+//! the daemon consumes a timestamped event stream — arrivals hit a bounded
+//! admission queue, provisioning-window ticks drain it into the
+//! [`SlotEngine`] and run one slot, completions flow back out as
+//! notification events, and drain/shutdown events close the stream. Virtual
+//! time keeps the whole thing byte-deterministic; wall time appears only as
+//! optional replay pacing ([`ReplaySpeed`]) and in the measured throughput
+//! that travels *outside* the report.
+//!
+//! At unbounded queue capacity and `speed = inf`, a recorded workload
+//! replayed here makes exactly the decisions the batch simulation makes —
+//! same jobs on the same VMs — because both drivers feed the identical
+//! engine in the identical order. The cross-mode equivalence test in
+//! corp-bench pins this.
+
+use crate::admission::{Admission, AdmissionQueue, BackpressurePolicy};
+use crate::clock::{ReplaySpeed, VirtualClock};
+use crate::events::{EventQueue, ServeEvent};
+use crate::report::{LatencySummary, ServeOutcome, ServeReport};
+use corp_faults::FaultTimeline;
+use corp_sim::{Cluster, JobId, Provisioner, SimulationOptions, SlotEngine};
+use corp_stats::QuantileSketch;
+use corp_trace::JobSpec;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Daemon knobs. The defaults describe the paper's setting: 10-second
+/// slots, an effectively open admission queue, no pacing.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Virtual microseconds per provisioning slot (default 10 s, the
+    /// paper's slot length).
+    pub slot_micros: u64,
+    /// Admission-queue capacity (requests buffered between ticks).
+    pub queue_capacity: usize,
+    /// What happens when an arrival finds the queue full.
+    pub policy: BackpressurePolicy,
+    /// Replay pacing against the wall clock.
+    pub speed: ReplaySpeed,
+    /// Rank accuracy of the latency percentile sketch.
+    pub latency_eps: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slot_micros: 10_000_000,
+            queue_capacity: 4096,
+            policy: BackpressurePolicy::Block,
+            speed: ReplaySpeed::Infinite,
+            latency_eps: 0.005,
+        }
+    }
+}
+
+/// The long-running provisioning daemon.
+pub struct ServeDaemon {
+    engine: SlotEngine,
+    config: ServeConfig,
+}
+
+impl ServeDaemon {
+    /// Builds a daemon over `cluster`. `options` is the engine
+    /// configuration shared with batch mode (slot cap, prediction
+    /// tolerance, …).
+    pub fn new(cluster: Cluster, options: SimulationOptions, config: ServeConfig) -> Self {
+        ServeDaemon {
+            engine: SlotEngine::new(cluster, options),
+            config,
+        }
+    }
+
+    /// Read access to every submitted job's state, submission-ordered —
+    /// the same view [`corp_sim::Simulation::jobs`] exposes, so cross-mode
+    /// tests can compare job→VM placement maps between the two drivers.
+    pub fn jobs(&self) -> &[corp_sim::RunningJob] {
+        self.engine.jobs()
+    }
+
+    /// Arms the daemon to replay `timeline` alongside the workload —
+    /// the exact fault machinery batch mode uses, unchanged, because the
+    /// timeline lives inside the shared engine.
+    pub fn with_fault_timeline(mut self, timeline: FaultTimeline) -> Self {
+        self.engine = self.engine.with_fault_timeline(timeline);
+        self
+    }
+
+    /// Replays `jobs` through the event loop under `provisioner` and
+    /// returns the report plus wall-clock throughput.
+    pub fn run(&mut self, provisioner: &mut dyn Provisioner, jobs: Vec<JobSpec>) -> ServeOutcome {
+        let wall_start = Instant::now();
+        let slot_micros = self.config.slot_micros.max(1);
+        let mut clock = VirtualClock::new(slot_micros, self.config.speed);
+        let mut events = EventQueue::new();
+        let mut admission = AdmissionQueue::new(self.config.queue_capacity, self.config.policy);
+        let mut latency = QuantileSketch::new(self.config.latency_eps);
+        // Virtual arrival stamp of each job still waiting for its first
+        // placement; removed on placement (latency measured once — a
+        // crash-induced re-placement is replacement latency, a fault
+        // metric, not admission latency).
+        let mut arrival_stamp: HashMap<JobId, u64> = HashMap::new();
+
+        // Arrivals feed the heap lazily, one in flight at a time, in the
+        // same stable arrival order the batch driver uses: the heap stays
+        // O(1)-deep in arrivals no matter how long the trace is.
+        let last_arrival = jobs.iter().map(|j| j.arrival_slot).max().unwrap_or(0);
+        let max_slot = self.engine.options().max_slots + last_arrival;
+        let mut sorted = jobs;
+        sorted.sort_by_key(|j| j.arrival_slot);
+        let mut pending_arrivals = sorted.len();
+        let mut arrivals = sorted.into_iter();
+        if let Some(first) = arrivals.next() {
+            let at = clock.time_of_slot(first.arrival_slot);
+            events.push(at, ServeEvent::Arrival(Box::new(first)));
+        }
+        events.push(0, ServeEvent::Tick);
+
+        let mut events_processed: u64 = 0;
+        let mut ticks: u64 = 0;
+        while let Some((time, event)) = events.pop() {
+            clock.advance_to(time);
+            events_processed += 1;
+            match event {
+                ServeEvent::Arrival(spec) => {
+                    pending_arrivals -= 1;
+                    arrival_stamp.insert(spec.id, time);
+                    match admission.offer(spec, time) {
+                        Admission::EnqueuedAfterShed(victim) => {
+                            arrival_stamp.remove(&victim);
+                        }
+                        Admission::Rejected(id) => {
+                            arrival_stamp.remove(&id);
+                        }
+                        Admission::Enqueued | Admission::Blocked => {}
+                    }
+                    if let Some(next) = arrivals.next() {
+                        let at = clock.time_of_slot(next.arrival_slot);
+                        events.push(at, ServeEvent::Arrival(Box::new(next)));
+                    }
+                }
+                ServeEvent::Tick => {
+                    for queued in admission.drain() {
+                        self.engine.submit(*queued.spec);
+                    }
+                    let outcome = self.engine.step(provisioner);
+                    ticks += 1;
+                    for (job, _vm) in &outcome.placements {
+                        if let Some(stamp) = arrival_stamp.remove(job) {
+                            latency.insert(time.saturating_sub(stamp) as f64);
+                        }
+                    }
+                    for job in &outcome.rejected {
+                        arrival_stamp.remove(job);
+                    }
+                    for job in outcome.completed {
+                        events.push(time, ServeEvent::Completion(job));
+                    }
+                    let arrivals_done = pending_arrivals == 0;
+                    let drained = arrivals_done && self.engine.active() == 0 && admission.is_idle();
+                    if drained || self.engine.slot() >= max_slot {
+                        events.push(time, ServeEvent::Drain);
+                    } else {
+                        events.push(time + slot_micros, ServeEvent::Tick);
+                    }
+                }
+                ServeEvent::Completion(_) => {
+                    // Notification only: the completion is already folded
+                    // into the engine metrics by the tick that emitted it.
+                }
+                ServeEvent::Drain => {
+                    events.push(time, ServeEvent::Shutdown);
+                }
+                ServeEvent::Shutdown => break,
+            }
+        }
+
+        // A slot-cap stop leaves later arrivals unprocessed in the heap
+        // and possibly requests parked in the admission queue. Register
+        // them with the engine (without stepping) so the report counts
+        // every offered job, exactly as the batch driver does.
+        while let Some((_, event)) = events.pop() {
+            if let ServeEvent::Arrival(spec) = event {
+                self.engine.submit(*spec);
+            }
+        }
+        for spec in arrivals {
+            self.engine.submit(spec);
+        }
+        for queued in admission.drain() {
+            self.engine.submit(*queued.spec);
+        }
+
+        let report = ServeReport {
+            sim: self.engine.report(provisioner),
+            placement_latency: LatencySummary::from_sketch(&latency),
+            queue: admission.stats().clone(),
+            events_processed,
+            ticks,
+            virtual_end_micros: clock.now(),
+        };
+        let wall_secs = wall_start.elapsed().as_secs_f64();
+        ServeOutcome {
+            events_per_sec: events_processed as f64 / wall_secs.max(1e-9),
+            report,
+            wall_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corp_sim::{EnvironmentProfile, StaticPeakProvisioner};
+    use corp_trace::{WorkloadConfig, WorkloadGenerator};
+
+    fn cluster() -> Cluster {
+        Cluster::from_profile(EnvironmentProfile::palmetto_cluster())
+    }
+
+    fn workload(n: usize, seed: u64) -> Vec<JobSpec> {
+        WorkloadGenerator::new(
+            WorkloadConfig {
+                num_jobs: n,
+                ..WorkloadConfig::default()
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    fn quiet_options() -> SimulationOptions {
+        SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        }
+    }
+
+    #[test]
+    fn serve_completes_a_workload_and_reports_latency() {
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), ServeConfig::default());
+        let out = daemon.run(&mut StaticPeakProvisioner, workload(40, 1));
+        let r = &out.report;
+        assert_eq!(r.sim.completed, 40, "{r:?}");
+        assert_eq!(r.sim.unfinished, 0);
+        assert_eq!(r.placement_latency.count, 40);
+        assert_eq!(r.queue.admitted, 40);
+        assert_eq!(r.queue.shed, 0);
+        assert!(r.queue.high_water >= 1);
+        assert_eq!(r.ticks, r.sim.slots_run);
+        // Arrivals + ticks + completions + drain + shutdown.
+        assert_eq!(r.events_processed, 40 + r.ticks + 40 + 2);
+        assert!(out.wall_secs > 0.0);
+        assert!(out.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn serve_matches_batch_simulation_byte_for_byte() {
+        let jobs = workload(35, 2);
+        let mut sim = corp_sim::Simulation::new(cluster(), jobs.clone(), quiet_options());
+        let batch = sim.run(&mut StaticPeakProvisioner);
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), ServeConfig::default());
+        let served = daemon.run(&mut StaticPeakProvisioner, jobs);
+        assert_eq!(
+            serde::json::to_string(&batch),
+            serde::json::to_string(&served.report.sim),
+            "serve mode must reproduce the batch engine report exactly"
+        );
+    }
+
+    #[test]
+    fn empty_workload_shuts_down_after_one_tick() {
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), ServeConfig::default());
+        let out = daemon.run(&mut StaticPeakProvisioner, Vec::new());
+        assert_eq!(out.report.ticks, 1);
+        assert_eq!(out.report.placement_latency.count, 0);
+        // One tick + drain + shutdown.
+        assert_eq!(out.report.events_processed, 3);
+    }
+
+    #[test]
+    fn queued_arrivals_accumulate_latency() {
+        // Several same-slot arrivals on a tiny queue under Block: the
+        // overflow waits a full slot at the door, showing up in p-max.
+        let mut jobs = workload(6, 3);
+        for j in &mut jobs {
+            j.arrival_slot = 0;
+        }
+        let config = ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), config);
+        let out = daemon.run(&mut StaticPeakProvisioner, jobs);
+        let r = &out.report;
+        assert_eq!(r.sim.completed, 6, "blocking loses nobody: {r:?}");
+        assert_eq!(r.queue.blocked, 4);
+        assert_eq!(r.queue.high_water, 2);
+        assert!(
+            r.placement_latency.max_micros >= 10_000_000.0,
+            "door-blocked arrivals wait at least one slot: {r:?}"
+        );
+    }
+
+    #[test]
+    fn shed_oldest_drops_jobs_under_overload() {
+        let mut jobs = workload(8, 4);
+        for j in &mut jobs {
+            j.arrival_slot = 0;
+        }
+        let config = ServeConfig {
+            queue_capacity: 3,
+            policy: BackpressurePolicy::ShedOldest,
+            ..ServeConfig::default()
+        };
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), config);
+        let out = daemon.run(&mut StaticPeakProvisioner, jobs);
+        let r = &out.report;
+        assert_eq!(r.queue.shed, 5);
+        assert_eq!(r.sim.num_jobs, 3, "shed jobs never reach the engine");
+        assert_eq!(r.sim.completed, 3);
+    }
+
+    #[test]
+    fn reject_new_turns_overflow_away() {
+        let mut jobs = workload(8, 5);
+        for j in &mut jobs {
+            j.arrival_slot = 0;
+        }
+        let config = ServeConfig {
+            queue_capacity: 3,
+            policy: BackpressurePolicy::RejectNew,
+            ..ServeConfig::default()
+        };
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), config);
+        let out = daemon.run(&mut StaticPeakProvisioner, jobs);
+        let r = &out.report;
+        assert_eq!(r.queue.rejected, 5);
+        assert_eq!(r.sim.num_jobs, 3);
+        assert_eq!(r.placement_latency.count, 3);
+    }
+
+    #[test]
+    fn fault_timeline_runs_unchanged_in_serving_mode() {
+        use corp_faults::{FaultEvent, TimedFault};
+        let jobs = workload(10, 6);
+        let num_vms = cluster().vms.len();
+        let timeline = || {
+            let mut ev = Vec::new();
+            for vm in 0..num_vms {
+                ev.push(TimedFault {
+                    slot: 3,
+                    event: FaultEvent::VmCrash { vm },
+                });
+                ev.push(TimedFault {
+                    slot: 20,
+                    event: FaultEvent::VmRecover { vm },
+                });
+            }
+            FaultTimeline::new(ev)
+        };
+        let mut sim = corp_sim::Simulation::new(cluster(), jobs.clone(), quiet_options())
+            .with_fault_timeline(timeline());
+        let batch = sim.run(&mut StaticPeakProvisioner);
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), ServeConfig::default())
+            .with_fault_timeline(timeline());
+        let served = daemon.run(&mut StaticPeakProvisioner, jobs);
+        assert_eq!(
+            serde::json::to_string(&batch),
+            serde::json::to_string(&served.report.sim),
+            "fault scenarios must play out identically in serve mode"
+        );
+        let faults = served.report.sim.faults.expect("fault stats present");
+        assert!(faults.jobs_killed > 0);
+    }
+
+    #[test]
+    fn paced_replay_matches_virtual_time_results() {
+        // A tiny workload at a very high pacing multiplier: slow enough to
+        // exercise the sleep path, fast enough for CI. The report must be
+        // byte-identical to the unpaced run — pacing only stretches wall
+        // time.
+        let mut jobs = workload(3, 7);
+        for j in &mut jobs {
+            j.arrival_slot = 0;
+        }
+        let run = |speed| {
+            let config = ServeConfig {
+                speed,
+                ..ServeConfig::default()
+            };
+            let mut daemon = ServeDaemon::new(cluster(), quiet_options(), config);
+            let out = daemon.run(&mut StaticPeakProvisioner, jobs.clone());
+            serde::json::to_string(&out.report)
+        };
+        let unpaced = run(ReplaySpeed::Infinite);
+        let paced = run(ReplaySpeed::Times(2_000_000.0));
+        assert_eq!(unpaced, paced);
+    }
+
+    #[test]
+    fn slot_cap_registers_stragglers_like_batch_mode() {
+        /// Never places anything.
+        struct DoNothing;
+        impl Provisioner for DoNothing {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn provision(&mut self, _: &corp_sim::SlotContext<'_>) -> corp_sim::ProvisionPlan {
+                corp_sim::ProvisionPlan::default()
+            }
+        }
+        let jobs = workload(5, 8);
+        let options = SimulationOptions {
+            max_slots: 10,
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let mut sim = corp_sim::Simulation::new(cluster(), jobs.clone(), options.clone());
+        let batch = sim.run(&mut DoNothing);
+        let mut daemon = ServeDaemon::new(cluster(), options, ServeConfig::default());
+        let served = daemon.run(&mut DoNothing, jobs);
+        assert_eq!(served.report.sim.unfinished, 5);
+        assert_eq!(
+            serde::json::to_string(&batch),
+            serde::json::to_string(&served.report.sim)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Event-driven online provisioning daemon for the CORP reproduction.
+//!
+//! The paper's evaluation runs its four schemes in a lockstep slot loop,
+//! but the system it describes is a live control plane: short-lived jobs
+//! arrive on a stream, admission happens under backpressure, and placement
+//! latency is a first-class SLO. This crate is that serving mode
+//! (DESIGN.md §12), built from four pieces:
+//!
+//! * [`clock`] — virtual time in microseconds plus [`ReplaySpeed`] pacing:
+//!   `inf` consumes the trace as fast as the host allows (the
+//!   byte-deterministic batch mode), `N` paces one virtual second per
+//!   `1/N` wall seconds without ever feeding wall readings back into the
+//!   simulation.
+//! * [`events`] — a binary-heap event queue over `(time, class, seq)`:
+//!   arrivals sort before the tick that admits them, completion
+//!   notifications after it, drain/shutdown close the stream. The order is
+//!   total, so runs are reproducible bit for bit.
+//! * [`admission`] — a bounded FIFO between arrivals and the engine with
+//!   three backpressure ladders (block, shed-oldest, reject-new) and full
+//!   admission/shed/high-water accounting.
+//! * [`daemon`] — the event loop itself, driving the *same*
+//!   [`corp_sim::SlotEngine`] the batch simulation uses. At unbounded
+//!   queue capacity and infinite speed it reproduces the batch run byte
+//!   for byte — same jobs on the same VMs — which is what makes serving
+//!   mode a mode, not a fork.
+//!
+//! Reports ([`ServeReport`]) extend the engine report with placement-
+//! latency percentiles (p50/p95/p99 via the GK sketch in `corp-stats`),
+//! queue-depth high-water marks, and event totals; wall-clock throughput
+//! rides outside the report in [`ServeOutcome`] so serialization stays
+//! deterministic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod clock;
+pub mod daemon;
+pub mod events;
+pub mod report;
+
+pub use admission::{Admission, AdmissionQueue, BackpressurePolicy, QueueStats};
+pub use clock::{ReplaySpeed, VirtualClock, MICROS_PER_SEC};
+pub use daemon::{ServeConfig, ServeDaemon};
+pub use events::{EventQueue, ServeEvent};
+pub use report::{LatencySummary, ServeOutcome, ServeReport};

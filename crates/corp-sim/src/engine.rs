@@ -6,6 +6,14 @@
 //! running jobs under the strict-reservation execution model, resolves any
 //! predictions targeting this slot, and records metrics.
 //!
+//! Two drivers share the same core. [`Simulation`] is the batch driver: it
+//! owns a complete workload up front and steps the engine slot by slot
+//! until the workload drains (the paper's evaluation mode). [`SlotEngine`]
+//! is the core itself, exposed so event-driven callers (the `corp-serve`
+//! daemon) can submit jobs as they arrive on a live stream and pump slots
+//! one [`step`](SlotEngine::step) at a time — the decisions are the same
+//! either way, byte for byte, because the slot body is the same code.
+//!
 //! ## Validation rules
 //!
 //! * An adjustment may not push a VM's committed total above capacity and
@@ -111,102 +119,83 @@ pub struct SimulationReport {
     pub faults: Option<FaultStats>,
 }
 
-/// The simulator.
-pub struct Simulation {
+/// What one [`SlotEngine::step`] did: the placements it applied, the jobs
+/// that finished, and the arrivals it rejected. Event-driven drivers turn
+/// these into `Completion` events and per-request placement latencies; the
+/// batch driver ignores them.
+#[derive(Debug, Clone, Default)]
+pub struct SlotOutcome {
+    /// `(job, vm)` for every placement applied this slot, application
+    /// order.
+    pub placements: Vec<(JobId, usize)>,
+    /// Jobs that completed this slot, completion order (VM id ascending,
+    /// scan order within a VM).
+    pub completed: Vec<JobId>,
+    /// Jobs rejected at admission this slot (request exceeds every VM).
+    pub rejected: Vec<JobId>,
+}
+
+/// The reusable slot-stepping core: all engine state, pumped one slot at a
+/// time.
+///
+/// Jobs enter through [`submit`](Self::submit) (queued for admission at the
+/// next step) and the engine advances through [`step`](Self::step); when
+/// the caller decides the run is over, [`report`](Self::report) folds the
+/// accumulated metrics into a [`SimulationReport`]. [`Simulation`] drives
+/// this from a pre-sorted arrival list; the `corp-serve` daemon drives it
+/// from a timestamped event queue. Both produce identical decisions for
+/// identical admission sequences because this is the only slot body.
+pub struct SlotEngine {
     cluster: Cluster,
     options: SimulationOptions,
     jobs: Vec<RunningJob>,
     index_of: HashMap<JobId, usize>,
-    /// Arrival slots sorted ascending alongside job indices.
-    arrivals: Vec<(u64, usize)>,
     metrics: MetricsCollector,
     vm_unused_history: Vec<Vec<ResourceVector>>,
     pending_predictions: Vec<PredictionRecord>,
     invalid_actions: usize,
     nonfinite_actions: usize,
     faults: Option<FaultRuntime>,
+    max_capacity: ResourceVector,
+    vm_committed: Vec<ResourceVector>,
+    vm_jobs: Vec<Vec<usize>>,
+    /// Admitted jobs awaiting placement (engine-side pending queue).
+    pending: Vec<usize>,
+    /// Jobs submitted since the last step, admitted (or rejected) at the
+    /// start of the next one, submission-ordered.
+    incoming: Vec<usize>,
+    active: usize,
+    slot: u64,
+    // Per-slot scratch, reused across steps instead of reallocated.
+    slot_vm_unused: Vec<ResourceVector>,
+    vm_views: Vec<VmView>,
+    pending_views: Vec<PendingJobView>,
+    completions: Vec<JobCompletion>,
 }
 
-impl Simulation {
-    /// Builds a simulation over `cluster` with the given workload.
-    pub fn new(cluster: Cluster, specs: Vec<JobSpec>, options: SimulationOptions) -> Self {
-        let jobs: Vec<RunningJob> = specs.into_iter().map(RunningJob::new).collect();
-        let index_of = jobs.iter().enumerate().map(|(i, j)| (j.id(), i)).collect();
-        let mut arrivals: Vec<(u64, usize)> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| (j.spec.arrival_slot, i))
-            .collect();
-        arrivals.sort_by_key(|&(slot, _)| slot);
+/// Copies the capped newest tail of `src` into the reused `dst` buffer —
+/// same bytes as `src[start..].to_vec()`, no allocation once `dst` has
+/// grown to the cap.
+fn copy_tail(src: &[ResourceVector], dst: &mut Vec<ResourceVector>) {
+    let start = src
+        .len()
+        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+    dst.clear();
+    dst.extend_from_slice(&src[start..]);
+}
+
+/// Copies only the newest sample of `src` into `dst` (off-period slots).
+fn copy_newest(src: &[ResourceVector], dst: &mut Vec<ResourceVector>) {
+    dst.clear();
+    dst.extend(src.last().copied());
+}
+
+impl SlotEngine {
+    /// Builds an empty engine over `cluster`: no jobs yet, slot 0 next.
+    pub fn new(cluster: Cluster, options: SimulationOptions) -> Self {
         let num_vms = cluster.vms.len();
-        Simulation {
-            cluster,
-            options,
-            jobs,
-            index_of,
-            arrivals,
-            metrics: MetricsCollector::new(),
-            vm_unused_history: vec![Vec::new(); num_vms],
-            pending_predictions: Vec::new(),
-            invalid_actions: 0,
-            nonfinite_actions: 0,
-            faults: None,
-        }
-    }
-
-    /// Arms the simulation to replay `timeline` alongside the workload:
-    /// VM crash/recovery windows, capacity degradation, and per-slot view
-    /// poisoning, all applied at deterministic slots. An empty timeline
-    /// behaves exactly like a plain [`Simulation::new`] run except that
-    /// the report carries zeroed [`FaultStats`] instead of `None`.
-    pub fn with_fault_timeline(mut self, timeline: FaultTimeline) -> Self {
-        let num_vms = self.cluster.vms.len();
-        self.faults = Some(FaultRuntime::new(timeline, num_vms));
-        self
-    }
-
-    /// Builds a simulation with a fault schedule.
-    #[deprecated(note = "use `Simulation::new(...).with_fault_timeline(timeline)` instead")]
-    pub fn with_faults(
-        cluster: Cluster,
-        specs: Vec<JobSpec>,
-        options: SimulationOptions,
-        timeline: FaultTimeline,
-    ) -> Self {
-        Simulation::new(cluster, specs, options).with_fault_timeline(timeline)
-    }
-
-    /// Read access to the metrics collected so far (or after `run`).
-    pub fn metrics(&self) -> &MetricsCollector {
-        &self.metrics
-    }
-
-    /// Read access to job states after `run` (tests, detailed analyses).
-    pub fn jobs(&self) -> &[RunningJob] {
-        &self.jobs
-    }
-
-    /// Runs the simulation to completion under `provisioner` and returns
-    /// the report.
-    pub fn run(&mut self, provisioner: &mut dyn Provisioner) -> SimulationReport {
-        let max_capacity = self.cluster.max_vm_capacity();
-        let mut vm_committed = vec![ResourceVector::ZERO; self.cluster.vms.len()];
-        let mut vm_jobs: Vec<Vec<usize>> = vec![Vec::new(); self.cluster.vms.len()];
-        let mut pending: Vec<usize> = Vec::new();
-        let mut next_arrival = 0usize;
-        let mut active = 0usize; // pending + running
-        let mut slot = 0u64;
-        let last_arrival = self.arrivals.last().map(|&(s, _)| s).unwrap_or(0);
-        // Per-slot scratch, hoisted so the hot loop reuses the allocations
-        // instead of rebuilding them every slot.
-        let mut slot_vm_unused = vec![ResourceVector::ZERO; self.cluster.vms.len()];
-        // VM views are updated in place each slot rather than rebuilt: the
-        // fleet is fixed for the run, so every view — and every history
-        // buffer inside it — survives across slots and only its contents
-        // are rewritten. At thousands of running jobs this removes two
-        // history-tail clones per job per slot from the hot loop.
-        let mut vm_views: Vec<VmView> = self
-            .cluster
+        let max_capacity = cluster.max_vm_capacity();
+        let vm_views = cluster
             .vms
             .iter()
             .map(|vm| VmView {
@@ -218,483 +207,542 @@ impl Simulation {
                 unused_history: Vec::new(),
             })
             .collect();
-        // Copies the capped newest tail of `src` into the reused `dst`
-        // buffer — same bytes as `src[start..].to_vec()`, no allocation
-        // once `dst` has grown to the cap.
-        let copy_tail = |src: &[ResourceVector], dst: &mut Vec<ResourceVector>| {
-            let start = src
-                .len()
-                .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-            dst.clear();
-            dst.extend_from_slice(&src[start..]);
-        };
-        // How often the provisioner reads deep history tails (see
-        // `Provisioner::full_view_period`). Off-period slots carry only the
-        // newest sample of each history, skipping the deep copies. The
-        // legacy path ignores this and always builds full views — the
-        // byte-identity check between the two `corp-exp e2e` arms is what
-        // holds window-driven provisioners to their declared period.
-        let full_view_period = provisioner.full_view_period().max(1);
-        let copy_newest = |src: &[ResourceVector], dst: &mut Vec<ResourceVector>| {
-            dst.clear();
-            dst.extend(src.last().copied());
-        };
-        let mut pending_views: Vec<PendingJobView> = Vec::new();
-        let mut completions: Vec<JobCompletion> = Vec::new();
-        // The runtime is threaded as a local so fault handling can borrow
-        // job/VM state alongside it.
-        let mut fault_rt = self.faults.take();
+        SlotEngine {
+            cluster,
+            options,
+            jobs: Vec::new(),
+            index_of: HashMap::new(),
+            metrics: MetricsCollector::new(),
+            vm_unused_history: vec![Vec::new(); num_vms],
+            pending_predictions: Vec::new(),
+            invalid_actions: 0,
+            nonfinite_actions: 0,
+            faults: None,
+            max_capacity,
+            vm_committed: vec![ResourceVector::ZERO; num_vms],
+            vm_jobs: vec![Vec::new(); num_vms],
+            pending: Vec::new(),
+            incoming: Vec::new(),
+            active: 0,
+            slot: 0,
+            slot_vm_unused: vec![ResourceVector::ZERO; num_vms],
+            vm_views,
+            pending_views: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
 
-        loop {
-            // 0. Apply the faults scheduled for this slot, before arrivals
-            // and provisioning: a crash kills the VM's running jobs
-            // (progress lost — no checkpointing), re-enqueues them, and
-            // releases the VM's committed capacity.
-            if let Some(faults) = fault_rt.as_mut() {
-                let num_vms = self.cluster.vms.len();
-                for event in faults.start_slot(slot) {
-                    match event {
-                        FaultEvent::VmCrash { vm } if vm < num_vms && !faults.down[vm] => {
-                            faults.down[vm] = true;
-                            faults.stats.vm_crashes += 1;
-                            for ji in vm_jobs[vm].drain(..) {
-                                faults.stats.jobs_killed += 1;
-                                faults.kill_slot.insert(self.jobs[ji].id(), slot);
-                                self.jobs[ji].state = JobState::Pending;
-                                self.jobs[ji].allocation = ResourceVector::ZERO;
-                                self.jobs[ji].progress = 0.0;
-                                pending.push(ji);
-                            }
-                            vm_committed[vm] = ResourceVector::ZERO;
+    /// Arms the engine to replay `timeline` alongside the workload (see
+    /// [`Simulation::with_fault_timeline`]).
+    pub fn with_fault_timeline(mut self, timeline: FaultTimeline) -> Self {
+        let num_vms = self.cluster.vms.len();
+        self.faults = Some(FaultRuntime::new(timeline, num_vms));
+        self
+    }
+
+    /// Registers a job for admission at the start of the next
+    /// [`step`](Self::step). Admission (and oversized-request rejection)
+    /// happens inside the step so that fault events scheduled for the slot
+    /// apply first, exactly as in the batch loop.
+    pub fn submit(&mut self, spec: JobSpec) {
+        let idx = self.jobs.len();
+        self.index_of.insert(spec.id, idx);
+        self.jobs.push(RunningJob::new(spec));
+        self.incoming.push(idx);
+    }
+
+    /// The next slot to be simulated (equivalently: slots simulated so
+    /// far).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The options this engine was built with (external drivers read the
+    /// slot cap from here).
+    pub fn options(&self) -> &SimulationOptions {
+        &self.options
+    }
+
+    /// Jobs currently admitted but not finished (pending + running).
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Read access to the metrics collected so far.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+
+    /// Read access to every submitted job's state, submission-ordered.
+    pub fn jobs(&self) -> &[RunningJob] {
+        &self.jobs
+    }
+
+    /// Simulates one slot under `provisioner` and returns what happened.
+    pub fn step(&mut self, provisioner: &mut dyn Provisioner) -> SlotOutcome {
+        let mut outcome = SlotOutcome::default();
+        let slot = self.slot;
+
+        // 0. Apply the faults scheduled for this slot, before arrivals
+        // and provisioning: a crash kills the VM's running jobs
+        // (progress lost — no checkpointing), re-enqueues them, and
+        // releases the VM's committed capacity.
+        if let Some(faults) = self.faults.as_mut() {
+            let num_vms = self.cluster.vms.len();
+            for event in faults.start_slot(slot) {
+                match event {
+                    FaultEvent::VmCrash { vm } if vm < num_vms && !faults.down[vm] => {
+                        faults.down[vm] = true;
+                        faults.stats.vm_crashes += 1;
+                        for ji in self.vm_jobs[vm].drain(..) {
+                            faults.stats.jobs_killed += 1;
+                            faults.kill_slot.insert(self.jobs[ji].id(), slot);
+                            self.jobs[ji].state = JobState::Pending;
+                            self.jobs[ji].allocation = ResourceVector::ZERO;
+                            self.jobs[ji].progress = 0.0;
+                            self.pending.push(ji);
                         }
-                        FaultEvent::VmRecover { vm } if vm < num_vms && faults.down[vm] => {
-                            faults.down[vm] = false;
-                            faults.stats.vm_recoveries += 1;
-                        }
-                        FaultEvent::VmDegrade { vm, factor } if vm < num_vms => {
-                            faults.degrade[vm] = factor.clamp(0.05, 1.0);
-                        }
-                        FaultEvent::VmRestore { vm } if vm < num_vms => {
-                            faults.degrade[vm] = 1.0;
-                        }
-                        FaultEvent::PoisonViews { vm, kind } if vm < num_vms => {
-                            faults.poison[vm] = Some(kind);
-                            faults.stats.poisoned_views += 1;
-                        }
-                        _ => {}
+                        self.vm_committed[vm] = ResourceVector::ZERO;
                     }
+                    FaultEvent::VmRecover { vm } if vm < num_vms && faults.down[vm] => {
+                        faults.down[vm] = false;
+                        faults.stats.vm_recoveries += 1;
+                    }
+                    FaultEvent::VmDegrade { vm, factor } if vm < num_vms => {
+                        faults.degrade[vm] = factor.clamp(0.05, 1.0);
+                    }
+                    FaultEvent::VmRestore { vm } if vm < num_vms => {
+                        faults.degrade[vm] = 1.0;
+                    }
+                    FaultEvent::PoisonViews { vm, kind } if vm < num_vms => {
+                        faults.poison[vm] = Some(kind);
+                        faults.stats.poisoned_views += 1;
+                    }
+                    _ => {}
                 }
-                faults.tally_slot();
             }
+            faults.tally_slot();
+        }
 
-            // 1. Admit arrivals.
-            while next_arrival < self.arrivals.len() && self.arrivals[next_arrival].0 <= slot {
-                let idx = self.arrivals[next_arrival].1;
-                next_arrival += 1;
-                let requested = self.jobs[idx].requested();
-                if !requested.fits_within(&max_capacity) {
-                    self.jobs[idx].state = JobState::Rejected;
-                    self.metrics.record_rejection();
-                } else {
-                    pending.push(idx);
-                    active += 1;
-                }
+        // 1. Admit arrivals submitted since the last step.
+        for i in 0..self.incoming.len() {
+            let idx = self.incoming[i];
+            let requested = self.jobs[idx].requested();
+            if !requested.fits_within(&self.max_capacity) {
+                self.jobs[idx].state = JobState::Rejected;
+                self.metrics.record_rejection();
+                outcome.rejected.push(self.jobs[idx].id());
+            } else {
+                self.pending.push(idx);
+                self.active += 1;
             }
+        }
+        self.incoming.clear();
 
-            // 2. Ask the provisioner for a plan.
-            let plan = {
-                if self.options.legacy_slot_views {
-                    // Pre-pool path, kept as the measured baseline arm of
-                    // `corp-exp e2e`: every slot drops the previous views
-                    // and clones each job's history tails into fresh
-                    // vectors. Identical contents to the in-place path.
-                    vm_views.clear();
-                    vm_views.extend(self.cluster.vms.iter().map(|vm| {
-                        if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
-                            return VmView {
-                                id: vm.id,
-                                capacity: ResourceVector::ZERO,
-                                committed: ResourceVector::ZERO,
-                                free: ResourceVector::ZERO,
-                                jobs: Vec::new(),
-                                unused_history: Vec::new(),
-                            };
-                        }
-                        let mut view = VmView {
+        // 2. Ask the provisioner for a plan.
+        let plan = {
+            if self.options.legacy_slot_views {
+                // Pre-pool path, kept as the measured baseline arm of
+                // `corp-exp e2e`: every slot drops the previous views
+                // and clones each job's history tails into fresh
+                // vectors. Identical contents to the in-place path.
+                self.vm_views.clear();
+                let jobs = &self.jobs;
+                let vm_unused_history = &self.vm_unused_history;
+                let vm_committed = &self.vm_committed;
+                let vm_jobs = &self.vm_jobs;
+                let faults = &self.faults;
+                self.vm_views.extend(self.cluster.vms.iter().map(|vm| {
+                    if faults.as_ref().is_some_and(|f| f.down[vm.id]) {
+                        return VmView {
                             id: vm.id,
-                            capacity: vm.capacity,
-                            committed: vm_committed[vm.id],
-                            free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
-                            jobs: vm_jobs[vm.id]
-                                .iter()
-                                .map(|&ji| {
-                                    let j = &self.jobs[ji];
-                                    let tail = |v: &Vec<ResourceVector>| {
-                                        let start = v
-                                            .len()
-                                            .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                                        v[start..].to_vec()
-                                    };
-                                    crate::provisioner::RunningJobView {
-                                        id: j.id(),
-                                        requested: j.requested(),
-                                        allocation: j.allocation,
-                                        recent_demand: tail(&j.observed_demand),
-                                        recent_unused: tail(&j.observed_unused),
-                                    }
-                                })
-                                .collect(),
-                            unused_history: {
-                                let h = &self.vm_unused_history[vm.id];
-                                let start =
-                                    h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                                h[start..].to_vec()
-                            },
+                            capacity: ResourceVector::ZERO,
+                            committed: ResourceVector::ZERO,
+                            free: ResourceVector::ZERO,
+                            jobs: Vec::new(),
+                            unused_history: Vec::new(),
                         };
-                        if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
-                            for job in &mut view.jobs {
-                                if let Some(v) = job.recent_demand.last_mut() {
-                                    corrupt_vector(v, kind);
+                    }
+                    let mut view = VmView {
+                        id: vm.id,
+                        capacity: vm.capacity,
+                        committed: vm_committed[vm.id],
+                        free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
+                        jobs: vm_jobs[vm.id]
+                            .iter()
+                            .map(|&ji| {
+                                let j = &jobs[ji];
+                                let tail = |v: &Vec<ResourceVector>| {
+                                    let start = v
+                                        .len()
+                                        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                                    v[start..].to_vec()
+                                };
+                                crate::provisioner::RunningJobView {
+                                    id: j.id(),
+                                    requested: j.requested(),
+                                    allocation: j.allocation,
+                                    recent_demand: tail(&j.observed_demand),
+                                    recent_unused: tail(&j.observed_unused),
                                 }
-                                if let Some(v) = job.recent_unused.last_mut() {
-                                    corrupt_vector(v, kind);
-                                }
-                            }
-                            if let Some(v) = view.unused_history.last_mut() {
-                                corrupt_vector(v, kind);
-                            }
-                        }
-                        view
-                    }));
-                } else {
-                    let full = slot % full_view_period == 0;
-                    let copy_history: &dyn Fn(&[ResourceVector], &mut Vec<ResourceVector>) =
-                        if full { &copy_tail } else { &copy_newest };
-                    for vm in &self.cluster.vms {
-                        let view = &mut vm_views[vm.id];
-                        // A down VM presents as zero capacity with nothing
-                        // running: provisioners cannot place onto it, and
-                        // sharded stores rebase it to an empty ledger.
-                        if fault_rt.as_ref().is_some_and(|f| f.down[vm.id]) {
-                            view.capacity = ResourceVector::ZERO;
-                            view.committed = ResourceVector::ZERO;
-                            view.free = ResourceVector::ZERO;
-                            view.jobs.clear();
-                            view.unused_history.clear();
-                            continue;
-                        }
-                        view.capacity = vm.capacity;
-                        view.committed = vm_committed[vm.id];
-                        view.free = vm.capacity.saturating_sub(&vm_committed[vm.id]);
-                        // Match the view list to the VM's occupancy, keeping
-                        // the history buffers of surviving entries alive.
-                        let occupants = &vm_jobs[vm.id];
-                        view.jobs.truncate(occupants.len());
-                        while view.jobs.len() < occupants.len() {
-                            view.jobs.push(crate::provisioner::RunningJobView {
-                                id: 0,
-                                requested: ResourceVector::ZERO,
-                                allocation: ResourceVector::ZERO,
-                                recent_demand: Vec::new(),
-                                recent_unused: Vec::new(),
-                            });
-                        }
-                        for (jv, &ji) in view.jobs.iter_mut().zip(occupants) {
-                            let j = &self.jobs[ji];
-                            jv.id = j.id();
-                            jv.requested = j.requested();
-                            jv.allocation = j.allocation;
-                            copy_history(&j.observed_demand, &mut jv.recent_demand);
-                            copy_history(&j.observed_unused, &mut jv.recent_unused);
-                        }
-                        copy_history(&self.vm_unused_history[vm.id], &mut view.unused_history);
-                        // Poisoning corrupts only the monitoring tails the
-                        // provisioner sees this slot; ground truth stays
-                        // intact (the tails are rewritten from it next slot).
-                        if let Some(kind) = fault_rt.as_ref().and_then(|f| f.poison[vm.id]) {
-                            for job in &mut view.jobs {
-                                if let Some(v) = job.recent_demand.last_mut() {
-                                    corrupt_vector(v, kind);
-                                }
-                                if let Some(v) = job.recent_unused.last_mut() {
-                                    corrupt_vector(v, kind);
-                                }
-                            }
-                            if let Some(v) = view.unused_history.last_mut() {
-                                corrupt_vector(v, kind);
-                            }
-                        }
-                    }
-                }
-                pending_views.clear();
-                pending_views.extend(pending.iter().map(|&ji| {
-                    let j = &self.jobs[ji];
-                    PendingJobView {
-                        id: j.id(),
-                        requested: j.requested(),
-                        arrival_slot: j.spec.arrival_slot,
-                        slo_slots: j.spec.slo_slots,
-                    }
-                }));
-                let ctx = SlotContext {
-                    slot,
-                    vms: &vm_views,
-                    pending: &pending_views,
-                    max_vm_capacity: max_capacity,
-                };
-                let started = Instant::now();
-                let plan = provisioner.provision(&ctx);
-                if self.options.measure_decision_time {
-                    self.metrics.overhead_us += started.elapsed().as_secs_f64() * 1e6;
-                }
-                plan
-            };
-            let messages = plan.adjustments.len() + plan.placements.len();
-            self.metrics.overhead_us += messages as f64 * self.cluster.profile.comm_latency_us;
-            self.pending_predictions.extend(plan.predictions);
-
-            // 3. Apply allocation adjustments to running jobs. Shrinking
-            // adjustments run first so that reclaim-and-restore bundles in
-            // one plan never transit through a spuriously over-committed
-            // state.
-            let mut adjustments = plan.adjustments;
-            adjustments.sort_by_key(|(job_id, new_alloc)| {
-                let shrinking = self
-                    .index_of
-                    .get(job_id)
-                    .map(|&ji| new_alloc.fits_within(&self.jobs[ji].allocation))
-                    .unwrap_or(false);
-                !shrinking
-            });
-            for (job_id, new_alloc) in adjustments {
-                let Some(&ji) = self.index_of.get(&job_id) else {
-                    self.invalid_actions += 1;
-                    continue;
-                };
-                let JobState::Running { vm } = self.jobs[ji].state else {
-                    self.invalid_actions += 1;
-                    continue;
-                };
-                if !new_alloc.is_finite() {
-                    self.invalid_actions += 1;
-                    self.nonfinite_actions += 1;
-                    continue;
-                }
-                if !new_alloc.is_nonnegative() {
-                    self.invalid_actions += 1;
-                    continue;
-                }
-                let new_alloc = new_alloc.clamp_nonnegative();
-                let old = self.jobs[ji].allocation;
-                let candidate = vm_committed[vm] - old + new_alloc;
-                if candidate
-                    .clamp_nonnegative()
-                    .fits_within(&self.cluster.vms[vm].capacity)
-                {
-                    vm_committed[vm] = candidate.clamp_nonnegative();
-                    self.jobs[ji].allocation = new_alloc;
-                } else {
-                    self.invalid_actions += 1;
-                }
-            }
-
-            // 4. Apply placements.
-            for p in plan.placements {
-                let Some(&ji) = self.index_of.get(&p.job) else {
-                    self.invalid_actions += 1;
-                    continue;
-                };
-                if !p.allocation.is_finite() {
-                    self.invalid_actions += 1;
-                    self.nonfinite_actions += 1;
-                    continue;
-                }
-                let is_pending =
-                    matches!(self.jobs[ji].state, JobState::Pending) && pending.contains(&ji);
-                if !is_pending || p.vm >= self.cluster.vms.len() || !p.allocation.is_nonnegative() {
-                    self.invalid_actions += 1;
-                    continue;
-                }
-                // Down VMs are out of the fleet: placements onto them are
-                // dropped even though nominal capacity would admit them.
-                if let Some(faults) = fault_rt.as_mut() {
-                    if faults.down[p.vm] {
-                        self.invalid_actions += 1;
-                        faults.stats.dropped_down_vm_actions += 1;
-                        continue;
-                    }
-                }
-                let alloc = p.allocation.clamp_nonnegative();
-                let free = self.cluster.vms[p.vm]
-                    .capacity
-                    .saturating_sub(&vm_committed[p.vm]);
-                if !alloc.fits_within(&free) {
-                    self.invalid_actions += 1;
-                    continue;
-                }
-                vm_committed[p.vm] += alloc;
-                vm_jobs[p.vm].push(ji);
-                pending.retain(|&x| x != ji);
-                self.jobs[ji].state = JobState::Running { vm: p.vm };
-                self.jobs[ji].allocation = alloc;
-                if self.jobs[ji].placed_slot.is_none() {
-                    self.jobs[ji].placed_slot = Some(slot);
-                }
-                if let Some(faults) = fault_rt.as_mut() {
-                    faults.note_placement(p.job, slot);
-                }
-            }
-
-            // 5. Advance running jobs and collect per-slot totals.
-            let mut slot_allocated = ResourceVector::ZERO;
-            let mut slot_demanded = ResourceVector::ZERO;
-            slot_vm_unused.fill(ResourceVector::ZERO);
-            for (vm_id, jobs_here) in vm_jobs.iter().enumerate() {
-                if jobs_here.is_empty() {
-                    self.vm_unused_history[vm_id].push(ResourceVector::ZERO);
-                    continue;
-                }
-                // Physical congestion: total true demand vs capacity.
-                let mut total_demand = ResourceVector::ZERO;
-                for &ji in jobs_here {
-                    total_demand += self.jobs[ji].current_demand();
-                }
-                // A degraded VM physically delivers only a fraction of its
-                // nominal capacity; commitments are contractual and stay
-                // against nominal, so only the congestion math scales.
-                let cap = match fault_rt.as_ref() {
-                    Some(f) if f.degrade[vm_id] < 1.0 => {
-                        self.cluster.vms[vm_id].capacity.scaled(f.degrade[vm_id])
-                    }
-                    _ => self.cluster.vms[vm_id].capacity,
-                };
-                let mut congestion = 1.0f64;
-                for k in 0..NUM_RESOURCES {
-                    if total_demand[k] > cap[k] && total_demand[k] > 0.0 {
-                        congestion = congestion.min(cap[k] / total_demand[k]);
-                    }
-                }
-                for &ji in jobs_here {
-                    let demand = self.jobs[ji].current_demand();
-                    let adequacy = self.jobs[ji].allocation.coverage_of(&demand);
-                    let rate = congestion.min(adequacy);
-                    let job = &mut self.jobs[ji];
-                    job.progress += rate;
-                    job.observed_demand.push(demand);
-                    let unused = job.allocation.saturating_sub(&demand);
-                    job.observed_unused.push(unused);
-                    slot_vm_unused[vm_id] += unused;
-                    slot_allocated += job.allocation;
-                    slot_demanded += demand;
-                }
-                self.vm_unused_history[vm_id].push(slot_vm_unused[vm_id]);
-            }
-            self.metrics.record_slot(UtilizationSample {
-                slot,
-                allocated: slot_allocated,
-                demanded: slot_demanded,
-            });
-
-            // 6. Resolve predictions targeting this slot: job-targeted
-            // records score against that job's observed unused (dropped if
-            // the job already finished), VM-targeted ones against the VM
-            // total. Removal is swap_remove-style: matured records are
-            // plucked without shifting the (much longer) still-pending
-            // tail, so resolution costs O(matured) per slot instead of a
-            // compaction of the whole queue. Resolved outcomes feed only
-            // order-independent aggregates (counts and error rates), so the
-            // removal order never reaches the report.
-            {
-                let mut i = 0;
-                while i < self.pending_predictions.len() {
-                    if self.pending_predictions[i].target_slot > slot {
-                        i += 1;
-                        continue;
-                    }
-                    let p = self.pending_predictions.swap_remove(i);
-                    if p.target_slot != slot || p.resource >= NUM_RESOURCES {
-                        continue; // stale or malformed: dropped unscored
-                    }
-                    let actual = match p.job {
-                        Some(job_id) => match self.index_of.get(&job_id) {
-                            Some(&ji)
-                                if matches!(self.jobs[ji].state, JobState::Running { .. }) =>
-                            {
-                                self.jobs[ji].observed_unused.last().map(|u| u[p.resource])
-                            }
-                            _ => None,
+                            })
+                            .collect(),
+                        unused_history: {
+                            let h = &vm_unused_history[vm.id];
+                            let start =
+                                h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
+                            h[start..].to_vec()
                         },
-                        None => slot_vm_unused.get(p.vm).map(|u| u[p.resource]),
                     };
-                    if let Some(actual) = actual {
-                        self.metrics.predictions.push(PredictionOutcome {
-                            vm: p.vm,
-                            resource: p.resource,
-                            target_slot: slot,
-                            predicted: p.predicted,
-                            actual,
+                    if let Some(kind) = faults.as_ref().and_then(|f| f.poison[vm.id]) {
+                        for job in &mut view.jobs {
+                            if let Some(v) = job.recent_demand.last_mut() {
+                                corrupt_vector(v, kind);
+                            }
+                            if let Some(v) = job.recent_unused.last_mut() {
+                                corrupt_vector(v, kind);
+                            }
+                        }
+                        if let Some(v) = view.unused_history.last_mut() {
+                            corrupt_vector(v, kind);
+                        }
+                    }
+                    view
+                }));
+            } else {
+                // How often the provisioner reads deep history tails (see
+                // `Provisioner::full_view_period`). Off-period slots carry
+                // only the newest sample of each history, skipping the deep
+                // copies. The legacy path ignores this and always builds
+                // full views — the byte-identity check between the two
+                // `corp-exp e2e` arms is what holds window-driven
+                // provisioners to their declared period.
+                let full_view_period = provisioner.full_view_period().max(1);
+                let full = slot % full_view_period == 0;
+                let copy_history: &dyn Fn(&[ResourceVector], &mut Vec<ResourceVector>) =
+                    if full { &copy_tail } else { &copy_newest };
+                for vm in &self.cluster.vms {
+                    let view = &mut self.vm_views[vm.id];
+                    // A down VM presents as zero capacity with nothing
+                    // running: provisioners cannot place onto it, and
+                    // sharded stores rebase it to an empty ledger.
+                    if self.faults.as_ref().is_some_and(|f| f.down[vm.id]) {
+                        view.capacity = ResourceVector::ZERO;
+                        view.committed = ResourceVector::ZERO;
+                        view.free = ResourceVector::ZERO;
+                        view.jobs.clear();
+                        view.unused_history.clear();
+                        continue;
+                    }
+                    view.capacity = vm.capacity;
+                    view.committed = self.vm_committed[vm.id];
+                    view.free = vm.capacity.saturating_sub(&self.vm_committed[vm.id]);
+                    // Match the view list to the VM's occupancy, keeping
+                    // the history buffers of surviving entries alive.
+                    let occupants = &self.vm_jobs[vm.id];
+                    view.jobs.truncate(occupants.len());
+                    while view.jobs.len() < occupants.len() {
+                        view.jobs.push(crate::provisioner::RunningJobView {
+                            id: 0,
+                            requested: ResourceVector::ZERO,
+                            allocation: ResourceVector::ZERO,
+                            recent_demand: Vec::new(),
+                            recent_unused: Vec::new(),
                         });
+                    }
+                    for (jv, &ji) in view.jobs.iter_mut().zip(occupants) {
+                        let j = &self.jobs[ji];
+                        jv.id = j.id();
+                        jv.requested = j.requested();
+                        jv.allocation = j.allocation;
+                        copy_history(&j.observed_demand, &mut jv.recent_demand);
+                        copy_history(&j.observed_unused, &mut jv.recent_unused);
+                    }
+                    copy_history(&self.vm_unused_history[vm.id], &mut view.unused_history);
+                    // Poisoning corrupts only the monitoring tails the
+                    // provisioner sees this slot; ground truth stays
+                    // intact (the tails are rewritten from it next slot).
+                    if let Some(kind) = self.faults.as_ref().and_then(|f| f.poison[vm.id]) {
+                        for job in &mut view.jobs {
+                            if let Some(v) = job.recent_demand.last_mut() {
+                                corrupt_vector(v, kind);
+                            }
+                            if let Some(v) = job.recent_unused.last_mut() {
+                                corrupt_vector(v, kind);
+                            }
+                        }
+                        if let Some(v) = view.unused_history.last_mut() {
+                            corrupt_vector(v, kind);
+                        }
                     }
                 }
             }
-
-            // 7. Completions — collected across the fleet in completion
-            // order (VM id ascending, scan order within a VM) and delivered
-            // as one batch per slot, so distributed provisioners can send
-            // one message per shard instead of one per job.
-            completions.clear();
-            for (vm_id, jobs_here) in vm_jobs.iter_mut().enumerate() {
-                let mut i = 0;
-                while i < jobs_here.len() {
-                    let ji = jobs_here[i];
-                    if self.jobs[ji].work_done() {
-                        let violated = self.jobs[ji].violates_slo(slot);
-                        let response = self.jobs[ji].response_slots(slot);
-                        vm_committed[vm_id] =
-                            (vm_committed[vm_id] - self.jobs[ji].allocation).clamp_nonnegative();
-                        self.jobs[ji].allocation = ResourceVector::ZERO;
-                        self.jobs[ji].state = JobState::Completed {
-                            finish_slot: slot,
-                            violated,
-                        };
-                        self.metrics.record_completion(response, violated);
-                        completions.push(JobCompletion {
-                            job: self.jobs[ji].id(),
-                            unused_history: (0..NUM_RESOURCES)
-                                .map(|r| self.jobs[ji].unused_series(r))
-                                .collect(),
-                        });
-                        jobs_here.swap_remove(i);
-                        active -= 1;
-                    } else {
-                        i += 1;
-                    }
+            self.pending_views.clear();
+            let jobs = &self.jobs;
+            self.pending_views.extend(self.pending.iter().map(|&ji| {
+                let j = &jobs[ji];
+                PendingJobView {
+                    id: j.id(),
+                    requested: j.requested(),
+                    arrival_slot: j.spec.arrival_slot,
+                    slo_slots: j.spec.slo_slots,
                 }
+            }));
+            let ctx = SlotContext {
+                slot,
+                vms: &self.vm_views,
+                pending: &self.pending_views,
+                max_vm_capacity: self.max_capacity,
+            };
+            let started = Instant::now();
+            let plan = provisioner.provision(&ctx);
+            if self.options.measure_decision_time {
+                self.metrics.overhead_us += started.elapsed().as_secs_f64() * 1e6;
             }
-            if !completions.is_empty() {
-                provisioner.on_jobs_completed(&completions);
-            }
+            plan
+        };
+        let messages = plan.adjustments.len() + plan.placements.len();
+        self.metrics.overhead_us += messages as f64 * self.cluster.profile.comm_latency_us;
+        self.pending_predictions.extend(plan.predictions);
 
-            // 8. Termination.
-            let arrivals_done = next_arrival == self.arrivals.len();
-            if arrivals_done && active == 0 {
-                slot += 1;
-                break;
+        // 3. Apply allocation adjustments to running jobs. Shrinking
+        // adjustments run first so that reclaim-and-restore bundles in
+        // one plan never transit through a spuriously over-committed
+        // state.
+        let mut adjustments = plan.adjustments;
+        adjustments.sort_by_key(|(job_id, new_alloc)| {
+            let shrinking = self
+                .index_of
+                .get(job_id)
+                .map(|&ji| new_alloc.fits_within(&self.jobs[ji].allocation))
+                .unwrap_or(false);
+            !shrinking
+        });
+        for (job_id, new_alloc) in adjustments {
+            let Some(&ji) = self.index_of.get(&job_id) else {
+                self.invalid_actions += 1;
+                continue;
+            };
+            let JobState::Running { vm } = self.jobs[ji].state else {
+                self.invalid_actions += 1;
+                continue;
+            };
+            if !new_alloc.is_finite() {
+                self.invalid_actions += 1;
+                self.nonfinite_actions += 1;
+                continue;
             }
-            slot += 1;
-            if slot >= self.options.max_slots + last_arrival {
-                break;
+            if !new_alloc.is_nonnegative() {
+                self.invalid_actions += 1;
+                continue;
+            }
+            let new_alloc = new_alloc.clamp_nonnegative();
+            let old = self.jobs[ji].allocation;
+            let candidate = self.vm_committed[vm] - old + new_alloc;
+            if candidate
+                .clamp_nonnegative()
+                .fits_within(&self.cluster.vms[vm].capacity)
+            {
+                self.vm_committed[vm] = candidate.clamp_nonnegative();
+                self.jobs[ji].allocation = new_alloc;
+            } else {
+                self.invalid_actions += 1;
             }
         }
 
-        let fault_stats = fault_rt.as_mut().map(|f| {
+        // 4. Apply placements.
+        for p in plan.placements {
+            let Some(&ji) = self.index_of.get(&p.job) else {
+                self.invalid_actions += 1;
+                continue;
+            };
+            if !p.allocation.is_finite() {
+                self.invalid_actions += 1;
+                self.nonfinite_actions += 1;
+                continue;
+            }
+            let is_pending =
+                matches!(self.jobs[ji].state, JobState::Pending) && self.pending.contains(&ji);
+            if !is_pending || p.vm >= self.cluster.vms.len() || !p.allocation.is_nonnegative() {
+                self.invalid_actions += 1;
+                continue;
+            }
+            // Down VMs are out of the fleet: placements onto them are
+            // dropped even though nominal capacity would admit them.
+            if let Some(faults) = self.faults.as_mut() {
+                if faults.down[p.vm] {
+                    self.invalid_actions += 1;
+                    faults.stats.dropped_down_vm_actions += 1;
+                    continue;
+                }
+            }
+            let alloc = p.allocation.clamp_nonnegative();
+            let free = self.cluster.vms[p.vm]
+                .capacity
+                .saturating_sub(&self.vm_committed[p.vm]);
+            if !alloc.fits_within(&free) {
+                self.invalid_actions += 1;
+                continue;
+            }
+            self.vm_committed[p.vm] += alloc;
+            self.vm_jobs[p.vm].push(ji);
+            self.pending.retain(|&x| x != ji);
+            self.jobs[ji].state = JobState::Running { vm: p.vm };
+            self.jobs[ji].allocation = alloc;
+            self.jobs[ji].placed_vm = Some(p.vm);
+            if self.jobs[ji].placed_slot.is_none() {
+                self.jobs[ji].placed_slot = Some(slot);
+            }
+            outcome.placements.push((p.job, p.vm));
+            if let Some(faults) = self.faults.as_mut() {
+                faults.note_placement(p.job, slot);
+            }
+        }
+
+        // 5. Advance running jobs and collect per-slot totals.
+        let mut slot_allocated = ResourceVector::ZERO;
+        let mut slot_demanded = ResourceVector::ZERO;
+        self.slot_vm_unused.fill(ResourceVector::ZERO);
+        for (vm_id, jobs_here) in self.vm_jobs.iter().enumerate() {
+            if jobs_here.is_empty() {
+                self.vm_unused_history[vm_id].push(ResourceVector::ZERO);
+                continue;
+            }
+            // Physical congestion: total true demand vs capacity.
+            let mut total_demand = ResourceVector::ZERO;
+            for &ji in jobs_here {
+                total_demand += self.jobs[ji].current_demand();
+            }
+            // A degraded VM physically delivers only a fraction of its
+            // nominal capacity; commitments are contractual and stay
+            // against nominal, so only the congestion math scales.
+            let cap = match self.faults.as_ref() {
+                Some(f) if f.degrade[vm_id] < 1.0 => {
+                    self.cluster.vms[vm_id].capacity.scaled(f.degrade[vm_id])
+                }
+                _ => self.cluster.vms[vm_id].capacity,
+            };
+            let mut congestion = 1.0f64;
+            for k in 0..NUM_RESOURCES {
+                if total_demand[k] > cap[k] && total_demand[k] > 0.0 {
+                    congestion = congestion.min(cap[k] / total_demand[k]);
+                }
+            }
+            for &ji in jobs_here {
+                let demand = self.jobs[ji].current_demand();
+                let adequacy = self.jobs[ji].allocation.coverage_of(&demand);
+                let rate = congestion.min(adequacy);
+                let job = &mut self.jobs[ji];
+                job.progress += rate;
+                job.observed_demand.push(demand);
+                let unused = job.allocation.saturating_sub(&demand);
+                job.observed_unused.push(unused);
+                self.slot_vm_unused[vm_id] += unused;
+                slot_allocated += job.allocation;
+                slot_demanded += demand;
+            }
+            self.vm_unused_history[vm_id].push(self.slot_vm_unused[vm_id]);
+        }
+        self.metrics.record_slot(UtilizationSample {
+            slot,
+            allocated: slot_allocated,
+            demanded: slot_demanded,
+        });
+
+        // 6. Resolve predictions targeting this slot: job-targeted
+        // records score against that job's observed unused (dropped if
+        // the job already finished), VM-targeted ones against the VM
+        // total. Removal is swap_remove-style: matured records are
+        // plucked without shifting the (much longer) still-pending
+        // tail, so resolution costs O(matured) per slot instead of a
+        // compaction of the whole queue. Resolved outcomes feed only
+        // order-independent aggregates (counts and error rates), so the
+        // removal order never reaches the report.
+        {
+            let mut i = 0;
+            while i < self.pending_predictions.len() {
+                if self.pending_predictions[i].target_slot > slot {
+                    i += 1;
+                    continue;
+                }
+                let p = self.pending_predictions.swap_remove(i);
+                if p.target_slot != slot || p.resource >= NUM_RESOURCES {
+                    continue; // stale or malformed: dropped unscored
+                }
+                let actual = match p.job {
+                    Some(job_id) => match self.index_of.get(&job_id) {
+                        Some(&ji) if matches!(self.jobs[ji].state, JobState::Running { .. }) => {
+                            self.jobs[ji].observed_unused.last().map(|u| u[p.resource])
+                        }
+                        _ => None,
+                    },
+                    None => self.slot_vm_unused.get(p.vm).map(|u| u[p.resource]),
+                };
+                if let Some(actual) = actual {
+                    self.metrics.predictions.push(PredictionOutcome {
+                        vm: p.vm,
+                        resource: p.resource,
+                        target_slot: slot,
+                        predicted: p.predicted,
+                        actual,
+                    });
+                }
+            }
+        }
+
+        // 7. Completions — collected across the fleet in completion
+        // order (VM id ascending, scan order within a VM) and delivered
+        // as one batch per slot, so distributed provisioners can send
+        // one message per shard instead of one per job.
+        self.completions.clear();
+        for (vm_id, jobs_here) in self.vm_jobs.iter_mut().enumerate() {
+            let mut i = 0;
+            while i < jobs_here.len() {
+                let ji = jobs_here[i];
+                if self.jobs[ji].work_done() {
+                    let violated = self.jobs[ji].violates_slo(slot);
+                    let response = self.jobs[ji].response_slots(slot);
+                    self.vm_committed[vm_id] =
+                        (self.vm_committed[vm_id] - self.jobs[ji].allocation).clamp_nonnegative();
+                    self.jobs[ji].allocation = ResourceVector::ZERO;
+                    self.jobs[ji].state = JobState::Completed {
+                        finish_slot: slot,
+                        violated,
+                    };
+                    self.metrics.record_completion(response, violated);
+                    self.completions.push(JobCompletion {
+                        job: self.jobs[ji].id(),
+                        unused_history: (0..NUM_RESOURCES)
+                            .map(|r| self.jobs[ji].unused_series(r))
+                            .collect(),
+                    });
+                    outcome.completed.push(self.jobs[ji].id());
+                    jobs_here.swap_remove(i);
+                    self.active -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !self.completions.is_empty() {
+            provisioner.on_jobs_completed(&self.completions);
+        }
+
+        self.slot += 1;
+        outcome
+    }
+
+    /// Folds the accumulated metrics into a [`SimulationReport`]. Call
+    /// once, after the last step — fault counters are moved into the
+    /// report, so a second call would report them zeroed.
+    pub fn report(&mut self, provisioner: &dyn Provisioner) -> SimulationReport {
+        let fault_stats = self.faults.as_mut().map(|f| {
             f.finish();
-            // The run is over and the runtime is parked back on `self`
-            // below with its counters spent; taking the stats hands them to
-            // the report without cloning the per-category tallies.
+            // The run is over and the counters are spent; taking the stats
+            // hands them to the report without cloning the per-category
+            // tallies.
             std::mem::take(&mut f.stats)
         });
-        self.faults = fault_rt;
 
         // Unfinished jobs are SLO violations by definition (never served in
         // time).
@@ -719,10 +767,9 @@ impl Simulation {
             overall_utilization: self.metrics.aggregate_overall_utilization(),
             slo_violation_rate: slo_rate,
             prediction_error_rate: {
-                let mut eps = [0.0; NUM_RESOURCES];
-                for k in 0..NUM_RESOURCES {
-                    eps[k] = self.options.prediction_eps_frac * max_capacity[k];
-                }
+                let eps: [f64; NUM_RESOURCES] = std::array::from_fn(|k| {
+                    self.options.prediction_eps_frac * self.max_capacity[k]
+                });
                 self.metrics.prediction_error_rate_per_resource(&eps)
             },
             predictions_resolved: self.metrics.predictions.len(),
@@ -731,13 +778,109 @@ impl Simulation {
             violated: self.metrics.violated,
             rejected: self.metrics.rejected,
             unfinished,
-            slots_run: slot,
+            slots_run: self.slot,
             mean_response_slots: self.metrics.mean_response_slots(),
             invalid_actions: self.invalid_actions,
             nonfinite_actions: self.nonfinite_actions,
             control_plane: provisioner.control_plane_stats(),
             faults: fault_stats,
         }
+    }
+}
+
+/// The batch simulator: a [`SlotEngine`] plus a complete, pre-sorted
+/// workload, stepped until the workload drains or the slot cap trips.
+pub struct Simulation {
+    engine: SlotEngine,
+    /// Specs not yet submitted, `None` once handed to the engine.
+    specs: Vec<Option<JobSpec>>,
+    /// Arrival slots sorted ascending alongside spec indices.
+    arrivals: Vec<(u64, usize)>,
+    next_arrival: usize,
+}
+
+impl Simulation {
+    /// Builds a simulation over `cluster` with the given workload.
+    pub fn new(cluster: Cluster, specs: Vec<JobSpec>, options: SimulationOptions) -> Self {
+        let mut arrivals: Vec<(u64, usize)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.arrival_slot, i))
+            .collect();
+        arrivals.sort_by_key(|&(slot, _)| slot);
+        Simulation {
+            engine: SlotEngine::new(cluster, options),
+            specs: specs.into_iter().map(Some).collect(),
+            arrivals,
+            next_arrival: 0,
+        }
+    }
+
+    /// Arms the simulation to replay `timeline` alongside the workload:
+    /// VM crash/recovery windows, capacity degradation, and per-slot view
+    /// poisoning, all applied at deterministic slots. An empty timeline
+    /// behaves exactly like a plain [`Simulation::new`] run except that
+    /// the report carries zeroed [`FaultStats`] instead of `None`.
+    pub fn with_fault_timeline(mut self, timeline: FaultTimeline) -> Self {
+        self.engine = self.engine.with_fault_timeline(timeline);
+        self
+    }
+
+    /// Builds a simulation with a fault schedule.
+    #[deprecated(note = "use `Simulation::new(...).with_fault_timeline(timeline)` instead")]
+    pub fn with_faults(
+        cluster: Cluster,
+        specs: Vec<JobSpec>,
+        options: SimulationOptions,
+        timeline: FaultTimeline,
+    ) -> Self {
+        Simulation::new(cluster, specs, options).with_fault_timeline(timeline)
+    }
+
+    /// Read access to the metrics collected so far (or after `run`).
+    pub fn metrics(&self) -> &MetricsCollector {
+        self.engine.metrics()
+    }
+
+    /// Read access to job states after `run` (tests, detailed analyses).
+    /// Arrival-ordered (stable by arrival slot); jobs never submitted
+    /// because the slot cap tripped first keep their initial pending
+    /// state.
+    pub fn jobs(&self) -> &[RunningJob] {
+        self.engine.jobs()
+    }
+
+    /// Runs the simulation to completion under `provisioner` and returns
+    /// the report.
+    pub fn run(&mut self, provisioner: &mut dyn Provisioner) -> SimulationReport {
+        let last_arrival = self.arrivals.iter().map(|&(s, _)| s).max().unwrap_or(0);
+        let max_slot = self.engine.options.max_slots + last_arrival;
+        loop {
+            while self.next_arrival < self.arrivals.len()
+                && self.arrivals[self.next_arrival].0 <= self.engine.slot()
+            {
+                let idx = self.arrivals[self.next_arrival].1;
+                self.next_arrival += 1;
+                let spec = self.specs[idx].take().expect("each spec submitted once");
+                self.engine.submit(spec);
+            }
+            self.engine.step(provisioner);
+            let arrivals_done = self.next_arrival == self.arrivals.len();
+            if (arrivals_done && self.engine.active() == 0) || self.engine.slot() >= max_slot {
+                break;
+            }
+        }
+        // A slot-cap stop can (in the degenerate `max_slots == 0` setup)
+        // precede the last arrivals; register the stragglers so the report
+        // still counts every spec as submitted-and-unfinished.
+        while self.next_arrival < self.arrivals.len() {
+            let idx = self.arrivals[self.next_arrival].1;
+            self.next_arrival += 1;
+            if let Some(spec) = self.specs[idx].take() {
+                self.engine.submit(spec);
+            }
+        }
+        self.engine.report(provisioner)
     }
 }
 
@@ -1127,6 +1270,7 @@ mod tests {
             if matches!(j.state, JobState::Completed { .. }) {
                 let placed = j.placed_slot.expect("completed jobs were placed");
                 assert!(placed >= j.spec.arrival_slot);
+                assert!(j.placed_vm.is_some(), "completed jobs record a host VM");
             }
         }
     }
@@ -1411,5 +1555,70 @@ mod tests {
         assert_eq!(report.unfinished, 5);
         assert_eq!(report.slo_violation_rate, 1.0);
         assert!(report.slots_run <= 50 + small_workload(5, 12).last().unwrap().arrival_slot + 2);
+    }
+
+    #[test]
+    fn stepped_engine_matches_batch_run_exactly() {
+        // The SlotEngine pumped by hand must be indistinguishable from the
+        // Simulation driver — same report bytes, same placement map. This
+        // is the contract the corp-serve daemon builds on.
+        let jobs = small_workload(25, 30);
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let mut sim = Simulation::new(cluster(), jobs.clone(), opts.clone());
+        let batch = sim.run(&mut StaticPeakProvisioner);
+
+        let mut engine = SlotEngine::new(cluster(), opts);
+        let mut provisioner = StaticPeakProvisioner;
+        let mut sorted = jobs;
+        sorted.sort_by_key(|j| j.arrival_slot);
+        let mut next = 0;
+        let mut placements = Vec::new();
+        loop {
+            while next < sorted.len() && sorted[next].arrival_slot <= engine.slot() {
+                engine.submit(sorted[next].clone());
+                next += 1;
+            }
+            let outcome = engine.step(&mut provisioner);
+            placements.extend(outcome.placements);
+            if next == sorted.len() && engine.active() == 0 {
+                break;
+            }
+        }
+        let stepped = engine.report(&provisioner);
+        assert_eq!(
+            serde::json::to_string(&batch),
+            serde::json::to_string(&stepped),
+            "stepped and batch drivers must agree byte for byte"
+        );
+        assert_eq!(placements.len(), batch.completed);
+        for j in sim.jobs() {
+            if let Some(vm) = j.placed_vm {
+                assert!(placements.contains(&(j.id(), vm)));
+            }
+        }
+    }
+
+    #[test]
+    fn slot_outcome_reports_rejections_and_completions() {
+        let mut engine = SlotEngine::new(cluster(), SimulationOptions::default());
+        let mut jobs = small_workload(2, 31);
+        jobs[0].requested = [999.0, 999.0, 999.0];
+        jobs[0].arrival_slot = 0;
+        jobs[1].arrival_slot = 0;
+        let survivor = jobs[1].id;
+        let mut provisioner = StaticPeakProvisioner;
+        engine.submit(jobs[0].clone());
+        engine.submit(jobs[1].clone());
+        let first = engine.step(&mut provisioner);
+        assert_eq!(first.rejected, vec![jobs[0].id]);
+        assert_eq!(first.placements, vec![(survivor, 0)]);
+        let mut completed = Vec::new();
+        while engine.active() > 0 {
+            completed.extend(engine.step(&mut provisioner).completed);
+        }
+        assert_eq!(completed, vec![survivor]);
     }
 }

@@ -46,6 +46,10 @@ pub struct RunningJob {
     pub progress: f64,
     /// Slot at which the job was first placed on a VM, if ever.
     pub placed_slot: Option<u64>,
+    /// VM hosting the most recent placement, if ever placed. Unlike the
+    /// `Running { vm }` state this survives completion, so cross-mode
+    /// equivalence tests can compare job→VM maps after the run.
+    pub placed_vm: Option<usize>,
     /// Demand actually exhibited at each past slot while running (what a
     /// monitoring agent would have observed) — provisioners train on this.
     pub observed_demand: Vec<ResourceVector>,
@@ -64,6 +68,7 @@ impl RunningJob {
             allocation: ResourceVector::ZERO,
             progress: 0.0,
             placed_slot: None,
+            placed_vm: None,
             observed_demand: Vec::new(),
             observed_unused: Vec::new(),
         }

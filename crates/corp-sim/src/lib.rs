@@ -46,7 +46,7 @@ pub mod resources;
 
 pub use cluster::{Cluster, EnvironmentProfile};
 pub use control_plane::{ControlPlaneStats, ShardStats};
-pub use engine::{Simulation, SimulationOptions, SimulationReport};
+pub use engine::{Simulation, SimulationOptions, SimulationReport, SlotEngine, SlotOutcome};
 pub use faults::FaultStats;
 pub use job::{JobId, JobState, RunningJob};
 pub use metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};

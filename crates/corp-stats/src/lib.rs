@@ -16,6 +16,9 @@
 //! * [`error`] — prediction-error bookkeeping: the sliding error windows of
 //!   paper Eq. 20 and the empirical `Pr(0 <= delta < eps)` estimate that
 //!   feeds the probabilistic preemption gate of Eq. 21.
+//! * [`sketch`] — a deterministic Greenwald–Khanna streaming quantile
+//!   sketch, used by the `corp-serve` daemon for placement-latency
+//!   percentiles over unbounded request streams.
 //!
 //! Everything here is deterministic and allocation-conscious; the hot paths
 //! (forward smoothing passes, FFT butterflies) operate on slices in place.
@@ -32,6 +35,7 @@ pub mod ets;
 pub mod fft;
 pub mod markov;
 pub mod quantile;
+pub mod sketch;
 
 pub use descriptive::{max, mean, min, percentile, stddev, variance, Summary};
 pub use error::{ErrorWindow, PredictionErrorTracker};
@@ -39,3 +43,4 @@ pub use ets::{DoubleExp, HoltWinters, SimpleExp};
 pub use fft::{dominant_period, fft_magnitudes};
 pub use markov::MarkovChain;
 pub use quantile::{normal_cdf, normal_quantile, z_for_confidence};
+pub use sketch::QuantileSketch;

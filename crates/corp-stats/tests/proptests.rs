@@ -2,7 +2,7 @@
 
 use corp_stats::{
     dominant_period, fft_magnitudes, mean, normal_cdf, normal_quantile, percentile, stddev,
-    z_for_confidence, ErrorWindow, MarkovChain, SimpleExp, Summary,
+    z_for_confidence, ErrorWindow, MarkovChain, QuantileSketch, SimpleExp, Summary,
 };
 use proptest::prelude::*;
 
@@ -128,5 +128,33 @@ proptest! {
         }
         let p = w.prob_within(eps);
         prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn sketch_quantiles_within_eps_of_exact(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..512),
+        q in 0.0f64..1.0,
+    ) {
+        let eps = 0.05;
+        let mut sk = QuantileSketch::new(eps);
+        for &x in &xs {
+            sk.insert(x);
+        }
+        let got = sk.query(q).unwrap();
+        // The GK guarantee: the returned value's true rank is within
+        // eps * n of the requested rank.
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        let target = (q * n).ceil().max(1.0);
+        let lo = sorted.partition_point(|&v| v < got) as f64 + 1.0; // min rank of got
+        let hi = sorted.partition_point(|&v| v <= got) as f64;      // max rank of got
+        prop_assert!(
+            hi >= target - eps * n - 1.0 && lo <= target + eps * n + 1.0,
+            "rank band [{lo}, {hi}] vs target {target} (n={n})"
+        );
+        // And the summary never forgets the extremes.
+        prop_assert_eq!(sk.min().unwrap(), sorted[0]);
+        prop_assert_eq!(sk.max().unwrap(), sorted[sorted.len() - 1]);
     }
 }

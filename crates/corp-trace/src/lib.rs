@@ -21,6 +21,9 @@
 //! * [`series`] — time-series helpers shared with the HMM quantizer:
 //!   peak/valley detection and window fluctuation spreads (the `Delta_j`
 //!   of the paper's observation-symbol construction).
+//! * [`recorded`] — a versioned on-disk text format for generated
+//!   workloads, so the `corp-serve` daemon can replay the exact same
+//!   arrival stream across runs and machines.
 //!
 //! Everything is seeded ([`rand::rngs::StdRng`]) so experiment runs are
 //! reproducible bit-for-bit.
@@ -34,12 +37,16 @@
 pub mod arrival;
 pub mod google;
 pub mod longlived;
+pub mod recorded;
 pub mod series;
 pub mod workload;
 
 pub use arrival::{ArrivalProcess, BurstyArrivals, PoissonArrivals};
 pub use google::{filter_short_lived, resample_trace, TaskRecord, TraceError};
 pub use longlived::{LongLivedConfig, LongLivedGenerator};
+pub use recorded::{
+    format_trace, load_trace, parse_trace, save_trace, RecordedTraceError, TRACE_HEADER,
+};
 pub use series::{fluctuation_spreads, peaks_and_valleys, window_spread};
 pub use workload::{
     IntensityClass, JobSpec, ResourceKind, WorkloadConfig, WorkloadGenerator, NUM_RESOURCES,

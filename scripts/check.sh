@@ -11,6 +11,11 @@
 #                                 # non-finite or zero throughput and on
 #                                 # tuned-vs-baseline divergence) and
 #                                 # requires BENCH_hotpath.json output
+#   scripts/check.sh serve-smoke  # serving-mode smoke: a short trace
+#                                 # replay through the corp-serve daemon
+#                                 # that must measure non-empty placement-
+#                                 # latency percentiles and shed nothing
+#                                 # at low load (--smoke asserts both)
 #   scripts/check.sh doc          # rustdoc gate only: every public item
 #                                 # documented, no broken intra-doc links
 #   scripts/check.sh perf-regression
@@ -54,6 +59,13 @@ if [[ "${1:-}" == "perf-smoke" ]]; then
         exit 1
     fi
     echo "Perf smoke passed ($(wc -c < BENCH_hotpath.json) bytes of baseline)."
+    exit 0
+fi
+
+if [[ "${1:-}" == "serve-smoke" ]]; then
+    echo "==> cargo run --release -p corp-bench --bin corp-exp -- serve --fast --jobs 60 --speed inf --seed 7 --smoke"
+    cargo run --release -p corp-bench --bin corp-exp -- serve --fast --jobs 60 --speed inf --seed 7 --smoke
+    echo "Serve smoke passed."
     exit 0
 fi
 
