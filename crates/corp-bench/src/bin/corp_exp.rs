@@ -17,14 +17,26 @@
 //! name (or via `--e2e`). `serve` runs the event-driven daemon and takes
 //! its own flags (`--replay PATH`, `--record PATH`, `--speed inf|N`,
 //! `--seed S`, `--jobs N`, `--queue-cap C`,
-//! `--policy block|shed-oldest|reject-new`, `--width W`, `--smoke`):
+//! `--policy block|shed-oldest|reject-new`, `--width W`, `--shards K`,
+//! `--smoke`):
 //!
 //! ```text
 //! corp-exp serve --fast --jobs 120 --speed inf --seed 7
 //! corp-exp serve --replay t.trace --policy shed-oldest --queue-cap 16
 //! ```
+//!
+//! `resilience` is chaos-serve: the daemon under combined control-plane
+//! faults and arrival storms with deadlines, the brownout ladder, and
+//! per-shard circuit breakers armed (`--seed S`, `--jobs N`,
+//! `--shards K`, `--intensity X`, `--width W`, `--smoke`, `--bench`):
+//!
+//! ```text
+//! corp-exp resilience --fast --smoke --bench   # writes BENCH_serve.json
+//! corp-exp resilience --intensity 2 --shards 4
+//! ```
 
 use corp_bench::experiments;
+use corp_bench::resilience::{resilience_experiment, ResilienceArgs};
 use corp_bench::serve::{serve_experiment, ServeArgs};
 use corp_bench::FigureTable;
 
@@ -32,6 +44,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         run_serve(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("resilience") {
+        run_resilience(&args[1..]);
         return;
     }
     let fast = args.iter().any(|a| a == "--fast");
@@ -125,6 +141,39 @@ fn run_serve(rest: &[String]) {
             }
             eprintln!(
                 "[serve regenerated in {:.1}s]",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Handles `corp-exp resilience <flags>`: parse, run, render. Bad flags
+/// and failed smoke assertions (determinism, conservation, breaker
+/// cycling) exit 2.
+fn run_resilience(rest: &[String]) {
+    let fast = rest.iter().any(|a| a == "--fast");
+    let json = rest.iter().any(|a| a == "--json");
+    let parsed = match ResilienceArgs::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    match resilience_experiment(fast, &parsed) {
+        Ok(figure) => {
+            if json {
+                println!("{}", serde::json::to_string(&vec![figure]));
+            } else {
+                println!("{figure}");
+            }
+            eprintln!(
+                "[resilience regenerated in {:.1}s]",
                 started.elapsed().as_secs_f64()
             );
         }

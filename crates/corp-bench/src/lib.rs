@@ -29,6 +29,7 @@
 
 pub mod env;
 pub mod experiments;
+pub mod resilience;
 pub mod serve;
 pub mod table;
 
@@ -40,5 +41,10 @@ pub use experiments::{
     ablations, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, scalability, table2,
     FigureTable, SHARD_COUNTS,
 };
-pub use serve::{parse_seed, run_serve, serve_experiment, serve_workload, ServeArgs};
+pub use resilience::{
+    chaos_workload, resilience_experiment, run_resilience, ResilienceArgs, RESILIENCE_BASELINE_FILE,
+};
+pub use serve::{
+    parse_seed, run_serve, run_serve_sharded, serve_experiment, serve_workload, ServeArgs,
+};
 pub use table::TextTable;

@@ -4,11 +4,15 @@
 //! `serve` is a different shape from the figure runners: it takes flags
 //! (`--replay`, `--speed`, `--seed`, …), so `corp_exp` special-cases it
 //! before the figure loop and hands the raw argument list to
-//! [`ServeArgs::parse`]. The actual run goes through [`run_serve`], which
-//! tests reuse to pin byte-determinism across pool widths and replay
-//! speeds and cross-mode equivalence against the batch simulation.
+//! [`ServeArgs::parse`]. The actual run goes through [`run_serve`] (or
+//! [`run_serve_sharded`] under `--shards`, which also surfaces coordinator
+//! errors and recovery counters), which tests reuse to pin
+//! byte-determinism across pool widths and replay speeds and cross-mode
+//! equivalence against the batch simulation.
 
-use crate::env::{build_provisioner, Environment, SchemeKind, SchemeParams};
+use crate::env::{
+    build_provisioner, build_sharded_provisioner, Environment, SchemeKind, SchemeParams,
+};
 use crate::FigureTable;
 use crate::TextTable;
 use corp_serve::{BackpressurePolicy, ReplaySpeed, ServeConfig, ServeDaemon, ServeOutcome};
@@ -50,6 +54,10 @@ pub struct ServeArgs {
     pub policy: BackpressurePolicy,
     /// Worker-pool width override (`--width W`).
     pub width: Option<usize>,
+    /// Run behind a sharded control plane (`--shards K`); monolithic when
+    /// absent. Sharded runs surface coordinator errors and recovery
+    /// counters in the summary.
+    pub shards: Option<usize>,
     /// Assert the smoke invariants after the run (`--smoke`).
     pub smoke: bool,
 }
@@ -65,6 +73,7 @@ impl Default for ServeArgs {
             queue_cap: ServeConfig::default().queue_capacity,
             policy: BackpressurePolicy::Block,
             width: None,
+            shards: None,
             smoke: false,
         }
     }
@@ -130,6 +139,16 @@ impl ServeArgs {
                     out.width = Some(w);
                     i += 2;
                 }
+                "--shards" => {
+                    let s = value(args, i, "--shards")?
+                        .parse::<usize>()
+                        .map_err(|_| "invalid --shards: expected a count".to_string())?;
+                    if s == 0 {
+                        return Err("invalid --shards: must be at least 1".to_string());
+                    }
+                    out.shards = Some(s);
+                    i += 2;
+                }
                 "--smoke" => {
                     out.smoke = true;
                     i += 1;
@@ -169,6 +188,32 @@ pub fn run_serve(
     daemon.run(provisioner.as_mut(), jobs)
 }
 
+/// Like [`run_serve`], but behind a `shards`-way sharded control plane.
+/// Also returns the coordinator's unrecovered errors, stringified — they
+/// live on the provisioner, not in the report, and the summary prints
+/// them when nonzero.
+pub fn run_serve_sharded(
+    env: Environment,
+    scheme: SchemeKind,
+    jobs: Vec<JobSpec>,
+    params: &SchemeParams,
+    shards: usize,
+    config: ServeConfig,
+) -> (ServeOutcome, Vec<String>) {
+    let mut provisioner = build_sharded_provisioner(scheme, env, params, shards);
+    let mut daemon = ServeDaemon::new(
+        env.cluster(),
+        SimulationOptions {
+            measure_decision_time: false,
+            ..Default::default()
+        },
+        config,
+    );
+    let outcome = daemon.run(&mut provisioner, jobs);
+    let errors = provisioner.errors().iter().map(|e| e.to_string()).collect();
+    (outcome, errors)
+}
+
 /// The workload a `serve` invocation uses when not replaying a recorded
 /// file: the standard CORP cluster workload under the CLI seed (the same
 /// generator `run_cell` drives, so cross-mode comparisons are meaningful).
@@ -201,7 +246,13 @@ pub fn serve_experiment(fast: bool, args: &ServeArgs) -> Result<FigureTable, Str
         ..ServeConfig::default()
     };
     let num_jobs = jobs.len();
-    let outcome = run_serve(env, SchemeKind::Corp, jobs, &params, config);
+    let (outcome, errors) = match args.shards {
+        Some(shards) => run_serve_sharded(env, SchemeKind::Corp, jobs, &params, shards, config),
+        None => (
+            run_serve(env, SchemeKind::Corp, jobs, &params, config),
+            Vec::new(),
+        ),
+    };
     let r = &outcome.report;
 
     if args.smoke {
@@ -281,6 +332,44 @@ pub fn serve_experiment(fast: bool, args: &ServeArgs) -> Result<FigureTable, Str
         "throughput (wall)",
         format!("{:.0} events/s", outcome.events_per_sec),
     );
+    // Sharded runs expose the control plane's failure/recovery accounting
+    // — printed only when something actually happened, so the healthy
+    // monolithic summary stays unchanged.
+    if let Some(cp) = &r.sim.control_plane {
+        if cp.worker_kills + cp.worker_panics + cp.worker_restarts > 0 {
+            row(
+                "worker kills / panics / restarts",
+                format!(
+                    "{} / {} / {}",
+                    cp.worker_kills, cp.worker_panics, cp.worker_restarts
+                ),
+            );
+        }
+        if cp.inline_slots + cp.isolated_slots > 0 {
+            row(
+                "inline / breaker-isolated slots",
+                format!("{} / {}", cp.inline_slots, cp.isolated_slots),
+            );
+        }
+        if cp.breaker_opens + cp.breaker_half_opens + cp.breaker_closes > 0 {
+            row(
+                "breaker opens / half-opens / closes",
+                format!(
+                    "{} / {} / {}",
+                    cp.breaker_opens, cp.breaker_half_opens, cp.breaker_closes
+                ),
+            );
+        }
+    }
+    if !errors.is_empty() {
+        row(
+            "unrecovered control-plane errors",
+            format!("{}", errors.len()),
+        );
+        for e in &errors {
+            row("error", e.clone());
+        }
+    }
 
     Ok(FigureTable {
         id: "serve".to_string(),

@@ -8,6 +8,7 @@
 //! single differing byte fails the suite.
 
 use corp_bench::env::{build_provisioner, Environment, SchemeKind, SchemeParams};
+use corp_bench::resilience::{run_resilience, ResilienceArgs};
 use corp_bench::serve::{run_serve, serve_workload};
 use corp_core::pipeline::hardware_parallelism;
 use corp_serve::{ReplaySpeed, ServeConfig, ServeDaemon, ServeOutcome};
@@ -142,4 +143,82 @@ fn serve_at_infinite_speed_matches_the_batch_slot_loop() {
         .jobs()
         .iter()
         .all(|j| !matches!(j.state, JobState::Pending)));
+}
+
+// --- chaos-serve: determinism and accounting under combined faults ---
+
+fn chaos_args(width: Option<usize>) -> ResilienceArgs {
+    ResilienceArgs {
+        jobs: 40,
+        shards: 2,
+        width,
+        ..ResilienceArgs::default()
+    }
+}
+
+fn chaos_report_json(width: Option<usize>) -> String {
+    serde::json::to_string(&run_resilience(true, &chaos_args(width)).0.report)
+}
+
+#[test]
+fn chaos_serve_reports_are_byte_identical_across_reruns() {
+    // Storms, fault schedules, breakers, and the brownout ladder are all
+    // pure functions of the seed: replaying the same catastrophe twice
+    // must serialize to the same bytes, worker threads and all.
+    let first = chaos_report_json(None);
+    assert_eq!(chaos_report_json(None), first, "chaos-serve rerun diverged");
+    assert!(first.contains("breaker_transitions"));
+}
+
+#[test]
+fn chaos_serve_reports_are_byte_identical_across_pool_widths() {
+    let baseline = chaos_report_json(Some(1));
+    for width in [Some(2), None] {
+        assert_eq!(
+            chaos_report_json(width),
+            baseline,
+            "chaos-serve report diverged at pool width {width:?}"
+        );
+    }
+}
+
+#[test]
+fn chaos_serve_loses_no_jobs_and_cycles_the_breakers() {
+    let args = chaos_args(None);
+    let (outcome, errors) = run_resilience(true, &args);
+    let r = &outcome.report;
+
+    // Zero jobs lost: every offered job lands in exactly one terminal
+    // bucket, even with VMs crashing, workers dying, and arrivals
+    // storming.
+    assert_eq!(
+        r.sim.completed
+            + r.sim.rejected
+            + r.sim.unfinished
+            + (r.queue.shed + r.queue.rejected + r.queue.expired) as usize,
+        args.jobs,
+        "conservation violated under chaos"
+    );
+
+    // The fixed drop burst guarantees a full breaker cycle: trip, a
+    // failed half-open probe, and a recovery — all recorded as
+    // transitions in the report's control-plane stats.
+    let cp = r.sim.control_plane.as_ref().expect("sharded run has stats");
+    assert!(cp.breaker_opens >= 2, "breaker never tripped");
+    assert!(cp.breaker_half_opens >= 2, "breaker never probed");
+    assert!(cp.breaker_closes >= 1, "breaker never recovered");
+    assert!(
+        !cp.breaker_transitions.is_empty(),
+        "transitions must be recorded in the report"
+    );
+    assert_eq!(
+        cp.breaker_opens + cp.breaker_half_opens + cp.breaker_closes,
+        cp.breaker_transitions.len() as u64,
+        "counters must agree with the transition log"
+    );
+    assert!(cp.isolated_slots > 0, "open breakers must isolate slots");
+    assert!(
+        errors.is_empty(),
+        "supervisor should recover from scheduled chaos: {errors:?}"
+    );
 }

@@ -1,0 +1,46 @@
+//! Per-shard health snapshots for external supervisors.
+//!
+//! The coordinator already recovers from worker failures on its own
+//! (restart + inline scheduling, see [`crate::provisioner`]); this module
+//! is the *observability* side of that machinery. After every slot the
+//! coordinator records what actually happened on each shard — did the
+//! worker's plan arrive, did the coordinator fall back inline, or was the
+//! shard deliberately isolated — and exposes it through
+//! [`ShardedProvisioner::shard_health`](crate::ShardedProvisioner::shard_health).
+//!
+//! The corp-serve circuit-breaker layer consumes these snapshots between
+//! slots: K consecutive [`ShardSlotOutcome::FellBack`] outcomes trip a
+//! breaker, which then holds the shard isolated via
+//! [`ShardedProvisioner::set_forced_inline`](crate::ShardedProvisioner::set_forced_inline)
+//! until a half-open probe succeeds. Keeping the state machine outside
+//! this crate keeps the coordinator's own recovery policy unchanged; the
+//! breaker is strictly layered on top.
+
+/// What one shard did in the most recent provisioning slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSlotOutcome {
+    /// No slot has run yet.
+    Idle,
+    /// The worker's plan arrived and was arbitrated normally.
+    Served,
+    /// The coordinator had to schedule the shard inline: dead worker,
+    /// dropped request, delayed or missing reply — a *failure* fallback.
+    FellBack,
+    /// The shard was deliberately isolated (forced inline) by an external
+    /// supervisor; nothing was dispatched to its worker.
+    Isolated,
+}
+
+/// Snapshot of one shard's supervision state after a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Whether the coordinator believes the worker thread is serving.
+    pub alive: bool,
+    /// Dead with no way back (no factory, or respawn failed): the shard
+    /// schedules inline forever.
+    pub failed: bool,
+    /// What happened on the most recent slot.
+    pub last_outcome: ShardSlotOutcome,
+}

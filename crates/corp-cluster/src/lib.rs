@@ -35,11 +35,13 @@
 
 pub mod backend;
 pub mod error;
+pub mod health;
 pub mod provisioner;
 pub mod shard;
 pub mod store;
 
 pub use backend::TwoPhaseBackend;
 pub use error::ClusterError;
+pub use health::{ShardHealth, ShardSlotOutcome};
 pub use provisioner::{ProvisionerFactory, ShardConfig, ShardedProvisioner};
 pub use store::{PlacementStore, ReservationId, ReserveError, StoreCounters, TxnError};

@@ -62,6 +62,7 @@ use std::time::Duration;
 
 use crate::backend::TwoPhaseBackend;
 use crate::error::ClusterError;
+use crate::health::{ShardHealth, ShardSlotOutcome};
 use crate::shard::{owner_of, shard_pending, shard_vm_views};
 use crate::store::PlacementStore;
 use corp_core::pipeline::PlacementBackend;
@@ -109,6 +110,9 @@ enum ShardRequest {
     /// shard, in completion order) into the shard's training corpus — one
     /// message per shard per slot rather than one per job.
     JobsCompleted { jobs: Vec<JobCompletion> },
+    /// Brownout posture broadcast from the coordinator: the worker applies
+    /// it to its inner pipeline before the next provision request.
+    SetServiceLevel(u8),
     /// Chaos: exit immediately, as an unplanned worker crash would.
     Die,
 }
@@ -136,6 +140,11 @@ struct Worker {
     failed: bool,
     /// Rebuilds the inner provisioner after a death, when registered.
     factory: Option<ProvisionerFactory>,
+    /// External supervisor (circuit breaker) holds this shard isolated:
+    /// schedule it inline without dispatching to the worker.
+    forced_inline: bool,
+    /// What happened on the most recent provisioning slot.
+    last_outcome: ShardSlotOutcome,
 }
 
 /// Counters for the supervisor's recovery activity.
@@ -145,6 +154,7 @@ struct RecoveryCounters {
     worker_panics: u64,
     worker_restarts: u64,
     inline_slots: u64,
+    isolated_slots: u64,
     messages_dropped: u64,
     messages_delayed: u64,
     recv_timeouts: u64,
@@ -229,6 +239,15 @@ fn worker_loop(
                     break;
                 }
             }
+            ShardRequest::SetServiceLevel(level) => {
+                if catch_unwind(AssertUnwindSafe(|| {
+                    inner.set_service_level(level);
+                }))
+                .is_err()
+                {
+                    break;
+                }
+            }
             ShardRequest::Die => break,
         }
     }
@@ -245,6 +264,8 @@ pub struct ShardedProvisioner {
     max_queue_depth: usize,
     recovery: RecoveryCounters,
     errors: Vec<ClusterError>,
+    /// Current brownout posture, re-applied to workers after a restart.
+    service_level: u8,
 }
 
 impl ShardedProvisioner {
@@ -304,6 +325,7 @@ impl ShardedProvisioner {
             max_queue_depth: 0,
             recovery: RecoveryCounters::default(),
             errors: Vec::new(),
+            service_level: 0,
         }
     }
 
@@ -327,6 +349,8 @@ impl ShardedProvisioner {
                 alive: true,
                 failed: false,
                 factory,
+                forced_inline: false,
+                last_outcome: ShardSlotOutcome::Idle,
             }),
             Err(e) => {
                 // Dead on arrival: keep the slot in the shard map (job
@@ -343,6 +367,8 @@ impl ShardedProvisioner {
                     alive: false,
                     failed,
                     factory,
+                    forced_inline: false,
+                    last_outcome: ShardSlotOutcome::Idle,
                 });
             }
         }
@@ -363,6 +389,34 @@ impl ShardedProvisioner {
     /// counters in [`Provisioner::control_plane_stats`].
     pub fn errors(&self) -> &[ClusterError] {
         &self.errors
+    }
+
+    /// Per-shard supervision snapshots after the most recent slot — the
+    /// feed an external circuit-breaker layer keys its state machine on.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(shard, w)| ShardHealth {
+                shard,
+                alive: w.alive,
+                failed: w.failed,
+                last_outcome: w.last_outcome,
+            })
+            .collect()
+    }
+
+    /// Isolates (or releases) one shard: while forced, the coordinator
+    /// schedules the shard inline every slot *without* dispatching to its
+    /// worker or waiting on its reply — the inline-fallback half of a
+    /// circuit breaker's Open state. The worker thread stays up (and keeps
+    /// receiving completion notifications) so a later probe finds it warm.
+    ///
+    /// Out-of-range shard indices are ignored.
+    pub fn set_forced_inline(&mut self, shard: usize, forced: bool) {
+        if let Some(worker) = self.workers.get_mut(shard) {
+            worker.forced_inline = forced;
+        }
     }
 
     /// Tears down a dead worker's thread and rebuilds it from its factory;
@@ -391,6 +445,13 @@ impl ShardedProvisioner {
                 worker.alive = true;
                 worker.stats.restarts += 1;
                 self.recovery.worker_restarts += 1;
+                // A factory rebuild starts at full service; re-apply the
+                // coordinator's current brownout posture.
+                if self.service_level != 0 {
+                    if let Some(tx) = self.workers[shard].requests.as_ref() {
+                        let _ = tx.send(ShardRequest::SetServiceLevel(self.service_level));
+                    }
+                }
             }
             Err(e) => {
                 self.workers[shard].failed = true;
@@ -456,6 +517,12 @@ impl ShardedProvisioner {
         let pending = Arc::new(ctx.pending.to_vec());
         let mut sent = vec![false; n];
         for shard in 0..n {
+            // Breaker-isolated shards get no dispatch at all: the whole
+            // point of Open is not paying the worker round-trip (or its
+            // timeout) while the shard is sick.
+            if self.workers[shard].forced_inline {
+                continue;
+            }
             if !self.workers[shard].alive {
                 continue;
             }
@@ -529,14 +596,24 @@ impl ShardedProvisioner {
             }
         }
 
-        // Recovery: restart what died, schedule inline what is missing.
+        // Recovery: restart what died, schedule inline what is missing,
+        // and record each shard's slot outcome for shard_health().
         for (shard, plan) in plans.iter_mut().enumerate() {
             if !self.workers[shard].alive {
                 self.restart_worker(shard);
             }
-            if plan.is_none() {
-                self.workers[shard].stats.inline_slots += 1;
-                self.recovery.inline_slots += 1;
+            if plan.is_some() {
+                self.workers[shard].last_outcome = ShardSlotOutcome::Served;
+            } else {
+                if self.workers[shard].forced_inline {
+                    self.workers[shard].stats.isolated_slots += 1;
+                    self.recovery.isolated_slots += 1;
+                    self.workers[shard].last_outcome = ShardSlotOutcome::Isolated;
+                } else {
+                    self.workers[shard].stats.inline_slots += 1;
+                    self.recovery.inline_slots += 1;
+                    self.workers[shard].last_outcome = ShardSlotOutcome::FellBack;
+                }
                 *plan = Some(Self::inline_plan(ctx, shard, n));
             }
         }
@@ -710,6 +787,27 @@ impl Provisioner for ShardedProvisioner {
         }
     }
 
+    fn set_service_level(&mut self, level: u8) {
+        if self.service_level == level {
+            return;
+        }
+        self.service_level = level;
+        // FIFO per worker: the posture change lands before the next
+        // Provision request, so every shard sees it at the same slot.
+        for worker in &mut self.workers {
+            let delivered = worker
+                .requests
+                .as_ref()
+                .map(|tx| tx.send(ShardRequest::SetServiceLevel(level)).is_ok())
+                .unwrap_or(false);
+            if !delivered {
+                // Dead worker: the restart path re-applies the current
+                // level once the factory rebuilds it.
+                worker.alive = false;
+            }
+        }
+    }
+
     fn control_plane_stats(&self) -> Option<ControlPlaneStats> {
         let counters = self
             .store
@@ -731,6 +829,11 @@ impl Provisioner for ShardedProvisioner {
             messages_dropped: self.recovery.messages_dropped,
             messages_delayed: self.recovery.messages_delayed,
             recv_timeouts: self.recovery.recv_timeouts,
+            isolated_slots: self.recovery.isolated_slots,
+            breaker_opens: 0,
+            breaker_half_opens: 0,
+            breaker_closes: 0,
+            breaker_transitions: Vec::new(),
             per_shard: self.workers.iter().map(|s| s.stats.clone()).collect(),
         })
     }
@@ -1077,6 +1180,46 @@ mod tests {
             p.errors(),
             &[ClusterError::WorkerUnrecoverable { shard: 0 }],
             "typed error recorded exactly once"
+        );
+    }
+
+    #[test]
+    fn forced_inline_isolates_a_shard_without_failure_accounting() {
+        let mut p = sharded(2);
+        let vms = fleet(&[4.0, 4.0]);
+        let pending = vec![job(0, 1.0), job(1, 1.0)];
+        p.set_forced_inline(1, true);
+        for slot in 0..2u64 {
+            let ctx = SlotContext {
+                slot,
+                vms: &vms,
+                pending: &pending,
+                max_vm_capacity: rv(4.0),
+            };
+            let got = p.provision(&ctx);
+            assert_eq!(got.placements.len(), 2, "isolated shard places inline");
+        }
+        let health = p.shard_health();
+        assert_eq!(health[0].last_outcome, ShardSlotOutcome::Served);
+        assert_eq!(health[1].last_outcome, ShardSlotOutcome::Isolated);
+        assert!(health[1].alive, "isolation never kills the worker");
+        let stats = p.control_plane_stats().unwrap();
+        assert_eq!(stats.isolated_slots, 2);
+        assert_eq!(stats.per_shard[1].isolated_slots, 2);
+        assert_eq!(stats.inline_slots, 0, "isolation is not a failure");
+        // Release: the worker serves again immediately.
+        p.set_forced_inline(1, false);
+        let ctx = SlotContext {
+            slot: 2,
+            vms: &vms,
+            pending: &pending,
+            max_vm_capacity: rv(4.0),
+        };
+        let _ = p.provision(&ctx);
+        assert_eq!(
+            p.shard_health()[1].last_outcome,
+            ShardSlotOutcome::Served,
+            "released shard serves from its (still warm) worker"
         );
     }
 

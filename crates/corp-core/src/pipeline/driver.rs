@@ -39,6 +39,9 @@ pub struct ProvisioningPipeline<U, G, K, B> {
     admission: AdmissionPolicy,
     rng: StdRng,
     outcomes: Vec<PendingOutcome>,
+    /// Brownout posture (see [`Provisioner::set_service_level`]): at `1`
+    /// the reallocation gate is skipped, at `2` the forecast is too.
+    service_level: u8,
     // Per-slot working buffers, cleared and refilled every slot instead of
     // reallocated (the driver runs once per slot for the whole fleet, so
     // these amortize to zero allocation at steady state).
@@ -75,6 +78,7 @@ impl<U, G, K, B> ProvisioningPipeline<U, G, K, B> {
             admission,
             rng: StdRng::seed_from_u64(seed),
             outcomes: Vec::new(),
+            service_level: 0,
             pools_buf: Vec::new(),
             requested_buf: HashMap::new(),
             packable_buf: Vec::new(),
@@ -163,20 +167,35 @@ where
         pools.extend(ctx.vms.iter().map(|v| v.free));
 
         if ctx.slot % self.window_slots == 0 {
-            let forecast = self.predictor.forecast(ctx);
-            // Snapshot the Eq. 21 verdict once: gate state only changes
-            // when outcomes resolve (during ingest), never mid-window.
-            let unlocked: [bool; NUM_RESOURCES] =
-                std::array::from_fn(|k| self.predictor.unlocked(k));
-            self.gate.reallocate(
-                ctx,
-                &forecast,
-                &unlocked,
-                self.window_slots,
-                pools,
-                &mut self.outcomes,
-                &mut plan,
-            );
+            match self.service_level {
+                0 => {
+                    let forecast = self.predictor.forecast(ctx);
+                    // Snapshot the Eq. 21 verdict once: gate state only
+                    // changes when outcomes resolve (during ingest), never
+                    // mid-window.
+                    let unlocked: [bool; NUM_RESOURCES] =
+                        std::array::from_fn(|k| self.predictor.unlocked(k));
+                    self.gate.reallocate(
+                        ctx,
+                        &forecast,
+                        &unlocked,
+                        self.window_slots,
+                        pools,
+                        &mut self.outcomes,
+                        &mut plan,
+                    );
+                }
+                // Brownout level 1: no reallocation (and no new prediction
+                // records), but the forecast still runs so the predictor's
+                // state stays warm for a fast step-down.
+                1 => {
+                    let _ = self.predictor.forecast(ctx);
+                }
+                // Level 2+: the forecast itself is the expensive part
+                // (DNN/ETS inference); skip it entirely. Ingest above keeps
+                // maturing previously registered outcomes.
+                _ => {}
+            }
         }
 
         // Placement: pack, then choose/debit per entity.
@@ -235,6 +254,10 @@ where
 
     fn on_job_completed(&mut self, job: u64, unused_history: &[Vec<f64>]) {
         self.predictor.absorb_completion(job, unused_history);
+    }
+
+    fn set_service_level(&mut self, level: u8) {
+        self.service_level = level;
     }
 
     /// Deep view histories are only consumed on window boundaries: the

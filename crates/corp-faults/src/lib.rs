@@ -24,6 +24,9 @@
 //! - **Control-plane chaos** ([`ControlFaultPlan`]): scheduled shard-worker
 //!   kills, provision-request drops, and reply delays consumed by the
 //!   `corp-cluster` supervisor.
+//! - **Arrival storms** ([`StormPlan`]): demand-side chaos — monotone slot
+//!   compression windows that pack arrivals into bursts, consumed by the
+//!   `corp-serve` resilience experiment.
 //!
 //! [`generate`] expands a [`FaultConfig`] (expected event counts scaled by
 //! an intensity knob) into a [`FaultSchedule`]; intensity `0.0` yields an
@@ -36,8 +39,10 @@ mod config;
 mod control;
 mod events;
 mod schedule;
+mod storm;
 
 pub use config::FaultConfig;
 pub use control::{ControlFaultPlan, SlotShard};
 pub use events::{FaultEvent, FaultTimeline, PoisonKind, TimedFault};
 pub use schedule::{generate, FaultSchedule};
+pub use storm::{StormConfig, StormPlan, StormWindow};

@@ -14,6 +14,11 @@
 //! * [`RejectNew`](BackpressurePolicy::RejectNew) — the newcomer is turned
 //!   away immediately (fail-fast admission control).
 //!
+//! Independently of the full-queue policy, [`AdmissionQueue::expire`]
+//! sheds waiting jobs whose placement deadline (see [`crate::slo`]) has
+//! already passed — there is no point burning engine capacity on a job
+//! that has missed its window before ever being drained.
+//!
 //! Every decision increments a counter in [`QueueStats`], and the queue
 //! records its depth high-water mark; both land in the `ServeReport`.
 
@@ -69,6 +74,9 @@ pub struct QueueStats {
     /// Arrivals that had to wait at the door under
     /// [`BackpressurePolicy::Block`].
     pub blocked: u64,
+    /// Waiting jobs dropped because their placement deadline passed
+    /// before a tick could drain them (see [`AdmissionQueue::expire`]).
+    pub expired: u64,
     /// Deepest the queue ever got (bounded by the configured capacity).
     pub high_water: u64,
 }
@@ -156,19 +164,91 @@ impl AdmissionQueue {
     /// Empties the queue (FIFO) for submission to the engine, then lets
     /// door-blocked arrivals claim the freed space, oldest first.
     pub fn drain(&mut self) -> Vec<QueuedJob> {
-        let drained: Vec<QueuedJob> = self.queue.drain(..).collect();
+        let mut drained = Vec::new();
+        self.drain_into(&mut drained);
+        drained
+    }
+
+    /// [`drain`](Self::drain) into a caller-owned buffer: appends the
+    /// queued jobs (FIFO) to `out` without allocating, then lets
+    /// door-blocked arrivals claim the freed space, oldest first. The
+    /// daemon calls this once per tick with one reused buffer, so steady
+    /// state drains allocation-free.
+    pub fn drain_into(&mut self, out: &mut Vec<QueuedJob>) {
+        out.extend(self.queue.drain(..));
         while self.queue.len() < self.capacity {
             match self.door.pop_front() {
                 Some(job) => self.enqueue(job),
                 None => break,
             }
         }
-        drained
+    }
+
+    /// Sheds every waiting job (queued or door-blocked) whose wait at
+    /// `now_micros` strictly exceeds its class deadline. Expired jobs are
+    /// counted in [`QueueStats::expired`] and their ids appended to
+    /// `expired_ids`; space they free is immediately offered to
+    /// door-blocked survivors, oldest first.
+    pub fn expire(
+        &mut self,
+        now_micros: u64,
+        deadlines: &crate::slo::DeadlineConfig,
+        expired_ids: &mut Vec<JobId>,
+    ) {
+        if deadlines.is_unbounded() {
+            return;
+        }
+        let before = expired_ids.len();
+        let overdue = |job: &QueuedJob| match deadlines.deadline_for(job.spec.class) {
+            Some(d) => now_micros.saturating_sub(job.arrival_micros) > d,
+            None => false,
+        };
+        self.queue.retain(|job| {
+            if overdue(job) {
+                expired_ids.push(job.spec.id);
+                false
+            } else {
+                true
+            }
+        });
+        self.door.retain(|job| {
+            if overdue(job) {
+                expired_ids.push(job.spec.id);
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.expired += (expired_ids.len() - before) as u64;
+        while self.queue.len() < self.capacity {
+            match self.door.pop_front() {
+                Some(job) => self.enqueue(job),
+                None => break,
+            }
+        }
+    }
+
+    /// Swaps the backpressure policy at runtime — the brownout ladder's
+    /// reject-new rung uses this, restoring the configured policy on
+    /// recovery.
+    pub fn set_policy(&mut self, policy: BackpressurePolicy) {
+        self.policy = policy;
+    }
+
+    /// The policy currently in force.
+    pub fn policy(&self) -> BackpressurePolicy {
+        self.policy
     }
 
     /// Requests currently queued (not counting those blocked at the door).
     pub fn depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Requests blocked at the door (the [`BackpressurePolicy::Block`]
+    /// side FIFO), waiting for a drain to free queue space.
+    pub fn door_depth(&self) -> usize {
+        self.door.len()
     }
 
     /// Whether both the queue and the door are empty.
@@ -255,6 +335,57 @@ mod tests {
         let ids: Vec<u64> = q.drain().iter().map(|j| j.spec.id).collect();
         assert_eq!(ids, vec![1]);
         assert_eq!(q.stats().rejected, 1);
+    }
+
+    #[test]
+    fn drain_into_reuses_the_buffer() {
+        let mut q = AdmissionQueue::new(8, BackpressurePolicy::Block);
+        let mut buf = Vec::new();
+        q.offer(spec(1), 0);
+        q.offer(spec(2), 0);
+        q.drain_into(&mut buf);
+        assert_eq!(buf.iter().map(|j| j.spec.id).collect::<Vec<_>>(), [1, 2]);
+        buf.clear();
+        q.offer(spec(3), 1);
+        q.drain_into(&mut buf);
+        assert_eq!(buf.len(), 1, "clear-then-refill leaves only new jobs");
+        assert_eq!(buf[0].spec.id, 3);
+    }
+
+    #[test]
+    fn expire_sheds_overdue_jobs_from_queue_and_door() {
+        use crate::slo::DeadlineConfig;
+        let mut q = AdmissionQueue::new(2, BackpressurePolicy::Block);
+        q.offer(spec(1), 0);
+        q.offer(spec(2), 40);
+        assert_eq!(q.offer(spec(3), 45), Admission::Blocked);
+        let deadlines = DeadlineConfig::uniform(10);
+        let mut expired = Vec::new();
+        // At t=50: job 1 waited 50 (> 10, expired), job 2 waited 10 (on
+        // the line, kept), door job 3 waited 5 (kept and admitted into the
+        // freed slot).
+        q.expire(50, &deadlines, &mut expired);
+        assert_eq!(expired, vec![1]);
+        assert_eq!(q.stats().expired, 1);
+        assert_eq!(q.depth(), 2, "door job claimed the freed slot");
+        let ids: Vec<u64> = q.drain().iter().map(|j| j.spec.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        // Unbounded deadlines: expire is a no-op fast path.
+        q.offer(spec(4), 0);
+        q.expire(1_000, &DeadlineConfig::unbounded(), &mut expired);
+        assert_eq!(q.depth(), 1);
+        assert_eq!(expired.len(), 1);
+    }
+
+    #[test]
+    fn policy_can_be_swapped_at_runtime() {
+        let mut q = AdmissionQueue::new(1, BackpressurePolicy::Block);
+        q.offer(spec(1), 0);
+        q.set_policy(BackpressurePolicy::RejectNew);
+        assert_eq!(q.policy(), BackpressurePolicy::RejectNew);
+        assert_eq!(q.offer(spec(2), 1), Admission::Rejected(2));
+        q.set_policy(BackpressurePolicy::Block);
+        assert_eq!(q.offer(spec(3), 2), Admission::Blocked);
     }
 
     #[test]

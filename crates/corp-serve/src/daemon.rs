@@ -15,10 +15,12 @@
 //! engine in the identical order. The cross-mode equivalence test in
 //! corp-bench pins this.
 
-use crate::admission::{Admission, AdmissionQueue, BackpressurePolicy};
+use crate::admission::{Admission, AdmissionQueue, BackpressurePolicy, QueuedJob};
+use crate::brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};
 use crate::clock::{ReplaySpeed, VirtualClock};
 use crate::events::{EventQueue, ServeEvent};
 use crate::report::{LatencySummary, ServeOutcome, ServeReport};
+use crate::slo::{DeadlineConfig, SloStats};
 use corp_faults::FaultTimeline;
 use corp_sim::{Cluster, JobId, Provisioner, SimulationOptions, SlotEngine};
 use corp_stats::QuantileSketch;
@@ -27,7 +29,8 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// Daemon knobs. The defaults describe the paper's setting: 10-second
-/// slots, an effectively open admission queue, no pacing.
+/// slots, an effectively open admission queue, no pacing, no deadlines,
+/// no degradation ladder.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Virtual microseconds per provisioning slot (default 10 s, the
@@ -41,6 +44,12 @@ pub struct ServeConfig {
     pub speed: ReplaySpeed,
     /// Rank accuracy of the latency percentile sketch.
     pub latency_eps: f64,
+    /// Per-class placement deadlines; unbounded by default (nothing
+    /// expires, nothing is classified).
+    pub deadlines: DeadlineConfig,
+    /// Overload degradation ladder; `None` (the default) disables the
+    /// controller entirely.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +60,8 @@ impl Default for ServeConfig {
             policy: BackpressurePolicy::Block,
             speed: ReplaySpeed::Infinite,
             latency_eps: 0.005,
+            deadlines: DeadlineConfig::unbounded(),
+            brownout: None,
         }
     }
 }
@@ -89,31 +100,55 @@ impl ServeDaemon {
 
     /// Replays `jobs` through the event loop under `provisioner` and
     /// returns the report plus wall-clock throughput.
-    pub fn run(&mut self, provisioner: &mut dyn Provisioner, jobs: Vec<JobSpec>) -> ServeOutcome {
+    ///
+    /// `jobs` is any arrival stream — a `Vec`, a generator adapter, a
+    /// decoded trace reader — consumed lazily with exactly one arrival in
+    /// flight, so memory stays O(1) in the trace length. The stream is
+    /// expected in arrival order (every recorded or generated workload
+    /// is); a spec arriving out of order is clamped forward to the stream
+    /// frontier, the way a live front door would see it — a daemon cannot
+    /// admit into the past.
+    pub fn run<I>(&mut self, provisioner: &mut dyn Provisioner, jobs: I) -> ServeOutcome
+    where
+        I: IntoIterator<Item = JobSpec>,
+    {
         let wall_start = Instant::now();
         let slot_micros = self.config.slot_micros.max(1);
+        let deadlines = self.config.deadlines;
+        let base_policy = self.config.policy;
         let mut clock = VirtualClock::new(slot_micros, self.config.speed);
         let mut events = EventQueue::new();
-        let mut admission = AdmissionQueue::new(self.config.queue_capacity, self.config.policy);
+        let mut admission = AdmissionQueue::new(self.config.queue_capacity, base_policy);
         let mut latency = QuantileSketch::new(self.config.latency_eps);
-        // Virtual arrival stamp of each job still waiting for its first
-        // placement; removed on placement (latency measured once — a
-        // crash-induced re-placement is replacement latency, a fault
-        // metric, not admission latency).
-        let mut arrival_stamp: HashMap<JobId, u64> = HashMap::new();
+        let mut slo = SloStats::default();
+        let mut ladder = self.config.brownout.clone().map(BrownoutController::new);
+        // Virtual arrival stamp and class deadline of each job still
+        // waiting for its first placement; removed on placement (latency
+        // measured once — a crash-induced re-placement is replacement
+        // latency, a fault metric, not admission latency).
+        let mut arrival_stamp: HashMap<JobId, (u64, Option<u64>)> = HashMap::new();
+        // Per-tick reusable buffers: the loop drains and expires without
+        // allocating at steady state.
+        let mut drain_buf: Vec<QueuedJob> = Vec::new();
+        let mut expired_buf: Vec<JobId> = Vec::new();
 
-        // Arrivals feed the heap lazily, one in flight at a time, in the
-        // same stable arrival order the batch driver uses: the heap stays
-        // O(1)-deep in arrivals no matter how long the trace is.
-        let last_arrival = jobs.iter().map(|j| j.arrival_slot).max().unwrap_or(0);
-        let max_slot = self.engine.options().max_slots + last_arrival;
-        let mut sorted = jobs;
-        sorted.sort_by_key(|j| j.arrival_slot);
-        let mut pending_arrivals = sorted.len();
-        let mut arrivals = sorted.into_iter();
+        // Arrivals feed the heap lazily, one in flight at a time, in
+        // stream order: the heap stays O(1)-deep in arrivals no matter how
+        // long the trace is. `frontier_slot` tracks the newest arrival
+        // slot pushed so far — the slot cap is measured from it, and only
+        // once the stream is exhausted, which reproduces the batch
+        // driver's `max_slots + last_arrival` horizon exactly.
+        let mut arrivals = jobs.into_iter();
+        let mut frontier_slot: u64 = 0;
+        let mut in_flight = false;
+        let mut exhausted = false;
         if let Some(first) = arrivals.next() {
-            let at = clock.time_of_slot(first.arrival_slot);
+            frontier_slot = first.arrival_slot;
+            let at = clock.time_of_slot(frontier_slot);
             events.push(at, ServeEvent::Arrival(Box::new(first)));
+            in_flight = true;
+        } else {
+            exhausted = true;
         }
         events.push(0, ServeEvent::Tick);
 
@@ -124,8 +159,8 @@ impl ServeDaemon {
             events_processed += 1;
             match event {
                 ServeEvent::Arrival(spec) => {
-                    pending_arrivals -= 1;
-                    arrival_stamp.insert(spec.id, time);
+                    in_flight = false;
+                    arrival_stamp.insert(spec.id, (time, deadlines.deadline_for(spec.class)));
                     match admission.offer(spec, time) {
                         Admission::EnqueuedAfterShed(victim) => {
                             arrival_stamp.remove(&victim);
@@ -135,20 +170,43 @@ impl ServeDaemon {
                         }
                         Admission::Enqueued | Admission::Blocked => {}
                     }
-                    if let Some(next) = arrivals.next() {
-                        let at = clock.time_of_slot(next.arrival_slot);
-                        events.push(at, ServeEvent::Arrival(Box::new(next)));
+                    match arrivals.next() {
+                        Some(next) => {
+                            frontier_slot = frontier_slot.max(next.arrival_slot);
+                            let at = clock.time_of_slot(frontier_slot);
+                            events.push(at, ServeEvent::Arrival(Box::new(next)));
+                            in_flight = true;
+                        }
+                        None => exhausted = true,
                     }
                 }
                 ServeEvent::Tick => {
-                    for queued in admission.drain() {
+                    // Depth before the drain is the demand signal the
+                    // brownout controller keys on: how much piled up since
+                    // the last tick.
+                    let depth_before = admission.depth();
+                    if !deadlines.is_unbounded() {
+                        expired_buf.clear();
+                        admission.expire(time, &deadlines, &mut expired_buf);
+                        for id in &expired_buf {
+                            arrival_stamp.remove(id);
+                        }
+                        slo.expired += expired_buf.len() as u64;
+                    }
+                    drain_buf.clear();
+                    admission.drain_into(&mut drain_buf);
+                    for queued in drain_buf.drain(..) {
                         self.engine.submit(*queued.spec);
                     }
                     let outcome = self.engine.step(provisioner);
                     ticks += 1;
+                    let mut tick_max_latency: u64 = 0;
                     for (job, _vm) in &outcome.placements {
-                        if let Some(stamp) = arrival_stamp.remove(job) {
-                            latency.insert(time.saturating_sub(stamp) as f64);
+                        if let Some((stamp, deadline)) = arrival_stamp.remove(job) {
+                            let waited = time.saturating_sub(stamp);
+                            latency.insert(waited as f64);
+                            slo.record_placement(waited, deadline);
+                            tick_max_latency = tick_max_latency.max(waited);
                         }
                     }
                     for job in &outcome.rejected {
@@ -157,9 +215,24 @@ impl ServeDaemon {
                     for job in outcome.completed {
                         events.push(time, ServeEvent::Completion(job));
                     }
-                    let arrivals_done = pending_arrivals == 0;
+                    if let Some(controller) = ladder.as_mut() {
+                        let p95 = latency.query(0.95).unwrap_or(0.0);
+                        if let Some(level) =
+                            controller.observe_tick(time, depth_before, tick_max_latency, p95)
+                        {
+                            provisioner.set_service_level(level.service_level());
+                            admission.set_policy(if level == BrownoutLevel::RejectNew {
+                                BackpressurePolicy::RejectNew
+                            } else {
+                                base_policy
+                            });
+                        }
+                    }
+                    let arrivals_done = exhausted && !in_flight;
                     let drained = arrivals_done && self.engine.active() == 0 && admission.is_idle();
-                    if drained || self.engine.slot() >= max_slot {
+                    let capped = arrivals_done
+                        && self.engine.slot() >= self.engine.options().max_slots + frontier_slot;
+                    if drained || capped {
                         events.push(time, ServeEvent::Drain);
                     } else {
                         events.push(time + slot_micros, ServeEvent::Tick);
@@ -196,6 +269,10 @@ impl ServeDaemon {
             sim: self.engine.report(provisioner),
             placement_latency: LatencySummary::from_sketch(&latency),
             queue: admission.stats().clone(),
+            slo,
+            brownout: ladder
+                .map(BrownoutController::into_summary)
+                .unwrap_or_default(),
             events_processed,
             ticks,
             virtual_end_micros: clock.now(),
@@ -339,6 +416,192 @@ mod tests {
         assert_eq!(r.queue.rejected, 5);
         assert_eq!(r.sim.num_jobs, 3);
         assert_eq!(r.placement_latency.count, 3);
+    }
+
+    #[test]
+    fn deadlines_expire_door_blocked_jobs_with_full_accounting() {
+        use crate::slo::DeadlineConfig;
+        // Six same-slot arrivals through a 2-deep queue under Block: the
+        // first tick places two; the four door-blocked jobs out-wait a
+        // 5-second deadline before the next tick and are expired, never
+        // reaching the engine.
+        let mut jobs = workload(6, 9);
+        for j in &mut jobs {
+            j.arrival_slot = 0;
+        }
+        let config = ServeConfig {
+            queue_capacity: 2,
+            deadlines: DeadlineConfig::uniform(5_000_000),
+            ..ServeConfig::default()
+        };
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), config);
+        let out = daemon.run(&mut StaticPeakProvisioner, jobs);
+        let r = &out.report;
+        assert_eq!(r.slo.expired, 4, "{r:?}");
+        assert_eq!(r.queue.expired, 4);
+        assert_eq!(r.sim.num_jobs, 2, "expired jobs never reach the engine");
+        assert_eq!(r.sim.completed, 2);
+        assert_eq!(r.slo.deadline_hits, 2, "same-tick placements hit");
+        assert_eq!(r.slo.deadline_misses, 0);
+        // Conservation: offered == engine jobs + expired.
+        assert_eq!(r.sim.num_jobs + r.slo.expired as usize, 6);
+    }
+
+    #[test]
+    fn unbounded_deadlines_change_nothing() {
+        let jobs = workload(20, 10);
+        let run = |config: ServeConfig| {
+            let mut daemon = ServeDaemon::new(cluster(), quiet_options(), config);
+            let out = daemon.run(&mut StaticPeakProvisioner, jobs.clone());
+            serde::json::to_string(&out.report)
+        };
+        let plain = run(ServeConfig::default());
+        let unbounded = run(ServeConfig {
+            deadlines: crate::slo::DeadlineConfig::unbounded(),
+            ..ServeConfig::default()
+        });
+        assert_eq!(plain, unbounded);
+    }
+
+    /// Never places; records every service-level change it is told about.
+    struct LevelProbe {
+        levels: Vec<u8>,
+    }
+    impl Provisioner for LevelProbe {
+        fn name(&self) -> &str {
+            "level-probe"
+        }
+        fn provision(&mut self, _: &corp_sim::SlotContext<'_>) -> corp_sim::ProvisionPlan {
+            corp_sim::ProvisionPlan::default()
+        }
+        fn set_service_level(&mut self, level: u8) {
+            self.levels.push(level);
+        }
+    }
+
+    #[test]
+    fn brownout_ladder_escalates_and_recovers_deterministically() {
+        use crate::brownout::{BrownoutConfig, BrownoutTrigger};
+        // Five same-slot arrivals trip the depth trigger on the first
+        // tick; the queue is empty afterwards (everything drained into the
+        // engine), so the controller steps back down after two calm ticks.
+        let mut jobs = workload(5, 11);
+        for j in &mut jobs {
+            j.arrival_slot = 0;
+        }
+        let config = ServeConfig {
+            brownout: Some(BrownoutConfig {
+                high_depth: 4,
+                low_depth: 0,
+                latency_high_micros: u64::MAX,
+                recovery_ticks: 2,
+            }),
+            ..ServeConfig::default()
+        };
+        let options = SimulationOptions {
+            max_slots: 6,
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let mut probe = LevelProbe { levels: Vec::new() };
+        let mut daemon = ServeDaemon::new(cluster(), options, config);
+        let out = daemon.run(&mut probe, jobs);
+        let b = &out.report.brownout;
+        assert_eq!(b.escalations, 1, "{b:?}");
+        assert_eq!(b.recoveries, 1);
+        assert_eq!(b.max_rung, 1);
+        assert_eq!(b.final_rung, 0);
+        assert_eq!(b.transitions.len(), 2);
+        assert_eq!(b.transitions[0].trigger, BrownoutTrigger::QueueDepth);
+        assert_eq!(b.transitions[0].at_micros, 0, "tripped on the first tick");
+        assert_eq!(b.transitions[1].trigger, BrownoutTrigger::Recovery);
+        assert_eq!(
+            probe.levels,
+            vec![1, 0],
+            "provisioner told to degrade, then restored"
+        );
+    }
+
+    #[test]
+    fn reject_new_rung_overrides_the_admission_policy() {
+        use crate::brownout::BrownoutConfig;
+        // A steady two-per-slot arrival stream against a depth trigger of
+        // 1 climbs the whole ladder; once RejectNew is reached, later
+        // queue-full arrivals are rejected even though the configured
+        // policy is Block.
+        let mut jobs = workload(16, 12);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.arrival_slot = (i / 2) as u64;
+        }
+        let config = ServeConfig {
+            queue_capacity: 1,
+            policy: BackpressurePolicy::Block,
+            brownout: Some(BrownoutConfig {
+                high_depth: 1,
+                low_depth: 0,
+                latency_high_micros: u64::MAX,
+                recovery_ticks: 100,
+            }),
+            ..ServeConfig::default()
+        };
+        let options = SimulationOptions {
+            max_slots: 12,
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let mut probe = LevelProbe { levels: Vec::new() };
+        let mut daemon = ServeDaemon::new(cluster(), options, config);
+        let out = daemon.run(&mut probe, jobs);
+        let r = &out.report;
+        assert_eq!(r.brownout.max_rung, 3, "{r:?}");
+        assert!(
+            r.queue.rejected > 0,
+            "reject-new rung must turn arrivals away: {r:?}"
+        );
+        assert!(r.queue.blocked > 0, "pre-escalation arrivals blocked");
+        assert_eq!(
+            probe.levels,
+            vec![1, 2, 2],
+            "service level saturates at 2 while the ladder reaches rung 3"
+        );
+    }
+
+    #[test]
+    fn run_accepts_any_arrival_iterator() {
+        // The same stream fed as a Vec and as a boxed lazy iterator must
+        // produce byte-identical reports.
+        let jobs = workload(25, 13);
+        let from_vec = {
+            let mut daemon = ServeDaemon::new(cluster(), quiet_options(), ServeConfig::default());
+            let out = daemon.run(&mut StaticPeakProvisioner, jobs.clone());
+            serde::json::to_string(&out.report)
+        };
+        let from_iter = {
+            let mut daemon = ServeDaemon::new(cluster(), quiet_options(), ServeConfig::default());
+            let mut stream = jobs.clone().into_iter();
+            let out = daemon.run(
+                &mut StaticPeakProvisioner,
+                std::iter::from_fn(move || stream.next()),
+            );
+            serde::json::to_string(&out.report)
+        };
+        assert_eq!(from_vec, from_iter);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_clamp_to_the_stream_frontier() {
+        // A straggler spec behind the frontier is admitted at the frontier
+        // (a live daemon cannot admit into the past) and still completes.
+        let mut jobs = workload(4, 14);
+        jobs[0].arrival_slot = 5;
+        jobs[1].arrival_slot = 2; // behind the frontier: clamps to 5
+        jobs[2].arrival_slot = 6;
+        jobs[3].arrival_slot = 6;
+        let mut daemon = ServeDaemon::new(cluster(), quiet_options(), ServeConfig::default());
+        let out = daemon.run(&mut StaticPeakProvisioner, jobs);
+        let r = &out.report;
+        assert_eq!(r.sim.completed, 4, "{r:?}");
+        assert_eq!(r.queue.admitted, 4);
     }
 
     #[test]

@@ -24,23 +24,48 @@
 //!   for byte — same jobs on the same VMs — which is what makes serving
 //!   mode a mode, not a fork.
 //!
+//! Overload is a first-class concern (DESIGN.md §13), handled by three
+//! cooperating layers, each deterministic and fully accounted:
+//!
+//! * [`slo`] — per-class placement deadlines: jobs that out-wait their
+//!   deadline in the queue are expired before ever reaching the engine,
+//!   and placements are classified as deadline hits or misses.
+//! * [`brownout`] — an adaptive degradation ladder watching queue depth
+//!   and per-tick placement latency, trading scheduling quality for
+//!   survival one explicit rung at a time (skip the reallocation gate →
+//!   skip forecasting → reject new work) and stepping back down after
+//!   consecutive calm ticks.
+//! * [`breaker`] — per-shard circuit breakers over the `corp-cluster`
+//!   coordinator: K consecutive failure fallbacks isolate a shard (forced
+//!   inline, no dispatch or timeout wait) until a half-open probe in
+//!   virtual-slot backoff succeeds.
+//!
 //! Reports ([`ServeReport`]) extend the engine report with placement-
 //! latency percentiles (p50/p95/p99 via the GK sketch in `corp-stats`),
-//! queue-depth high-water marks, and event totals; wall-clock throughput
-//! rides outside the report in [`ServeOutcome`] so serialization stays
-//! deterministic.
+//! queue-depth high-water marks, deadline and brownout accounting, and
+//! event totals; wall-clock throughput rides outside the report in
+//! [`ServeOutcome`] so serialization stays deterministic.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod breaker;
+pub mod brownout;
 pub mod clock;
 pub mod daemon;
 pub mod events;
 pub mod report;
+pub mod slo;
 
 pub use admission::{Admission, AdmissionQueue, BackpressurePolicy, QueueStats};
+pub use breaker::{BreakerConfig, BreakerSupervisor};
+pub use brownout::{
+    BrownoutConfig, BrownoutController, BrownoutLevel, BrownoutSummary, BrownoutTransition,
+    BrownoutTrigger,
+};
 pub use clock::{ReplaySpeed, VirtualClock, MICROS_PER_SEC};
 pub use daemon::{ServeConfig, ServeDaemon};
 pub use events::{EventQueue, ServeEvent};
 pub use report::{LatencySummary, ServeOutcome, ServeReport};
+pub use slo::{DeadlineConfig, SloStats};

@@ -11,6 +11,8 @@
 //! measurement).
 
 use crate::admission::QueueStats;
+use crate::brownout::BrownoutSummary;
+use crate::slo::SloStats;
 use corp_sim::SimulationReport;
 use corp_stats::QuantileSketch;
 use serde::Serialize;
@@ -57,6 +59,12 @@ pub struct ServeReport {
     pub placement_latency: LatencySummary,
     /// Admission-queue counters and depth high-water mark.
     pub queue: QueueStats,
+    /// Deadline accounting (hits, misses, queue expiries); all zero when
+    /// the run has no deadlines configured.
+    pub slo: SloStats,
+    /// Degradation-ladder summary (final/max rung and every transition);
+    /// empty when the controller is disabled or never triggered.
+    pub brownout: BrownoutSummary,
     /// Total events processed (arrivals, ticks, completions, drain,
     /// shutdown).
     pub events_processed: u64,

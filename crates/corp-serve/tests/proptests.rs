@@ -1,0 +1,159 @@
+//! Property tests for the admission queue's conservation law.
+//!
+//! Whatever interleaving of offers, drains, and deadline expiries the
+//! daemon throws at the queue, and under every backpressure policy, two
+//! invariants must hold after every single operation:
+//!
+//! 1. **Conservation** — every offered job is in exactly one bucket:
+//!    `drained + queued + door + shed + rejected + expired == offered`.
+//!    A violated identity means a job was lost or double-counted, the
+//!    exact failure the resilience experiment's zero-jobs-lost gate
+//!    exists to catch.
+//! 2. **Boundedness** — queue depth never exceeds the configured
+//!    capacity, no matter how shedding, expiry refill, or door admission
+//!    interleave.
+
+use corp_serve::{AdmissionQueue, BackpressurePolicy, DeadlineConfig};
+use corp_trace::{IntensityClass, JobSpec};
+use proptest::prelude::*;
+
+fn spec(id: u64) -> Box<JobSpec> {
+    Box::new(JobSpec {
+        id,
+        arrival_slot: 0,
+        duration_slots: 1,
+        class: IntensityClass::Balanced,
+        requested: [1.0, 1.0, 1.0],
+        demand: vec![[0.5, 0.5, 0.5]],
+        slo_slots: 5,
+        bandwidth_mbps: 0.02,
+    })
+}
+
+/// One queue operation: the daemon's tick loop decomposed.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Offer one arrival after advancing virtual time by the delta.
+    Offer(u64),
+    /// Expire overdue waiters, then drain the queue (one tick).
+    Tick(u64),
+    /// Expire without draining (a tick where the engine takes nothing).
+    ExpireOnly(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..3, 0u64..30).prop_map(|(kind, dt)| match kind {
+        0 => Op::Offer(dt),
+        1 => Op::Tick(dt),
+        _ => Op::ExpireOnly(dt),
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = BackpressurePolicy> {
+    (0usize..3).prop_map(|kind| match kind {
+        0 => BackpressurePolicy::Block,
+        1 => BackpressurePolicy::ShedOldest,
+        _ => BackpressurePolicy::RejectNew,
+    })
+}
+
+proptest! {
+    #[test]
+    fn conservation_holds_across_arbitrary_interleavings(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        capacity in 1usize..8,
+        policy in policy_strategy(),
+        deadline in (0usize..2, 1u64..40).prop_map(|(some, d)| (some == 1).then_some(d)),
+    ) {
+        let deadlines = match deadline {
+            Some(d) => DeadlineConfig::uniform(d),
+            None => DeadlineConfig::unbounded(),
+        };
+        let mut q = AdmissionQueue::new(capacity, policy);
+        let mut now: u64 = 0;
+        let mut next_id: u64 = 0;
+        let mut offered: u64 = 0;
+        let mut drained: u64 = 0;
+        let mut expired_ids: Vec<u64> = Vec::new();
+        let mut drain_buf = Vec::new();
+        for &op in &ops {
+            match op {
+                Op::Offer(dt) => {
+                    now += dt;
+                    q.offer(spec(next_id), now);
+                    next_id += 1;
+                    offered += 1;
+                }
+                Op::Tick(dt) => {
+                    now += dt;
+                    q.expire(now, &deadlines, &mut expired_ids);
+                    drain_buf.clear();
+                    q.drain_into(&mut drain_buf);
+                    drained += drain_buf.len() as u64;
+                }
+                Op::ExpireOnly(dt) => {
+                    now += dt;
+                    q.expire(now, &deadlines, &mut expired_ids);
+                }
+            }
+            let stats = q.stats();
+            prop_assert!(
+                q.depth() <= capacity,
+                "depth {} exceeds capacity {}", q.depth(), capacity
+            );
+            prop_assert_eq!(
+                drained
+                    + q.depth() as u64
+                    + q.door_depth() as u64
+                    + stats.shed
+                    + stats.rejected
+                    + stats.expired,
+                offered,
+                "conservation violated after {:?} (policy {:?}, deadline {:?})",
+                op, policy, deadline
+            );
+            prop_assert_eq!(
+                stats.expired, expired_ids.len() as u64,
+                "expired counter must match the ids handed back"
+            );
+        }
+        // Final flush: everything still waiting must drain out, leaving
+        // every offered job in a terminal bucket.
+        drain_buf.clear();
+        q.drain_into(&mut drain_buf);
+        drained += drain_buf.len() as u64;
+        while q.depth() > 0 || q.door_depth() > 0 {
+            drain_buf.clear();
+            q.drain_into(&mut drain_buf);
+            drained += drain_buf.len() as u64;
+        }
+        let stats = q.stats();
+        prop_assert_eq!(
+            drained + stats.shed + stats.rejected + stats.expired,
+            offered,
+            "terminal conservation violated"
+        );
+    }
+
+    #[test]
+    fn expiry_only_sheds_strictly_overdue_jobs(
+        deadline in 1u64..50,
+        waits in prop::collection::vec(0u64..100, 1..30),
+    ) {
+        // Offer everything at t=0, expire at t=wait: a job expires iff
+        // wait > deadline, exactly.
+        for (i, &wait) in waits.iter().enumerate() {
+            let mut q = AdmissionQueue::new(64, BackpressurePolicy::Block);
+            q.offer(spec(i as u64), 0);
+            let mut expired = Vec::new();
+            q.expire(wait, &DeadlineConfig::uniform(deadline), &mut expired);
+            if wait > deadline {
+                prop_assert_eq!(&expired, &vec![i as u64]);
+                prop_assert_eq!(q.depth(), 0);
+            } else {
+                prop_assert!(expired.is_empty());
+                prop_assert_eq!(q.depth(), 1);
+            }
+        }
+    }
+}

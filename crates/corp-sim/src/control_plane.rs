@@ -38,6 +38,35 @@ pub struct ShardStats {
     /// Slots where the coordinator scheduled this shard inline because no
     /// worker plan arrived (dead worker, dropped request, or late reply).
     pub inline_slots: u64,
+    /// Slots where a circuit breaker held this shard isolated: the
+    /// coordinator scheduled it inline *by design*, without dispatching to
+    /// (or waiting on) its worker.
+    pub isolated_slots: u64,
+}
+
+/// A circuit-breaker state, as surfaced in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerStateName {
+    /// Traffic flows to the shard's worker normally.
+    Closed,
+    /// The shard is isolated; its slots are scheduled inline.
+    Open,
+    /// One probe slot is being allowed through to test recovery.
+    HalfOpen,
+}
+
+/// One deterministic breaker state transition, recorded at the slot it
+/// happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerTransition {
+    /// Slot index of the transition.
+    pub slot: u64,
+    /// Shard whose breaker moved.
+    pub shard: usize,
+    /// State before.
+    pub from: BreakerStateName,
+    /// State after.
+    pub to: BreakerStateName,
 }
 
 /// Aggregate counters for a sharded control plane plus its shared store.
@@ -73,6 +102,18 @@ pub struct ControlPlaneStats {
     pub messages_delayed: u64,
     /// Reply waits that tripped the real-time timeout safety net.
     pub recv_timeouts: u64,
+    /// Slots a circuit breaker held a shard isolated (scheduled inline by
+    /// design rather than by failure).
+    pub isolated_slots: u64,
+    /// Circuit-breaker trips (Closed/HalfOpen → Open).
+    pub breaker_opens: u64,
+    /// Half-open probes issued (Open → HalfOpen).
+    pub breaker_half_opens: u64,
+    /// Breaker recoveries (HalfOpen → Closed).
+    pub breaker_closes: u64,
+    /// Every breaker state transition, slot-ordered. Empty when no breaker
+    /// layer is configured.
+    pub breaker_transitions: Vec<BreakerTransition>,
     /// Per-shard breakdowns, shard-index ordered.
     pub per_shard: Vec<ShardStats>,
 }

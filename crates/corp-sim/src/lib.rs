@@ -45,7 +45,7 @@ pub mod provisioner;
 pub mod resources;
 
 pub use cluster::{Cluster, EnvironmentProfile};
-pub use control_plane::{ControlPlaneStats, ShardStats};
+pub use control_plane::{BreakerStateName, BreakerTransition, ControlPlaneStats, ShardStats};
 pub use engine::{Simulation, SimulationOptions, SimulationReport, SlotEngine, SlotOutcome};
 pub use faults::FaultStats;
 pub use job::{JobId, JobState, RunningJob};

@@ -180,6 +180,17 @@ pub trait Provisioner {
         None
     }
 
+    /// Degradation hint from an overload controller (the corp-serve
+    /// brownout ladder). `0` is full service; `1` asks the provisioner to
+    /// skip opportunistic reallocation; `2` additionally asks it to stop
+    /// paying for expensive forecasting and fall back to its cheapest
+    /// prediction path. Levels are cumulative and may be raised or lowered
+    /// at any slot boundary. Default: ignore — a provisioner with no
+    /// degradable stages simply keeps serving at full fidelity.
+    fn set_service_level(&mut self, level: u8) {
+        let _ = level;
+    }
+
     /// Slot period at which this provisioner reads *deep* view histories —
     /// `recent_demand`, `recent_unused`, or `unused_history` beyond the
     /// newest sample. On slots not divisible by the period the engine fills

@@ -16,6 +16,14 @@
 #                                 # that must measure non-empty placement-
 #                                 # latency percentiles and shed nothing
 #                                 # at low load (--smoke asserts both)
+#   scripts/check.sh resilience-smoke
+#                                 # chaos-serve smoke: the daemon under
+#                                 # combined control-plane faults and
+#                                 # arrival storms; --smoke asserts a
+#                                 # byte-identical full replay, the
+#                                 # zero-jobs-lost conservation law, and
+#                                 # a complete breaker trip/recover cycle;
+#                                 # --bench records BENCH_serve.json
 #   scripts/check.sh doc          # rustdoc gate only: every public item
 #                                 # documented, no broken intra-doc links
 #   scripts/check.sh perf-regression
@@ -66,6 +74,22 @@ if [[ "${1:-}" == "serve-smoke" ]]; then
     echo "==> cargo run --release -p corp-bench --bin corp-exp -- serve --fast --jobs 60 --speed inf --seed 7 --smoke"
     cargo run --release -p corp-bench --bin corp-exp -- serve --fast --jobs 60 --speed inf --seed 7 --smoke
     echo "Serve smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "resilience-smoke" ]]; then
+    rm -f BENCH_serve.json
+    echo "==> cargo run --release -p corp-bench --bin corp-exp -- resilience --fast --smoke --bench"
+    cargo run --release -p corp-bench --bin corp-exp -- resilience --fast --smoke --bench
+    if [[ ! -s BENCH_serve.json ]]; then
+        echo "resilience-smoke FAILED: BENCH_serve.json missing or empty" >&2
+        exit 1
+    fi
+    if ! grep -q '"determinism":true' BENCH_serve.json || ! grep -q '"jobs_lost":0' BENCH_serve.json; then
+        echo "resilience-smoke FAILED: BENCH_serve.json reports lost jobs or nondeterminism" >&2
+        exit 1
+    fi
+    echo "Resilience smoke passed ($(wc -c < BENCH_serve.json) bytes of baseline)."
     exit 0
 fi
 
