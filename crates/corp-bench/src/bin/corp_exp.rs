@@ -34,9 +34,20 @@
 //! corp-exp resilience --fast --smoke --bench   # writes BENCH_serve.json
 //! corp-exp resilience --intensity 2 --shards 4
 //! ```
+//!
+//! `scale` is the streaming soak: a lazily-pulled synthetic arrival
+//! stream through the reclaiming arena engine, with throughput, arena
+//! high-water, and peak RSS recorded to `BENCH_scale.json` (`--vms N`,
+//! `--jobs N`, `--seed S`, `--smoke`):
+//!
+//! ```text
+//! corp-exp scale --smoke        # CI configuration + invariant checks
+//! corp-exp scale                # 50k VMs, 1M jobs
+//! ```
 
 use corp_bench::experiments;
 use corp_bench::resilience::{resilience_experiment, ResilienceArgs};
+use corp_bench::scale::{scale_experiment, ScaleArgs};
 use corp_bench::serve::{serve_experiment, ServeArgs};
 use corp_bench::FigureTable;
 
@@ -48,6 +59,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("resilience") {
         run_resilience(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("scale") {
+        run_scale(&args[1..]);
         return;
     }
     let fast = args.iter().any(|a| a == "--fast");
@@ -141,6 +156,37 @@ fn run_serve(rest: &[String]) {
             }
             eprintln!(
                 "[serve regenerated in {:.1}s]",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Handles `corp-exp scale <flags>`: parse, run, render. Bad flags and
+/// failed smoke assertions (conservation, arena boundedness) exit 2.
+fn run_scale(rest: &[String]) {
+    let json = rest.iter().any(|a| a == "--json");
+    let parsed = match ScaleArgs::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    match scale_experiment(&parsed) {
+        Ok(figure) => {
+            if json {
+                println!("{}", serde::json::to_string(&vec![figure]));
+            } else {
+                println!("{figure}");
+            }
+            eprintln!(
+                "[scale regenerated in {:.1}s]",
                 started.elapsed().as_secs_f64()
             );
         }

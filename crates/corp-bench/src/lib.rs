@@ -30,6 +30,7 @@
 pub mod env;
 pub mod experiments;
 pub mod resilience;
+pub mod scale;
 pub mod serve;
 pub mod table;
 
@@ -44,6 +45,7 @@ pub use experiments::{
 pub use resilience::{
     chaos_workload, resilience_experiment, run_resilience, ResilienceArgs, RESILIENCE_BASELINE_FILE,
 };
+pub use scale::{run_scale, scale_experiment, ScaleArgs, ScaleResult, SCALE_BASELINE_FILE};
 pub use serve::{
     parse_seed, run_serve, run_serve_sharded, serve_experiment, serve_workload, ServeArgs,
 };

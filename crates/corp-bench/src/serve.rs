@@ -36,6 +36,11 @@ pub fn parse_seed(s: &str) -> Result<u64, String> {
 /// Parsed `corp-exp serve` flags.
 #[derive(Debug, Clone)]
 pub struct ServeArgs {
+    /// External trace to stream (`--trace PATH`): a recorded corp trace
+    /// (loaded whole — the format is line-oriented jobs) or a Google-style
+    /// task-event CSV, decoded lazily through the `JobSource` pipeline so
+    /// arbitrarily long CSVs feed the daemon in bounded memory.
+    pub trace: Option<PathBuf>,
     /// Recorded trace to replay (`--replay PATH`); synthesized workload
     /// when absent.
     pub replay: Option<PathBuf>,
@@ -65,6 +70,7 @@ pub struct ServeArgs {
 impl Default for ServeArgs {
     fn default() -> Self {
         ServeArgs {
+            trace: None,
             replay: None,
             record: None,
             speed: ReplaySpeed::Infinite,
@@ -93,6 +99,10 @@ impl ServeArgs {
         };
         while i < args.len() {
             match args[i].as_str() {
+                "--trace" => {
+                    out.trace = Some(PathBuf::from(value(args, i, "--trace")?));
+                    i += 2;
+                }
                 "--replay" => {
                     out.replay = Some(PathBuf::from(value(args, i, "--replay")?));
                     i += 2;
@@ -172,7 +182,7 @@ impl ServeArgs {
 pub fn run_serve(
     env: Environment,
     scheme: SchemeKind,
-    jobs: Vec<JobSpec>,
+    jobs: impl IntoIterator<Item = JobSpec>,
     params: &SchemeParams,
     config: ServeConfig,
 ) -> ServeOutcome {
@@ -195,7 +205,7 @@ pub fn run_serve(
 pub fn run_serve_sharded(
     env: Environment,
     scheme: SchemeKind,
-    jobs: Vec<JobSpec>,
+    jobs: impl IntoIterator<Item = JobSpec>,
     params: &SchemeParams,
     shards: usize,
     config: ServeConfig,
@@ -221,18 +231,69 @@ pub fn serve_workload(env: Environment, num_jobs: usize, seed: u64) -> Vec<JobSp
     env.workload(num_jobs, seed.wrapping_add(num_jobs as u64))
 }
 
+/// Opens `--trace PATH` as a job feed: a recorded corp trace (sniffed by
+/// its header line, loaded whole — the format is one job per few lines)
+/// or a Google-style task-event CSV decoded lazily through the
+/// `JobSource` pipeline, so arbitrarily long CSVs stream into the daemon
+/// in bounded memory. A malformed CSV row panics mid-stream with its byte
+/// offset and line number — the daemon has no way to surface a decode
+/// error once serving has started.
+fn open_trace_feed(path: &std::path::Path) -> Result<Box<dyn Iterator<Item = JobSpec>>, String> {
+    use corp_trace::JobSource;
+    use std::io::BufRead;
+    let open = || std::fs::File::open(path).map_err(|e| format!("--trace {}: {e}", path.display()));
+    // The recorded format allows comment/blank preamble lines before the
+    // header, so sniff past them.
+    let mut header = String::new();
+    for line in std::io::BufReader::new(open()?).lines() {
+        let line = line.map_err(|e| format!("--trace {}: {e}", path.display()))?;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('#') {
+            header = t.to_string();
+            break;
+        }
+    }
+    if header == corp_trace::TRACE_HEADER {
+        let jobs = corp_trace::load_trace(path).map_err(|e| e.to_string())?;
+        Ok(Box::new(jobs.into_iter()))
+    } else {
+        let records = corp_trace::GoogleCsvReader::new(std::io::BufReader::new(open()?));
+        let source = corp_trace::TraceJobSource::new(records, corp_trace::IngestConfig::default());
+        Ok(Box::new(source.into_specs()))
+    }
+}
+
 /// Executes `corp-exp serve` end to end and renders the report table.
 /// Returns an error string (for exit 2) on unreadable traces or failed
 /// smoke assertions.
 pub fn serve_experiment(fast: bool, args: &ServeArgs) -> Result<FigureTable, String> {
     let env = Environment::Cluster;
-    let jobs = match &args.replay {
-        Some(path) => corp_trace::load_trace(path).map_err(|e| e.to_string())?,
-        None => serve_workload(env, args.jobs, args.seed),
-    };
-    if let Some(path) = &args.record {
-        corp_trace::save_trace(path, &jobs).map_err(|e| e.to_string())?;
+    if args.trace.is_some() && args.replay.is_some() {
+        return Err("pick one of --trace / --replay".to_string());
     }
+    let feed: Box<dyn Iterator<Item = JobSpec>> = match (&args.trace, &args.replay) {
+        (Some(path), _) => open_trace_feed(path)?,
+        (None, Some(path)) => Box::new(
+            corp_trace::load_trace(path)
+                .map_err(|e| e.to_string())?
+                .into_iter(),
+        ),
+        (None, None) => Box::new(serve_workload(env, args.jobs, args.seed).into_iter()),
+    };
+    // Recording needs the whole workload in hand, so it materializes the
+    // feed — it also doubles as a CSV → recorded-trace converter.
+    let feed: Box<dyn Iterator<Item = JobSpec>> = if let Some(path) = &args.record {
+        let jobs: Vec<JobSpec> = feed.collect();
+        corp_trace::save_trace(path, &jobs).map_err(|e| e.to_string())?;
+        Box::new(jobs.into_iter())
+    } else {
+        feed
+    };
+    // The daemon consumes the feed lazily, so the job count is only known
+    // once the run drains the stream; count arrivals as they pass.
+    let submitted = std::rc::Rc::new(std::cell::Cell::new(0usize));
+    let counter = std::rc::Rc::clone(&submitted);
+    let feed = feed.inspect(move |_| counter.set(counter.get() + 1));
     let params = SchemeParams {
         fast_dnn: fast,
         seed: args.seed,
@@ -245,14 +306,14 @@ pub fn serve_experiment(fast: bool, args: &ServeArgs) -> Result<FigureTable, Str
         speed: args.speed,
         ..ServeConfig::default()
     };
-    let num_jobs = jobs.len();
     let (outcome, errors) = match args.shards {
-        Some(shards) => run_serve_sharded(env, SchemeKind::Corp, jobs, &params, shards, config),
+        Some(shards) => run_serve_sharded(env, SchemeKind::Corp, feed, &params, shards, config),
         None => (
-            run_serve(env, SchemeKind::Corp, jobs, &params, config),
+            run_serve(env, SchemeKind::Corp, feed, &params, config),
             Vec::new(),
         ),
     };
+    let num_jobs = submitted.get();
     let r = &outcome.report;
 
     if args.smoke {
@@ -455,6 +516,46 @@ mod tests {
         assert!(ServeArgs::parse(&strings(&["--frobnicate"]))
             .unwrap_err()
             .contains("unknown serve flag"));
+    }
+
+    #[test]
+    fn trace_flag_parses_and_conflicts_with_replay() {
+        let args = ServeArgs::parse(&strings(&["--trace", "/tmp/t.csv"])).expect("parse");
+        assert_eq!(args.trace, Some(PathBuf::from("/tmp/t.csv")));
+        let both = ServeArgs {
+            trace: Some(PathBuf::from("a")),
+            replay: Some(PathBuf::from("b")),
+            ..ServeArgs::default()
+        };
+        assert!(serve_experiment(true, &both)
+            .unwrap_err()
+            .contains("pick one"));
+    }
+
+    #[test]
+    fn trace_feed_decodes_google_csv_and_recorded_traces() {
+        let dir = std::env::temp_dir();
+        // A Google-style CSV: two short tasks of one job, 100 s lifetime.
+        let csv = dir.join("corp-serve-test.csv");
+        std::fs::write(
+            &csv,
+            "# start,end,job_id,task_index,cpu,memory,storage\n\
+             0,100,1,0,1.0,2.0,3.0\n\
+             0,100,1,1,0.5,1.0,1.5\n",
+        )
+        .unwrap();
+        let jobs: Vec<JobSpec> = open_trace_feed(&csv).expect("csv feed").collect();
+        assert_eq!(jobs.len(), 1, "two tasks of one job assemble to one spec");
+        assert_eq!(jobs[0].id, 1);
+        // The same jobs via the recorded format must round-trip.
+        let recorded = dir.join("corp-serve-test.trace");
+        corp_trace::save_trace(&recorded, &jobs).unwrap();
+        let replayed: Vec<JobSpec> = open_trace_feed(&recorded).expect("recorded feed").collect();
+        assert_eq!(
+            serde::json::to_string(&jobs),
+            serde::json::to_string(&replayed),
+            "recorded round-trip diverged from the CSV decode"
+        );
     }
 
     #[test]

@@ -104,6 +104,7 @@ enum ShardRequest {
         slot: u64,
         vms: Arc<Vec<VmView>>,
         pending: Arc<Vec<PendingJobView>>,
+        committed: Arc<Vec<ResourceVector>>,
         max_vm_capacity: ResourceVector,
     },
     /// Fold one slot's completed jobs (every completion owned by this
@@ -196,6 +197,7 @@ fn worker_loop(
                 slot,
                 vms,
                 pending,
+                committed,
                 max_vm_capacity,
             } => {
                 // The pipeline may hold arbitrary state mid-panic, so a
@@ -208,6 +210,7 @@ fn worker_loop(
                         slot,
                         vms: &my_vms,
                         pending: &my_pending,
+                        committed: &committed,
                         max_vm_capacity,
                     };
                     inner.provision(&ctx)
@@ -471,6 +474,7 @@ impl ShardedProvisioner {
             slot: ctx.slot,
             vms: &my_vms,
             pending: &my_pending,
+            committed: ctx.committed,
             max_vm_capacity: ctx.max_vm_capacity,
         };
         let mut fallback = StaticPeakProvisioner;
@@ -515,6 +519,7 @@ impl ShardedProvisioner {
         // Dispatch the snapshot to every serving shard.
         let vms = Arc::new(ctx.vms.to_vec());
         let pending = Arc::new(ctx.pending.to_vec());
+        let committed = Arc::new(ctx.committed.to_vec());
         let mut sent = vec![false; n];
         for shard in 0..n {
             // Breaker-isolated shards get no dispatch at all: the whole
@@ -534,6 +539,7 @@ impl ShardedProvisioner {
                 slot: ctx.slot,
                 vms: Arc::clone(&vms),
                 pending: Arc::clone(&pending),
+                committed: Arc::clone(&committed),
                 max_vm_capacity: ctx.max_vm_capacity,
             };
             let delivered = self.workers[shard]
@@ -750,6 +756,7 @@ impl Provisioner for ShardedProvisioner {
     fn on_job_completed(&mut self, job: JobId, unused_history: &[Vec<f64>]) {
         let single = [JobCompletion {
             job,
+            handle: corp_sim::JobHandle::DETACHED,
             unused_history: unused_history.to_vec(),
         }];
         self.on_jobs_completed(&single);
@@ -877,12 +884,17 @@ mod tests {
             .collect()
     }
 
+    fn committed_of(vms: &[VmView]) -> Vec<ResourceVector> {
+        vms.iter().map(|v| v.committed).collect()
+    }
+
     fn job(id: JobId, req: f64) -> PendingJobView {
         PendingJobView {
             id,
             requested: rv(req),
             arrival_slot: 0,
             slo_slots: 10,
+            handle: corp_sim::JobHandle::DETACHED,
         }
     }
 
@@ -915,11 +927,13 @@ mod tests {
         // propose their own job for it (static-peak first-fit all pick VM
         // 0). The store must admit exactly two and abort the rest.
         let vms = fleet(&[2.0]);
+        let committed = committed_of(&vms);
         let pending: Vec<PendingJobView> = (0..4).map(|i| job(i, 1.0)).collect();
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let mut p = sharded(4);
@@ -937,11 +951,13 @@ mod tests {
         // VM 0 (first fit); the loser must land on VM 1 via retry, and the
         // tighter VM is preferred when several fit.
         let vms = fleet(&[1.0, 4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 1.0)];
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let mut p = sharded(2);
@@ -961,11 +977,13 @@ mod tests {
         // alternative, so it aborts immediately instead of burning the
         // whole retry budget on hopeless VMs; its job stays pending.
         let vms = fleet(&[1.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 1.0)];
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let mut p = sharded(2);
@@ -981,11 +999,13 @@ mod tests {
     #[test]
     fn single_shard_passes_plans_through_unchanged() {
         let vms = fleet(&[4.0, 4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 2.0)];
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let mut baseline = StaticPeakProvisioner;
@@ -999,11 +1019,13 @@ mod tests {
     #[test]
     fn queue_depths_track_the_deepest_slot() {
         let vms = fleet(&[4.0]);
+        let committed = committed_of(&vms);
         let pending: Vec<PendingJobView> = (0..3).map(|i| job(i, 0.5)).collect();
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let mut p = sharded(2);
@@ -1013,6 +1035,7 @@ mod tests {
             slot: 1,
             vms: &vms,
             pending: &empty,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let _ = p.provision(&ctx2);
@@ -1028,11 +1051,13 @@ mod tests {
         let plan = ControlFaultPlan::new(vec![SlotShard { slot: 0, shard: 1 }], vec![], vec![]);
         let mut p = sharded_with_plan(2, plan);
         let vms = fleet(&[4.0, 4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 1.0)];
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let got = p.provision(&ctx);
@@ -1049,6 +1074,7 @@ mod tests {
             slot: 1,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let again = p.provision(&ctx2);
@@ -1092,11 +1118,13 @@ mod tests {
         let mut p =
             ShardedProvisioner::with_factories("static-peak", factories, ShardConfig::default());
         let vms = fleet(&[4.0, 4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 1.0)];
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let got = p.provision(&ctx);
@@ -1109,6 +1137,7 @@ mod tests {
             slot: 1,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let again = p.provision(&ctx2);
@@ -1125,12 +1154,14 @@ mod tests {
         );
         let mut p = sharded_with_plan(2, plan);
         let vms = fleet(&[4.0, 4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 1.0)];
         for slot in 0..3u64 {
             let ctx = SlotContext {
                 slot,
                 vms: &vms,
                 pending: &pending,
+                committed: &committed,
                 max_vm_capacity: rv(4.0),
             };
             let got = p.provision(&ctx);
@@ -1161,12 +1192,14 @@ mod tests {
             },
         );
         let vms = fleet(&[4.0, 4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 1.0)];
         for slot in 0..3u64 {
             let ctx = SlotContext {
                 slot,
                 vms: &vms,
                 pending: &pending,
+                committed: &committed,
                 max_vm_capacity: rv(4.0),
             };
             let got = p.provision(&ctx);
@@ -1187,6 +1220,7 @@ mod tests {
     fn forced_inline_isolates_a_shard_without_failure_accounting() {
         let mut p = sharded(2);
         let vms = fleet(&[4.0, 4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0), job(1, 1.0)];
         p.set_forced_inline(1, true);
         for slot in 0..2u64 {
@@ -1194,6 +1228,7 @@ mod tests {
                 slot,
                 vms: &vms,
                 pending: &pending,
+                committed: &committed,
                 max_vm_capacity: rv(4.0),
             };
             let got = p.provision(&ctx);
@@ -1213,6 +1248,7 @@ mod tests {
             slot: 2,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let _ = p.provision(&ctx);
@@ -1249,11 +1285,13 @@ mod tests {
             ShardConfig::default(),
         );
         let vms = fleet(&[4.0]);
+        let committed = committed_of(&vms);
         let pending = vec![job(0, 1.0)];
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &pending,
+            committed: &committed,
             max_vm_capacity: rv(4.0),
         };
         let got = p.provision(&ctx);

@@ -74,8 +74,11 @@ pub fn partition_vm_views(vms: &[VmView], num_shards: usize) -> Vec<Vec<VmView>>
 }
 
 /// A narrowed per-shard context borrowing the shard's partitioned slices.
+/// The raw committed column stays global (it is id-indexed by VM, and
+/// capacity truth is fleet-wide), exactly like the per-VM views' committed
+/// fields.
 pub fn shard_context<'a>(
-    base: &SlotContext<'_>,
+    base: &SlotContext<'a>,
     vms: &'a [VmView],
     pending: &'a [PendingJobView],
 ) -> SlotContext<'a> {
@@ -83,6 +86,7 @@ pub fn shard_context<'a>(
         slot: base.slot,
         vms,
         pending,
+        committed: base.committed,
         max_vm_capacity: base.max_vm_capacity,
     }
 }
@@ -98,6 +102,7 @@ mod tests {
             requested: ResourceVector::splat(1.0),
             arrival_slot: 0,
             slo_slots: 10,
+            handle: corp_sim::JobHandle::DETACHED,
         }
     }
 

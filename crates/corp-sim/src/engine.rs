@@ -29,8 +29,11 @@ use crate::job::{JobId, JobState, RunningJob};
 use crate::metrics::{MetricsCollector, PredictionOutcome, UtilizationSample};
 use crate::provisioner::{
     JobCompletion, PendingJobView, PredictionRecord, Provisioner, SlotContext, VmView,
+    VIEW_HISTORY_CAP,
 };
 use crate::resources::ResourceVector;
+use crate::ring::{copy_newest, copy_tail, BoundedRing};
+use crate::store::{JobHandle, JobStore};
 use corp_faults::{FaultEvent, FaultTimeline};
 use corp_trace::{JobSpec, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
@@ -57,6 +60,14 @@ pub struct SimulationOptions {
     /// therefore reports — are byte-identical either way; `true` is the
     /// measured baseline arm of `corp-exp e2e`.
     pub legacy_slot_views: bool,
+    /// Recycle each job's arena slot (record, histories, SoA columns)
+    /// as soon as it completes or is rejected, bounding engine memory by
+    /// *active* jobs instead of total jobs submitted. Reports are
+    /// byte-identical either way; the cost is that
+    /// [`SlotEngine::jobs`] no longer retains terminal jobs for post-run
+    /// inspection. `false` everywhere except streaming soak runs
+    /// (`corp-exp scale`).
+    pub reclaim_completed: bool,
 }
 
 impl Default for SimulationOptions {
@@ -66,6 +77,7 @@ impl Default for SimulationOptions {
             measure_decision_time: true,
             prediction_eps_frac: 0.25,
             legacy_slot_views: false,
+            reclaim_completed: false,
         }
     }
 }
@@ -148,22 +160,22 @@ pub struct SlotOutcome {
 pub struct SlotEngine {
     cluster: Cluster,
     options: SimulationOptions,
-    jobs: Vec<RunningJob>,
-    index_of: HashMap<JobId, usize>,
+    store: JobStore,
+    index_of: HashMap<JobId, JobHandle>,
     metrics: MetricsCollector,
-    vm_unused_history: Vec<Vec<ResourceVector>>,
+    vm_unused_history: Vec<BoundedRing>,
     pending_predictions: Vec<PredictionRecord>,
     invalid_actions: usize,
     nonfinite_actions: usize,
     faults: Option<FaultRuntime>,
     max_capacity: ResourceVector,
     vm_committed: Vec<ResourceVector>,
-    vm_jobs: Vec<Vec<usize>>,
+    vm_jobs: Vec<Vec<JobHandle>>,
     /// Admitted jobs awaiting placement (engine-side pending queue).
-    pending: Vec<usize>,
+    pending: Vec<JobHandle>,
     /// Jobs submitted since the last step, admitted (or rejected) at the
     /// start of the next one, submission-ordered.
-    incoming: Vec<usize>,
+    incoming: Vec<JobHandle>,
     active: usize,
     slot: u64,
     // Per-slot scratch, reused across steps instead of reallocated.
@@ -171,23 +183,16 @@ pub struct SlotEngine {
     vm_views: Vec<VmView>,
     pending_views: Vec<PendingJobView>,
     completions: Vec<JobCompletion>,
-}
-
-/// Copies the capped newest tail of `src` into the reused `dst` buffer —
-/// same bytes as `src[start..].to_vec()`, no allocation once `dst` has
-/// grown to the cap.
-fn copy_tail(src: &[ResourceVector], dst: &mut Vec<ResourceVector>) {
-    let start = src
-        .len()
-        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-    dst.clear();
-    dst.extend_from_slice(&src[start..]);
-}
-
-/// Copies only the newest sample of `src` into `dst` (off-period slots).
-fn copy_newest(src: &[ResourceVector], dst: &mut Vec<ResourceVector>) {
-    dst.clear();
-    dst.extend(src.last().copied());
+    // Idle-VM view skip bookkeeping (pooled path, fault-free runs only).
+    // A VM whose view provably cannot differ from a rebuild — empty,
+    // untouched since its last rebuild, same full/newest mode, and an
+    // unused-history ring that was already saturated all-zero when last
+    // rebuilt — keeps its buffers as-is, making the per-slot view cost
+    // proportional to *occupied* VMs.
+    view_dirty: Vec<bool>,
+    view_last_full: Vec<Option<bool>>,
+    view_zero_ok: Vec<bool>,
+    zero_streak: Vec<u32>,
 }
 
 impl SlotEngine {
@@ -209,11 +214,11 @@ impl SlotEngine {
             .collect();
         SlotEngine {
             cluster,
+            store: JobStore::new(options.reclaim_completed),
             options,
-            jobs: Vec::new(),
             index_of: HashMap::new(),
             metrics: MetricsCollector::new(),
-            vm_unused_history: vec![Vec::new(); num_vms],
+            vm_unused_history: vec![BoundedRing::new(); num_vms],
             pending_predictions: Vec::new(),
             invalid_actions: 0,
             nonfinite_actions: 0,
@@ -229,6 +234,10 @@ impl SlotEngine {
             vm_views,
             pending_views: Vec::new(),
             completions: Vec::new(),
+            view_dirty: vec![true; num_vms],
+            view_last_full: vec![None; num_vms],
+            view_zero_ok: vec![false; num_vms],
+            zero_streak: vec![0; num_vms],
         }
     }
 
@@ -245,10 +254,10 @@ impl SlotEngine {
     /// happens inside the step so that fault events scheduled for the slot
     /// apply first, exactly as in the batch loop.
     pub fn submit(&mut self, spec: JobSpec) {
-        let idx = self.jobs.len();
-        self.index_of.insert(spec.id, idx);
-        self.jobs.push(RunningJob::new(spec));
-        self.incoming.push(idx);
+        let id = spec.id;
+        let handle = self.store.insert(spec);
+        self.index_of.insert(id, handle);
+        self.incoming.push(handle);
     }
 
     /// The next slot to be simulated (equivalently: slots simulated so
@@ -273,9 +282,18 @@ impl SlotEngine {
         &self.metrics
     }
 
-    /// Read access to every submitted job's state, submission-ordered.
+    /// Read access to the job arena. With the default append-only store
+    /// this is every submitted job's state, submission-ordered; under
+    /// [`SimulationOptions::reclaim_completed`] terminal jobs are
+    /// recycled, so slots hold tombstones (id `u64::MAX`) or reused
+    /// records and order carries no meaning.
     pub fn jobs(&self) -> &[RunningJob] {
-        &self.jobs
+        self.store.as_slice()
+    }
+
+    /// The backing job store (arena occupancy and lifetime counters).
+    pub fn store(&self) -> &JobStore {
+        &self.store
     }
 
     /// Simulates one slot under `provisioner` and returns what happened.
@@ -294,13 +312,14 @@ impl SlotEngine {
                     FaultEvent::VmCrash { vm } if vm < num_vms && !faults.down[vm] => {
                         faults.down[vm] = true;
                         faults.stats.vm_crashes += 1;
-                        for ji in self.vm_jobs[vm].drain(..) {
+                        for h in self.vm_jobs[vm].drain(..) {
                             faults.stats.jobs_killed += 1;
-                            faults.kill_slot.insert(self.jobs[ji].id(), slot);
-                            self.jobs[ji].state = JobState::Pending;
-                            self.jobs[ji].allocation = ResourceVector::ZERO;
-                            self.jobs[ji].progress = 0.0;
-                            self.pending.push(ji);
+                            faults.kill_slot.insert(self.store.job(h).id(), slot);
+                            let job = self.store.job_mut(h);
+                            job.state = JobState::Pending;
+                            job.progress = 0.0;
+                            self.store.set_allocation(h, ResourceVector::ZERO);
+                            self.pending.push(h);
                         }
                         self.vm_committed[vm] = ResourceVector::ZERO;
                     }
@@ -326,14 +345,18 @@ impl SlotEngine {
 
         // 1. Admit arrivals submitted since the last step.
         for i in 0..self.incoming.len() {
-            let idx = self.incoming[i];
-            let requested = self.jobs[idx].requested();
-            if !requested.fits_within(&self.max_capacity) {
-                self.jobs[idx].state = JobState::Rejected;
+            let h = self.incoming[i];
+            if !self.store.requested(h).fits_within(&self.max_capacity) {
+                let id = self.store.job(h).id();
+                self.store.job_mut(h).state = JobState::Rejected;
                 self.metrics.record_rejection();
-                outcome.rejected.push(self.jobs[idx].id());
+                outcome.rejected.push(id);
+                if self.options.reclaim_completed {
+                    self.index_of.remove(&id);
+                    self.store.release(h);
+                }
             } else {
-                self.pending.push(idx);
+                self.pending.push(h);
                 self.active += 1;
             }
         }
@@ -347,7 +370,7 @@ impl SlotEngine {
                 // and clones each job's history tails into fresh
                 // vectors. Identical contents to the in-place path.
                 self.vm_views.clear();
-                let jobs = &self.jobs;
+                let store = &self.store;
                 let vm_unused_history = &self.vm_unused_history;
                 let vm_committed = &self.vm_committed;
                 let vm_jobs = &self.vm_jobs;
@@ -370,29 +393,20 @@ impl SlotEngine {
                         free: vm.capacity.saturating_sub(&vm_committed[vm.id]),
                         jobs: vm_jobs[vm.id]
                             .iter()
-                            .map(|&ji| {
-                                let j = &jobs[ji];
-                                let tail = |v: &Vec<ResourceVector>| {
-                                    let start = v
-                                        .len()
-                                        .saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                                    v[start..].to_vec()
-                                };
+                            .map(|&h| {
+                                let j = store.job(h);
                                 crate::provisioner::RunningJobView {
                                     id: j.id(),
-                                    requested: j.requested(),
-                                    allocation: j.allocation,
-                                    recent_demand: tail(&j.observed_demand),
-                                    recent_unused: tail(&j.observed_unused),
+                                    requested: store.requested(h),
+                                    allocation: store.allocation(h),
+                                    recent_demand: crate::ring::tail_of(&j.observed_demand)
+                                        .to_vec(),
+                                    recent_unused: crate::ring::tail_of(&j.observed_unused)
+                                        .to_vec(),
                                 }
                             })
                             .collect(),
-                        unused_history: {
-                            let h = &vm_unused_history[vm.id];
-                            let start =
-                                h.len().saturating_sub(crate::provisioner::VIEW_HISTORY_CAP);
-                            h[start..].to_vec()
-                        },
+                        unused_history: vm_unused_history[vm.id].to_tail_vec(),
                     };
                     if let Some(kind) = faults.as_ref().and_then(|f| f.poison[vm.id]) {
                         for job in &mut view.jobs {
@@ -421,6 +435,7 @@ impl SlotEngine {
                 let full = slot % full_view_period == 0;
                 let copy_history: &dyn Fn(&[ResourceVector], &mut Vec<ResourceVector>) =
                     if full { &copy_tail } else { &copy_newest };
+                let skip_enabled = self.faults.is_none();
                 for vm in &self.cluster.vms {
                     let view = &mut self.vm_views[vm.id];
                     // A down VM presents as zero capacity with nothing
@@ -434,12 +449,26 @@ impl SlotEngine {
                         view.unused_history.clear();
                         continue;
                     }
+                    let occupants = &self.vm_jobs[vm.id];
+                    // Idle-VM skip: nothing placed/completed here since the
+                    // last rebuild (`!dirty`), same full/newest mode, and
+                    // the unused-history ring was already saturated
+                    // all-zero at that rebuild — every push since has been
+                    // another zero evicting a zero, so a rebuild would
+                    // reproduce the buffers bit for bit. Leave them be.
+                    if skip_enabled
+                        && occupants.is_empty()
+                        && !self.view_dirty[vm.id]
+                        && self.view_last_full[vm.id] == Some(full)
+                        && self.view_zero_ok[vm.id]
+                    {
+                        continue;
+                    }
                     view.capacity = vm.capacity;
                     view.committed = self.vm_committed[vm.id];
                     view.free = vm.capacity.saturating_sub(&self.vm_committed[vm.id]);
                     // Match the view list to the VM's occupancy, keeping
                     // the history buffers of surviving entries alive.
-                    let occupants = &self.vm_jobs[vm.id];
                     view.jobs.truncate(occupants.len());
                     while view.jobs.len() < occupants.len() {
                         view.jobs.push(crate::provisioner::RunningJobView {
@@ -450,15 +479,25 @@ impl SlotEngine {
                             recent_unused: Vec::new(),
                         });
                     }
-                    for (jv, &ji) in view.jobs.iter_mut().zip(occupants) {
-                        let j = &self.jobs[ji];
+                    for (jv, &h) in view.jobs.iter_mut().zip(occupants) {
+                        let j = self.store.job(h);
                         jv.id = j.id();
-                        jv.requested = j.requested();
-                        jv.allocation = j.allocation;
+                        jv.requested = self.store.requested(h);
+                        jv.allocation = self.store.allocation(h);
                         copy_history(&j.observed_demand, &mut jv.recent_demand);
                         copy_history(&j.observed_unused, &mut jv.recent_unused);
                     }
-                    copy_history(&self.vm_unused_history[vm.id], &mut view.unused_history);
+                    let ring = &self.vm_unused_history[vm.id];
+                    if full {
+                        ring.copy_all(&mut view.unused_history);
+                    } else {
+                        ring.copy_newest(&mut view.unused_history);
+                    }
+                    self.view_dirty[vm.id] = false;
+                    self.view_last_full[vm.id] = Some(full);
+                    self.view_zero_ok[vm.id] = occupants.is_empty()
+                        && ring.len() == VIEW_HISTORY_CAP
+                        && self.zero_streak[vm.id] >= VIEW_HISTORY_CAP as u32;
                     // Poisoning corrupts only the monitoring tails the
                     // provisioner sees this slot; ground truth stays
                     // intact (the tails are rewritten from it next slot).
@@ -478,20 +517,22 @@ impl SlotEngine {
                 }
             }
             self.pending_views.clear();
-            let jobs = &self.jobs;
-            self.pending_views.extend(self.pending.iter().map(|&ji| {
-                let j = &jobs[ji];
+            let store = &self.store;
+            self.pending_views.extend(self.pending.iter().map(|&h| {
+                let j = store.job(h);
                 PendingJobView {
                     id: j.id(),
-                    requested: j.requested(),
+                    requested: store.requested(h),
                     arrival_slot: j.spec.arrival_slot,
                     slo_slots: j.spec.slo_slots,
+                    handle: h,
                 }
             }));
             let ctx = SlotContext {
                 slot,
                 vms: &self.vm_views,
                 pending: &self.pending_views,
+                committed: &self.vm_committed,
                 max_vm_capacity: self.max_capacity,
             };
             let started = Instant::now();
@@ -514,16 +555,16 @@ impl SlotEngine {
             let shrinking = self
                 .index_of
                 .get(job_id)
-                .map(|&ji| new_alloc.fits_within(&self.jobs[ji].allocation))
+                .map(|&h| new_alloc.fits_within(&self.store.allocation(h)))
                 .unwrap_or(false);
             !shrinking
         });
         for (job_id, new_alloc) in adjustments {
-            let Some(&ji) = self.index_of.get(&job_id) else {
+            let Some(&h) = self.index_of.get(&job_id) else {
                 self.invalid_actions += 1;
                 continue;
             };
-            let JobState::Running { vm } = self.jobs[ji].state else {
+            let JobState::Running { vm } = self.store.job(h).state else {
                 self.invalid_actions += 1;
                 continue;
             };
@@ -537,14 +578,14 @@ impl SlotEngine {
                 continue;
             }
             let new_alloc = new_alloc.clamp_nonnegative();
-            let old = self.jobs[ji].allocation;
+            let old = self.store.allocation(h);
             let candidate = self.vm_committed[vm] - old + new_alloc;
             if candidate
                 .clamp_nonnegative()
                 .fits_within(&self.cluster.vms[vm].capacity)
             {
                 self.vm_committed[vm] = candidate.clamp_nonnegative();
-                self.jobs[ji].allocation = new_alloc;
+                self.store.set_allocation(h, new_alloc);
             } else {
                 self.invalid_actions += 1;
             }
@@ -552,7 +593,7 @@ impl SlotEngine {
 
         // 4. Apply placements.
         for p in plan.placements {
-            let Some(&ji) = self.index_of.get(&p.job) else {
+            let Some(&h) = self.index_of.get(&p.job) else {
                 self.invalid_actions += 1;
                 continue;
             };
@@ -562,7 +603,7 @@ impl SlotEngine {
                 continue;
             }
             let is_pending =
-                matches!(self.jobs[ji].state, JobState::Pending) && self.pending.contains(&ji);
+                matches!(self.store.job(h).state, JobState::Pending) && self.pending.contains(&h);
             if !is_pending || p.vm >= self.cluster.vms.len() || !p.allocation.is_nonnegative() {
                 self.invalid_actions += 1;
                 continue;
@@ -585,14 +626,16 @@ impl SlotEngine {
                 continue;
             }
             self.vm_committed[p.vm] += alloc;
-            self.vm_jobs[p.vm].push(ji);
-            self.pending.retain(|&x| x != ji);
-            self.jobs[ji].state = JobState::Running { vm: p.vm };
-            self.jobs[ji].allocation = alloc;
-            self.jobs[ji].placed_vm = Some(p.vm);
-            if self.jobs[ji].placed_slot.is_none() {
-                self.jobs[ji].placed_slot = Some(slot);
+            self.vm_jobs[p.vm].push(h);
+            self.pending.retain(|&x| x != h);
+            self.store.set_allocation(h, alloc);
+            let job = self.store.job_mut(h);
+            job.state = JobState::Running { vm: p.vm };
+            job.placed_vm = Some(p.vm);
+            if job.placed_slot.is_none() {
+                job.placed_slot = Some(slot);
             }
+            self.view_dirty[p.vm] = true;
             outcome.placements.push((p.job, p.vm));
             if let Some(faults) = self.faults.as_mut() {
                 faults.note_placement(p.job, slot);
@@ -606,12 +649,14 @@ impl SlotEngine {
         for (vm_id, jobs_here) in self.vm_jobs.iter().enumerate() {
             if jobs_here.is_empty() {
                 self.vm_unused_history[vm_id].push(ResourceVector::ZERO);
+                self.zero_streak[vm_id] = self.zero_streak[vm_id].saturating_add(1);
                 continue;
             }
+            self.zero_streak[vm_id] = 0;
             // Physical congestion: total true demand vs capacity.
             let mut total_demand = ResourceVector::ZERO;
-            for &ji in jobs_here {
-                total_demand += self.jobs[ji].current_demand();
+            for &h in jobs_here {
+                total_demand += self.store.job(h).current_demand();
             }
             // A degraded VM physically delivers only a fraction of its
             // nominal capacity; commitments are contractual and stay
@@ -628,17 +673,17 @@ impl SlotEngine {
                     congestion = congestion.min(cap[k] / total_demand[k]);
                 }
             }
-            for &ji in jobs_here {
-                let demand = self.jobs[ji].current_demand();
-                let adequacy = self.jobs[ji].allocation.coverage_of(&demand);
-                let rate = congestion.min(adequacy);
-                let job = &mut self.jobs[ji];
+            for &h in jobs_here {
+                let demand = self.store.job(h).current_demand();
+                let allocation = self.store.allocation(h);
+                let rate = congestion.min(allocation.coverage_of(&demand));
+                let unused = allocation.saturating_sub(&demand);
+                let job = self.store.job_mut(h);
                 job.progress += rate;
                 job.observed_demand.push(demand);
-                let unused = job.allocation.saturating_sub(&demand);
                 job.observed_unused.push(unused);
                 self.slot_vm_unused[vm_id] += unused;
-                slot_allocated += job.allocation;
+                slot_allocated += allocation;
                 slot_demanded += demand;
             }
             self.vm_unused_history[vm_id].push(self.slot_vm_unused[vm_id]);
@@ -671,8 +716,12 @@ impl SlotEngine {
                 }
                 let actual = match p.job {
                     Some(job_id) => match self.index_of.get(&job_id) {
-                        Some(&ji) if matches!(self.jobs[ji].state, JobState::Running { .. }) => {
-                            self.jobs[ji].observed_unused.last().map(|u| u[p.resource])
+                        Some(&h) if matches!(self.store.job(h).state, JobState::Running { .. }) => {
+                            self.store
+                                .job(h)
+                                .observed_unused
+                                .last()
+                                .map(|u| u[p.resource])
                         }
                         _ => None,
                     },
@@ -698,27 +747,34 @@ impl SlotEngine {
         for (vm_id, jobs_here) in self.vm_jobs.iter_mut().enumerate() {
             let mut i = 0;
             while i < jobs_here.len() {
-                let ji = jobs_here[i];
-                if self.jobs[ji].work_done() {
-                    let violated = self.jobs[ji].violates_slo(slot);
-                    let response = self.jobs[ji].response_slots(slot);
+                let h = jobs_here[i];
+                if self.store.job(h).work_done() {
+                    let id = self.store.job(h).id();
+                    let violated = self.store.job(h).violates_slo(slot);
+                    let response = self.store.job(h).response_slots(slot);
                     self.vm_committed[vm_id] =
-                        (self.vm_committed[vm_id] - self.jobs[ji].allocation).clamp_nonnegative();
-                    self.jobs[ji].allocation = ResourceVector::ZERO;
-                    self.jobs[ji].state = JobState::Completed {
+                        (self.vm_committed[vm_id] - self.store.allocation(h)).clamp_nonnegative();
+                    self.store.set_allocation(h, ResourceVector::ZERO);
+                    self.store.job_mut(h).state = JobState::Completed {
                         finish_slot: slot,
                         violated,
                     };
                     self.metrics.record_completion(response, violated);
                     self.completions.push(JobCompletion {
-                        job: self.jobs[ji].id(),
+                        job: id,
+                        handle: h,
                         unused_history: (0..NUM_RESOURCES)
-                            .map(|r| self.jobs[ji].unused_series(r))
+                            .map(|r| self.store.job(h).unused_series(r))
                             .collect(),
                     });
-                    outcome.completed.push(self.jobs[ji].id());
+                    outcome.completed.push(id);
                     jobs_here.swap_remove(i);
                     self.active -= 1;
+                    self.view_dirty[vm_id] = true;
+                    if self.options.reclaim_completed {
+                        self.index_of.remove(&id);
+                        self.store.release(h);
+                    }
                 } else {
                     i += 1;
                 }
@@ -745,12 +801,11 @@ impl SlotEngine {
         });
 
         // Unfinished jobs are SLO violations by definition (never served in
-        // time).
-        let unfinished = self
-            .jobs
-            .iter()
-            .filter(|j| matches!(j.state, JobState::Pending | JobState::Running { .. }))
-            .count();
+        // time). Admitted-but-unfinished jobs are exactly `active`;
+        // submitted-but-not-yet-admitted ones sit in `incoming` — counting
+        // them incrementally (instead of scanning every job ever stored)
+        // keeps the report O(live) under slot reclamation.
+        let unfinished = self.active + self.incoming.len();
 
         let terminal = self.metrics.completed + self.metrics.rejected + unfinished;
         let slo_rate = if terminal == 0 {
@@ -762,7 +817,7 @@ impl SlotEngine {
         SimulationReport {
             provisioner: provisioner.name().to_string(),
             environment: self.cluster.profile.name.clone(),
-            num_jobs: self.jobs.len(),
+            num_jobs: self.store.total_inserted(),
             utilization: self.metrics.aggregate_utilization(),
             overall_utilization: self.metrics.aggregate_overall_utilization(),
             slo_violation_rate: slo_rate,
@@ -1599,6 +1654,76 @@ mod tests {
                 assert!(placements.contains(&(j.id(), vm)));
             }
         }
+    }
+
+    #[test]
+    fn reclaim_mode_report_is_byte_identical_and_arena_is_bounded() {
+        // Two well-separated waves: with reclamation on, the second wave
+        // reuses the first wave's arena slots, so the arena never grows to
+        // the full job count — while the report stays bit-for-bit equal.
+        let mut jobs = small_workload(30, 40);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.arrival_slot = if i < 15 { 0 } else { 500 };
+        }
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let baseline =
+            Simulation::new(cluster(), jobs.clone(), opts.clone()).run(&mut StaticPeakProvisioner);
+        let mut sim = Simulation::new(
+            cluster(),
+            jobs,
+            SimulationOptions {
+                reclaim_completed: true,
+                ..opts
+            },
+        );
+        let reclaimed = sim.run(&mut StaticPeakProvisioner);
+        assert_eq!(
+            serde::json::to_string(&baseline),
+            serde::json::to_string(&reclaimed),
+            "slot reclamation must not change a single report byte"
+        );
+        let store = sim.engine.store();
+        assert_eq!(store.total_inserted(), 30);
+        assert!(
+            store.capacity() <= 15,
+            "arena must be bounded by concurrently-live jobs, got {}",
+            store.capacity()
+        );
+        assert_eq!(store.live(), 0, "everything completed and was released");
+    }
+
+    #[test]
+    fn idle_fleet_view_skip_is_byte_identical_to_legacy_views() {
+        // A long fully-idle gap (far beyond VIEW_HISTORY_CAP) between two
+        // waves exercises the idle-VM view skip on every VM; the legacy
+        // arm rebuilds every view every slot. Reports must agree exactly.
+        let mut jobs = small_workload(24, 41);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.arrival_slot = if i < 12 { 0 } else { 400 };
+        }
+        let opts = SimulationOptions {
+            measure_decision_time: false,
+            ..SimulationOptions::default()
+        };
+        let pooled =
+            Simulation::new(cluster(), jobs.clone(), opts.clone()).run(&mut StaticPeakProvisioner);
+        let legacy = Simulation::new(
+            cluster(),
+            jobs,
+            SimulationOptions {
+                legacy_slot_views: true,
+                ..opts
+            },
+        )
+        .run(&mut StaticPeakProvisioner);
+        assert_eq!(
+            serde::json::to_string(&pooled),
+            serde::json::to_string(&legacy),
+            "idle-VM view skip must not change what provisioners see"
+        );
     }
 
     #[test]

@@ -40,8 +40,6 @@ pub struct RunningJob {
     pub spec: JobSpec,
     /// Current lifecycle state.
     pub state: JobState,
-    /// Resources currently allocated (`r_ij,t`); meaningful while running.
-    pub allocation: ResourceVector,
     /// Fractional execution progress in slots of work completed.
     pub progress: f64,
     /// Slot at which the job was first placed on a VM, if ever.
@@ -65,7 +63,6 @@ impl RunningJob {
         RunningJob {
             spec,
             state: JobState::Pending,
-            allocation: ResourceVector::ZERO,
             progress: 0.0,
             placed_slot: None,
             placed_vm: None,
@@ -136,7 +133,6 @@ mod tests {
         let j = sample_job();
         assert_eq!(j.state, JobState::Pending);
         assert_eq!(j.progress, 0.0);
-        assert_eq!(j.allocation, ResourceVector::ZERO);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub mod job;
 pub mod metrics;
 pub mod provisioner;
 pub mod resources;
+pub mod ring;
+pub mod store;
+pub mod streaming;
 
 pub use cluster::{Cluster, EnvironmentProfile};
 pub use control_plane::{BreakerStateName, BreakerTransition, ControlPlaneStats, ShardStats};
@@ -55,3 +58,6 @@ pub use provisioner::{
     RunningJobView, SlotContext, StaticPeakProvisioner, VmView, VIEW_HISTORY_CAP,
 };
 pub use resources::{ResourceVector, RESOURCE_WEIGHTS};
+pub use ring::BoundedRing;
+pub use store::{JobHandle, JobStore};
+pub use streaming::StreamingSimulation;

@@ -15,6 +15,7 @@
 
 use crate::job::JobId;
 use crate::resources::ResourceVector;
+use crate::store::JobHandle;
 use serde::{Deserialize, Serialize};
 
 /// Cap on the per-job history tail copied into views each slot; bounds the
@@ -71,6 +72,11 @@ pub struct PendingJobView {
     pub arrival_slot: u64,
     /// The job's SLO threshold in slots.
     pub slo_slots: usize,
+    /// The engine's arena handle for this job — an opaque token sharded
+    /// provisioners may thread through their messages to index per-job
+    /// state without a hash lookup. Views built outside an engine carry
+    /// [`JobHandle::DETACHED`].
+    pub handle: JobHandle,
 }
 
 /// One placement decision.
@@ -130,6 +136,10 @@ pub struct SlotContext<'a> {
     pub vms: &'a [VmView],
     /// Jobs awaiting placement, arrival-ordered.
     pub pending: &'a [PendingJobView],
+    /// Per-VM committed totals, id-indexed — the raw SoA column behind
+    /// each [`VmView::committed`], exposed so sharded provisioners can
+    /// read commitments without walking the views.
+    pub committed: &'a [ResourceVector],
     /// The `C'` reference vector (per-resource max VM capacity, Eq. 22).
     pub max_vm_capacity: ResourceVector,
 }
@@ -140,6 +150,10 @@ pub struct SlotContext<'a> {
 pub struct JobCompletion {
     /// The completed job.
     pub job: JobId,
+    /// The arena handle the job held while running (stale once the slot
+    /// is reclaimed; [`JobHandle::DETACHED`] for completions fabricated
+    /// outside an engine).
+    pub handle: JobHandle,
     /// Full unused-resource history, one series per resource.
     pub unused_history: Vec<Vec<f64>>,
 }
@@ -256,17 +270,24 @@ mod tests {
             requested: ResourceVector::new(req),
             arrival_slot: 0,
             slo_slots: 10,
+            handle: JobHandle::DETACHED,
         }
+    }
+
+    fn committed_of(vms: &[VmView]) -> Vec<ResourceVector> {
+        vms.iter().map(|v| v.committed).collect()
     }
 
     #[test]
     fn static_peak_places_first_fit() {
         let vms = vec![vm_view(0, [1.0, 1.0, 1.0]), vm_view(1, [4.0, 16.0, 180.0])];
         let jobs = vec![pending(7, [2.0, 2.0, 2.0])];
+        let committed = committed_of(&vms);
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &jobs,
+            committed: &committed,
             max_vm_capacity: ResourceVector::new([4.0, 16.0, 180.0]),
         };
         let plan = StaticPeakProvisioner.provision(&ctx);
@@ -283,10 +304,12 @@ mod tests {
         // One VM with room for exactly one of the two jobs.
         let vms = vec![vm_view(0, [2.0, 2.0, 2.0])];
         let jobs = vec![pending(1, [2.0, 2.0, 2.0]), pending(2, [2.0, 2.0, 2.0])];
+        let committed = committed_of(&vms);
         let ctx = SlotContext {
             slot: 0,
             vms: &vms,
             pending: &jobs,
+            committed: &committed,
             max_vm_capacity: ResourceVector::new([4.0, 16.0, 180.0]),
         };
         let plan = StaticPeakProvisioner.provision(&ctx);
@@ -297,10 +320,12 @@ mod tests {
     fn static_peak_leaves_unplaceable_jobs_pending() {
         let vms = vec![vm_view(0, [1.0, 1.0, 1.0])];
         let jobs = vec![pending(1, [9.0, 9.0, 9.0])];
+        let committed = committed_of(&vms);
         let ctx = SlotContext {
             slot: 3,
             vms: &vms,
             pending: &jobs,
+            committed: &committed,
             max_vm_capacity: ResourceVector::new([4.0, 16.0, 180.0]),
         };
         let plan = StaticPeakProvisioner.provision(&ctx);

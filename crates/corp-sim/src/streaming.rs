@@ -1,0 +1,197 @@
+//! Streaming simulation driver: a [`SlotEngine`] fed from a job iterator
+//! instead of a pre-materialized workload vector.
+//!
+//! [`Simulation`](crate::Simulation) owns its whole workload up front —
+//! fine for the paper's figure sweeps (hundreds of jobs), fatal for
+//! soak-scale runs where the trace outweighs memory. This driver pulls
+//! arrivals lazily from any `Iterator<Item = JobSpec>` (in practice a
+//! `corp_trace::JobSource` adapted via `into_specs()`), so combined with
+//! [`SimulationOptions::reclaim_completed`](crate::SimulationOptions) the
+//! resident set is bounded by *concurrently live* jobs, independent of the
+//! trace length.
+//!
+//! ## Equivalence
+//!
+//! With an arrival-ordered stream, the driver submits exactly the spec
+//! sequence [`Simulation`](crate::Simulation) would (its stable sort is a
+//! no-op on sorted input), so reports are byte-identical to the batch
+//! driver's — asserted by the tests below and the corp-trace proptests.
+
+use crate::cluster::Cluster;
+use crate::engine::{SimulationOptions, SimulationReport, SlotEngine};
+use crate::provisioner::Provisioner;
+use corp_trace::JobSpec;
+
+/// A [`SlotEngine`] stepped against a lazily-pulled arrival stream.
+///
+/// The stream must be non-decreasing in `arrival_slot` (every reader and
+/// generator in `corp-trace` is); a spec whose arrival slot is already in
+/// the past is submitted immediately, which only affects its queueing-time
+/// accounting, never engine safety.
+pub struct StreamingSimulation<I: Iterator<Item = JobSpec>> {
+    engine: SlotEngine,
+    source: std::iter::Peekable<I>,
+    last_arrival: u64,
+    submitted: usize,
+}
+
+impl<I: Iterator<Item = JobSpec>> StreamingSimulation<I> {
+    /// Builds a streaming simulation over `cluster` fed by `source`.
+    pub fn new(cluster: Cluster, source: I, options: SimulationOptions) -> Self {
+        StreamingSimulation {
+            engine: SlotEngine::new(cluster, options),
+            source: source.peekable(),
+            last_arrival: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Jobs pulled from the stream and submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Read access to the underlying engine (arena occupancy, metrics).
+    pub fn engine(&self) -> &SlotEngine {
+        &self.engine
+    }
+
+    /// Runs until the stream drains and every submitted job reaches a
+    /// terminal state, or the slot cap (`max_slots` past the newest
+    /// arrival seen) trips. On a cap trip the unread tail of the stream is
+    /// left unread — counting unseen arrivals as unfinished would require
+    /// materializing them, which is exactly what this driver exists to
+    /// avoid.
+    pub fn run(&mut self, provisioner: &mut dyn Provisioner) -> SimulationReport {
+        loop {
+            while self
+                .source
+                .peek()
+                .is_some_and(|s| s.arrival_slot <= self.engine.slot())
+            {
+                let spec = self.source.next().expect("peeked");
+                self.last_arrival = self.last_arrival.max(spec.arrival_slot);
+                self.submitted += 1;
+                self.engine.submit(spec);
+            }
+            self.engine.step(provisioner);
+            let drained = self.source.peek().is_none();
+            if (drained && self.engine.active() == 0)
+                || self.engine.slot() >= self.engine.options().max_slots + self.last_arrival
+            {
+                break;
+            }
+        }
+        self.engine.report(provisioner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::EnvironmentProfile;
+    use crate::provisioner::StaticPeakProvisioner;
+    use corp_trace::{JobSource, SyntheticSource, WorkloadConfig, WorkloadGenerator};
+
+    fn cluster() -> Cluster {
+        Cluster::from_profile(EnvironmentProfile::palmetto_cluster().with_num_pms(4))
+    }
+
+    fn config(n: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            num_jobs: n,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// Byte-compare needs deterministic reports: drop the wall-clock
+    /// overhead measurement.
+    fn untimed() -> SimulationOptions {
+        SimulationOptions {
+            measure_decision_time: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_run_byte_for_byte() {
+        let n = 40;
+        let seed = 77;
+        let batch = {
+            let specs = WorkloadGenerator::new(config(n), seed).generate();
+            let mut sim = crate::engine::Simulation::new(cluster(), specs, untimed());
+            sim.run(&mut StaticPeakProvisioner)
+        };
+        let streamed = {
+            let source = SyntheticSource::new(config(n), seed).into_specs();
+            let mut sim = StreamingSimulation::new(cluster(), source, untimed());
+            sim.run(&mut StaticPeakProvisioner)
+        };
+        assert_eq!(
+            serde::json::to_string(&batch),
+            serde::json::to_string(&streamed),
+            "streaming driver diverged from the batch driver"
+        );
+    }
+
+    #[test]
+    fn reclaiming_streamed_run_matches_batch_and_bounds_arena() {
+        let n = 40;
+        let seed = 78;
+        let batch = {
+            let specs = WorkloadGenerator::new(config(n), seed).generate();
+            let mut sim = crate::engine::Simulation::new(cluster(), specs, untimed());
+            sim.run(&mut StaticPeakProvisioner)
+        };
+        let source = SyntheticSource::new(config(n), seed).into_specs();
+        let mut sim = StreamingSimulation::new(
+            cluster(),
+            source,
+            SimulationOptions {
+                reclaim_completed: true,
+                ..untimed()
+            },
+        );
+        let streamed = sim.run(&mut StaticPeakProvisioner);
+        assert_eq!(
+            serde::json::to_string(&batch),
+            serde::json::to_string(&streamed),
+            "reclaiming streaming run diverged from the batch driver"
+        );
+        assert_eq!(sim.submitted(), n);
+        assert!(
+            sim.engine().store().capacity() < n,
+            "arena grew to trace size ({} slots for {n} jobs) — reclaim is not bounding memory",
+            sim.engine().store().capacity()
+        );
+    }
+
+    #[test]
+    fn slot_cap_stops_a_stalled_run() {
+        // A burst of jobs that cannot all finish within the cap: the run
+        // must stop `max_slots` past the newest arrival seen instead of
+        // spinning until completion.
+        let n = 12;
+        let source = SyntheticSource::new(config(n), 79)
+            .into_specs()
+            .map(|mut s| {
+                s.arrival_slot = 0;
+                s
+            });
+        let mut sim = StreamingSimulation::new(
+            cluster(),
+            source,
+            SimulationOptions {
+                max_slots: 1,
+                ..Default::default()
+            },
+        );
+        let report = sim.run(&mut StaticPeakProvisioner);
+        assert_eq!(report.slots_run, 1);
+        assert_eq!(report.num_jobs, n);
+        assert!(
+            report.completed < n,
+            "a one-slot cap cannot complete the whole workload"
+        );
+    }
+}

@@ -41,12 +41,20 @@ pub struct TaskRecord {
 }
 
 /// Errors from parsing a trace CSV line.
+///
+/// Every variant carries both the 1-based line number and the byte offset
+/// of the start of the offending line, so callers streaming a multi-GB
+/// trace through `io::BufRead` can seek straight to the bad row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceError {
     /// The line had the wrong number of comma-separated fields.
     FieldCount {
         /// 1-based line number.
         line: usize,
+        /// Byte offset of the start of the line within the input.
+        byte: usize,
+        /// Number of fields the schema requires.
+        expected: usize,
         /// Number of fields found.
         found: usize,
     },
@@ -54,6 +62,8 @@ pub enum TraceError {
     BadField {
         /// 1-based line number.
         line: usize,
+        /// Byte offset of the start of the line within the input.
+        byte: usize,
         /// 0-based field index.
         field: usize,
     },
@@ -61,20 +71,56 @@ pub enum TraceError {
     EmptyInterval {
         /// 1-based line number.
         line: usize,
+        /// Byte offset of the start of the line within the input.
+        byte: usize,
     },
+}
+
+impl TraceError {
+    /// The 1-based line number the error occurred on.
+    pub fn line(&self) -> usize {
+        match self {
+            TraceError::FieldCount { line, .. }
+            | TraceError::BadField { line, .. }
+            | TraceError::EmptyInterval { line, .. } => *line,
+        }
+    }
+
+    /// Byte offset of the start of the offending line.
+    pub fn byte(&self) -> usize {
+        match self {
+            TraceError::FieldCount { byte, .. }
+            | TraceError::BadField { byte, .. }
+            | TraceError::EmptyInterval { byte, .. } => *byte,
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceError::FieldCount { line, found } => {
-                write!(f, "line {line}: expected 7 fields, found {found}")
+            TraceError::FieldCount {
+                line,
+                byte,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "line {line} (byte {byte}): expected {expected} fields, found {found}"
+                )
             }
-            TraceError::BadField { line, field } => {
-                write!(f, "line {line}: field {field} is not a valid number")
+            TraceError::BadField { line, byte, field } => {
+                write!(
+                    f,
+                    "line {line} (byte {byte}): field {field} is not a valid number"
+                )
             }
-            TraceError::EmptyInterval { line } => {
-                write!(f, "line {line}: sample interval is empty (end <= start)")
+            TraceError::EmptyInterval { line, byte } => {
+                write!(
+                    f,
+                    "line {line} (byte {byte}): sample interval is empty (end <= start)"
+                )
             }
         }
     }
@@ -82,41 +128,72 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Number of comma-separated fields in the Google `task_usage` CSV layout.
+pub const GOOGLE_FIELDS: usize = 7;
+
+/// Parses one raw CSV line at 1-based `line_no` starting at byte offset
+/// `byte`. Returns `Ok(None)` for blank lines and `#` comments. This is the
+/// single decode path shared by the in-memory [`parse_csv`] and the
+/// streaming [`GoogleCsvReader`](crate::GoogleCsvReader), so both report
+/// byte-exact identical records and errors.
+pub fn parse_line(
+    raw: &str,
+    line_no: usize,
+    byte: usize,
+) -> Result<Option<TaskRecord>, TraceError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != GOOGLE_FIELDS {
+        return Err(TraceError::FieldCount {
+            line: line_no,
+            byte,
+            expected: GOOGLE_FIELDS,
+            found: fields.len(),
+        });
+    }
+    let rec = TaskRecord {
+        start_secs: parse_field(fields[0], line_no, byte, 0)?,
+        end_secs: parse_field(fields[1], line_no, byte, 1)?,
+        job_id: parse_field(fields[2], line_no, byte, 2)?,
+        task_index: parse_field(fields[3], line_no, byte, 3)?,
+        cpu: parse_field(fields[4], line_no, byte, 4)?,
+        memory: parse_field(fields[5], line_no, byte, 5)?,
+        storage: parse_field(fields[6], line_no, byte, 6)?,
+    };
+    if rec.end_secs <= rec.start_secs {
+        return Err(TraceError::EmptyInterval {
+            line: line_no,
+            byte,
+        });
+    }
+    Ok(Some(rec))
+}
+
+pub(crate) fn parse_field<T: std::str::FromStr>(
+    s: &str,
+    line: usize,
+    byte: usize,
+    field: usize,
+) -> Result<T, TraceError> {
+    s.parse::<T>()
+        .map_err(|_| TraceError::BadField { line, byte, field })
+}
+
 /// Parses a headerless CSV trace
 /// (`start,end,job_id,task_index,cpu,memory,storage` per line; blank lines
-/// and `#` comments skipped).
+/// and `#` comments skipped). Errors carry line number and byte offset.
 pub fn parse_csv(input: &str) -> Result<Vec<TaskRecord>, TraceError> {
     let mut out = Vec::new();
-    for (i, raw) in input.lines().enumerate() {
-        let line_no = i + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+    let mut byte = 0usize;
+    for (i, raw) in input.split_inclusive('\n').enumerate() {
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
+        if let Some(rec) = parse_line(line, i + 1, byte)? {
+            out.push(rec);
         }
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != 7 {
-            return Err(TraceError::FieldCount {
-                line: line_no,
-                found: fields.len(),
-            });
-        }
-        fn num<T: std::str::FromStr>(s: &str, line: usize, field: usize) -> Result<T, TraceError> {
-            s.parse::<T>()
-                .map_err(|_| TraceError::BadField { line, field })
-        }
-        let rec = TaskRecord {
-            start_secs: num(fields[0], line_no, 0)?,
-            end_secs: num(fields[1], line_no, 1)?,
-            job_id: num(fields[2], line_no, 2)?,
-            task_index: num(fields[3], line_no, 3)?,
-            cpu: num(fields[4], line_no, 4)?,
-            memory: num(fields[5], line_no, 5)?,
-            storage: num(fields[6], line_no, 6)?,
-        };
-        if rec.end_secs <= rec.start_secs {
-            return Err(TraceError::EmptyInterval { line: line_no });
-        }
-        out.push(rec);
+        byte += raw.len();
     }
     Ok(out)
 }
@@ -259,26 +336,45 @@ mod tests {
     #[test]
     fn parse_rejects_wrong_field_count() {
         let err = parse_csv("0,300,1,0,0.5,1\n").unwrap_err();
-        assert_eq!(err, TraceError::FieldCount { line: 1, found: 6 });
+        assert_eq!(
+            err,
+            TraceError::FieldCount {
+                line: 1,
+                byte: 0,
+                expected: 7,
+                found: 6
+            }
+        );
     }
 
     #[test]
     fn parse_rejects_non_numeric_field() {
         let err = parse_csv("0,300,xyz,0,0.5,1,2\n").unwrap_err();
-        assert_eq!(err, TraceError::BadField { line: 1, field: 2 });
+        assert_eq!(
+            err,
+            TraceError::BadField {
+                line: 1,
+                byte: 0,
+                field: 2
+            }
+        );
     }
 
     #[test]
     fn parse_rejects_empty_interval() {
         let err = parse_csv("300,300,1,0,0.5,1,2\n").unwrap_err();
-        assert_eq!(err, TraceError::EmptyInterval { line: 1 });
+        assert_eq!(err, TraceError::EmptyInterval { line: 1, byte: 0 });
     }
 
     #[test]
-    fn parse_reports_correct_line_numbers() {
+    fn parse_reports_correct_line_numbers_and_byte_offsets() {
         let input = "0,300,1,0,0.5,1,2\nbad line\n";
         match parse_csv(input).unwrap_err() {
-            TraceError::FieldCount { line, .. } => assert_eq!(line, 2),
+            TraceError::FieldCount { line, byte, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, "0,300,1,0,0.5,1,2\n".len());
+                assert_eq!(&input[byte..byte + 3], "bad");
+            }
             other => panic!("unexpected error {other:?}"),
         }
     }

@@ -39,15 +39,25 @@ pub mod google;
 pub mod longlived;
 pub mod recorded;
 pub mod series;
+pub mod source;
+pub mod stream;
 pub mod workload;
 
 pub use arrival::{ArrivalProcess, BurstyArrivals, PoissonArrivals};
-pub use google::{filter_short_lived, resample_trace, TaskRecord, TraceError};
+pub use google::{
+    filter_short_lived, parse_csv, parse_line, resample_trace, to_csv, TaskRecord, TraceError,
+    GOOGLE_FIELDS,
+};
 pub use longlived::{LongLivedConfig, LongLivedGenerator};
 pub use recorded::{
     format_trace, load_trace, parse_trace, save_trace, RecordedTraceError, TRACE_HEADER,
 };
 pub use series::{fluctuation_spreads, peaks_and_valleys, window_spread};
+pub use source::{
+    records_to_jobs, streaming_filter_short_lived, streaming_resample_trace, IngestConfig,
+    IntoSpecs, JobSource, JobWindow, JobWindows, SpecSource, SyntheticSource, TraceJobSource,
+};
+pub use stream::{AzureVmReader, GoogleCsvReader, ReadError, AZURE_FIELDS};
 pub use workload::{
     IntensityClass, JobSpec, ResourceKind, WorkloadConfig, WorkloadGenerator, NUM_RESOURCES,
 };

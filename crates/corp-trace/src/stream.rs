@@ -1,0 +1,360 @@
+//! Line-streaming trace readers over `io::BufRead`.
+//!
+//! [`parse_csv`](crate::parse_csv) demands the whole trace as one `&str`,
+//! which caps runs at whatever fits in RAM. The readers here decode one
+//! line at a time from any [`BufRead`] — a file, a decompressor, a socket —
+//! holding only the current line buffer, so trace length never affects
+//! resident memory. Both readers fuse after the first error (a corrupt
+//! line poisons everything downstream of it, exactly like the in-memory
+//! parser's early return).
+//!
+//! Two on-disk schemas are supported:
+//!
+//! * [`GoogleCsvReader`] — the repo's Google `task_usage`-like layout
+//!   (`start,end,job_id,task_index,cpu,memory,storage`), sharing
+//!   [`parse_line`] with [`parse_csv`](crate::parse_csv) so records and
+//!   errors are byte-identical.
+//! * [`AzureVmReader`] — an Azure-VM-style lifetime table
+//!   (`vmid,start,end,core,memory`), mapped onto [`TaskRecord`] with the
+//!   VM id as the job id and storage pinned to zero.
+
+use crate::google::{parse_field, parse_line, TaskRecord, TraceError};
+use std::fmt;
+use std::io::BufRead;
+
+/// Errors from a streaming trace reader: either the underlying transport
+/// failed or a line failed to decode.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A line failed to decode (carries line number and byte offset).
+    Trace(TraceError),
+    /// A job's records were not contiguous in the stream: a record for
+    /// `job_id` appeared after that job's window had already been closed
+    /// at `line`. Streaming per-job windowing requires group-contiguous
+    /// input (sorted traces satisfy this).
+    NonContiguousJob {
+        /// The job whose records straddle another job's window.
+        job_id: u64,
+        /// 1-based record index (within the decoded stream) of the
+        /// out-of-window record.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            ReadError::Trace(e) => write!(f, "trace decode failed: {e}"),
+            ReadError::NonContiguousJob { job_id, line } => write!(
+                f,
+                "record {line}: job {job_id} reappeared after its window closed \
+                 (streaming ingest requires job-contiguous traces)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Trace(e) => Some(e),
+            ReadError::NonContiguousJob { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<TraceError> for ReadError {
+    fn from(e: TraceError) -> Self {
+        ReadError::Trace(e)
+    }
+}
+
+/// Streams [`TaskRecord`]s from the Google `task_usage`-like CSV layout,
+/// one line at a time.
+///
+/// Feeding the same bytes through this reader and through
+/// [`parse_csv`](crate::parse_csv) yields identical records and identical
+/// errors (line number and byte offset included) — pinned by proptest.
+#[derive(Debug)]
+pub struct GoogleCsvReader<R> {
+    inner: R,
+    buf: String,
+    line_no: usize,
+    byte: usize,
+    done: bool,
+}
+
+impl<R: BufRead> GoogleCsvReader<R> {
+    /// Wraps a buffered reader positioned at the start of the trace.
+    pub fn new(inner: R) -> Self {
+        GoogleCsvReader {
+            inner,
+            buf: String::new(),
+            line_no: 0,
+            byte: 0,
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for GoogleCsvReader<R> {
+    type Item = Result<TaskRecord, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.buf.clear();
+            let n = match self.inner.read_line(&mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ReadError::Io(e)));
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            self.line_no += 1;
+            let line_start = self.byte;
+            self.byte += n;
+            let line = self.buf.strip_suffix('\n').unwrap_or(&self.buf);
+            match parse_line(line, self.line_no, line_start) {
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => continue,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ReadError::Trace(e)));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Number of comma-separated fields in the Azure-VM-style layout.
+pub const AZURE_FIELDS: usize = 5;
+
+/// Streams an Azure-VM-style lifetime table
+/// (`vmid,start,end,core,memory` per line) as [`TaskRecord`]s.
+///
+/// Mapping: `job_id` is the VM id (numeric ids pass through; opaque
+/// string ids are hashed with FNV-1a so the mapping is deterministic
+/// across runs and machines), `task_index` is 0 (one task per VM),
+/// `cpu`/`memory` carry the core count and memory, and `storage` is 0
+/// (the Azure schema does not report local disk). An optional header
+/// line starting with `vmid` (or `#`) is skipped.
+#[derive(Debug)]
+pub struct AzureVmReader<R> {
+    inner: R,
+    buf: String,
+    line_no: usize,
+    byte: usize,
+    done: bool,
+}
+
+impl<R: BufRead> AzureVmReader<R> {
+    /// Wraps a buffered reader positioned at the start of the table.
+    pub fn new(inner: R) -> Self {
+        AzureVmReader {
+            inner,
+            buf: String::new(),
+            line_no: 0,
+            byte: 0,
+            done: false,
+        }
+    }
+
+    fn parse_azure_line(
+        line: &str,
+        line_no: usize,
+        byte: usize,
+    ) -> Result<Option<TaskRecord>, TraceError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        // Tolerate the dataset's own header row.
+        if line_no == 1 && line.to_ascii_lowercase().starts_with("vmid") {
+            return Ok(None);
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != AZURE_FIELDS {
+            return Err(TraceError::FieldCount {
+                line: line_no,
+                byte,
+                expected: AZURE_FIELDS,
+                found: fields.len(),
+            });
+        }
+        let job_id = match fields[0].parse::<u64>() {
+            Ok(id) => id,
+            // Public Azure traces use opaque base64-ish VM ids; hash them
+            // deterministically so the same id maps to the same job.
+            Err(_) => fnv1a(fields[0].as_bytes()),
+        };
+        let rec = TaskRecord {
+            start_secs: parse_field(fields[1], line_no, byte, 1)?,
+            end_secs: parse_field(fields[2], line_no, byte, 2)?,
+            job_id,
+            task_index: 0,
+            cpu: parse_field(fields[3], line_no, byte, 3)?,
+            memory: parse_field(fields[4], line_no, byte, 4)?,
+            storage: 0.0,
+        };
+        if rec.end_secs <= rec.start_secs {
+            return Err(TraceError::EmptyInterval {
+                line: line_no,
+                byte,
+            });
+        }
+        Ok(Some(rec))
+    }
+}
+
+impl<R: BufRead> Iterator for AzureVmReader<R> {
+    type Item = Result<TaskRecord, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.buf.clear();
+            let n = match self.inner.read_line(&mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ReadError::Io(e)));
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            self.line_no += 1;
+            let line_start = self.byte;
+            self.byte += n;
+            let line = self.buf.strip_suffix('\n').unwrap_or(&self.buf);
+            match Self::parse_azure_line(line, self.line_no, line_start) {
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => continue,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ReadError::Trace(e)));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// 64-bit FNV-1a — a tiny, dependency-free, stable hash for mapping
+/// opaque VM-id strings to numeric job ids.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::google::parse_csv;
+
+    #[test]
+    fn google_reader_matches_in_memory_parser() {
+        let csv = "# header\n0,300,1,0,0.5,1,2\n\n300,600,1,0,0.6,1,2\n";
+        let streamed: Vec<TaskRecord> = GoogleCsvReader::new(csv.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, parse_csv(csv).unwrap());
+    }
+
+    #[test]
+    fn google_reader_reports_identical_errors() {
+        for bad in [
+            "0,300,1,0,0.5,1,2\n0,300,1,0,0.5,1\n",     // field count
+            "0,300,1,0,0.5,1,2\nx,300,1,0,0.5,1,2\n",   // bad numeric
+            "0,300,1,0,0.5,1,2\n300,300,1,0,0.5,1,2\n", // empty interval
+        ] {
+            let expected = parse_csv(bad).unwrap_err();
+            let got = GoogleCsvReader::new(bad.as_bytes())
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap_err();
+            match got {
+                ReadError::Trace(e) => assert_eq!(e, expected),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn google_reader_fuses_after_error() {
+        let bad = "bad\n0,300,1,0,0.5,1,2\n";
+        let mut reader = GoogleCsvReader::new(bad.as_bytes());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "reader must fuse after an error");
+    }
+
+    #[test]
+    fn google_reader_handles_missing_trailing_newline() {
+        let csv = "0,300,1,0,0.5,1,2";
+        let streamed: Vec<TaskRecord> = GoogleCsvReader::new(csv.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, parse_csv(csv).unwrap());
+        assert_eq!(streamed.len(), 1);
+    }
+
+    #[test]
+    fn azure_reader_maps_schema() {
+        let csv = "vmid,start,end,core,memory\n42,0,600,2,7.5\n";
+        let recs: Vec<TaskRecord> = AzureVmReader::new(csv.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!((r.job_id, r.task_index), (42, 0));
+        assert_eq!((r.start_secs, r.end_secs), (0, 600));
+        assert_eq!((r.cpu, r.memory, r.storage), (2.0, 7.5, 0.0));
+    }
+
+    #[test]
+    fn azure_reader_hashes_opaque_ids_deterministically() {
+        let csv = "abc+XY=,0,60,1,1.75\nabc+XY=,60,120,1,1.75\nother,0,60,1,1.0\n";
+        let recs: Vec<TaskRecord> = AzureVmReader::new(csv.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs[0].job_id, recs[1].job_id);
+        assert_ne!(recs[0].job_id, recs[2].job_id);
+        let again: Vec<TaskRecord> = AzureVmReader::new(csv.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn azure_reader_rejects_bad_rows_with_offsets() {
+        let csv = "1,0,600,2,7.5\n2,600,600,2,7.5\n";
+        let err = AzureVmReader::new(csv.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        match err {
+            ReadError::Trace(TraceError::EmptyInterval { line, byte }) => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, "1,0,600,2,7.5\n".len());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

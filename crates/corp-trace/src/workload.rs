@@ -231,6 +231,7 @@ pub struct WorkloadGenerator {
     config: WorkloadConfig,
     rng: StdRng,
     next_id: u64,
+    arrival_clock: f64,
 }
 
 impl WorkloadGenerator {
@@ -240,6 +241,7 @@ impl WorkloadGenerator {
             config,
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
+            arrival_clock: 0.0,
         }
     }
 
@@ -255,16 +257,25 @@ impl WorkloadGenerator {
 
     /// Generates the configured number of jobs, arrival-ordered.
     pub fn generate(&mut self) -> Vec<JobSpec> {
-        let mut slot = 0.0f64;
         let n = self.config.num_jobs;
         let mut jobs = Vec::with_capacity(n);
         for _ in 0..n {
-            // Exponential inter-arrival gaps (Poisson process).
-            let u: f64 = self.rng.gen_range(1e-12..1.0);
-            slot += -self.config.mean_interarrival_slots * u.ln();
-            jobs.push(self.generate_one(slot as u64));
+            jobs.push(self.generate_next());
         }
         jobs
+    }
+
+    /// Advances the Poisson arrival clock and generates the next job.
+    ///
+    /// Calling this `num_jobs` times produces exactly the same stream as
+    /// one [`generate`](Self::generate) call with the same seed, which is
+    /// what lets a streaming [`JobSource`](crate::JobSource) wrap the
+    /// generator without materializing the whole workload.
+    pub fn generate_next(&mut self) -> JobSpec {
+        // Exponential inter-arrival gaps (Poisson process).
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        self.arrival_clock += -self.config.mean_interarrival_slots * u.ln();
+        self.generate_one(self.arrival_clock as u64)
     }
 
     /// Generates one job arriving at `arrival_slot`.

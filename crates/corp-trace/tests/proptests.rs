@@ -4,10 +4,12 @@
 
 use corp_trace::google::{parse_csv, to_csv};
 use corp_trace::{
-    filter_short_lived, fluctuation_spreads, resample_trace, window_spread, TaskRecord,
+    filter_short_lived, fluctuation_spreads, records_to_jobs, resample_trace, window_spread,
+    GoogleCsvReader, IngestConfig, JobSpec, ReadError, TaskRecord, TraceError, TraceJobSource,
     WorkloadConfig, WorkloadGenerator, NUM_RESOURCES,
 };
 use proptest::prelude::*;
+use std::io::BufReader;
 
 fn arb_record() -> impl Strategy<Value = TaskRecord> {
     (
@@ -30,7 +32,135 @@ fn arb_record() -> impl Strategy<Value = TaskRecord> {
         })
 }
 
+/// A job-contiguous trace: each job's records adjacent, job first-starts
+/// strictly increasing — the precondition under which streaming ingest is
+/// byte-identical to the batch pipeline. Job ids deliberately *decrease*
+/// so ordering provably comes from first-start, not id.
+fn arb_contiguous_trace() -> impl Strategy<Value = Vec<TaskRecord>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (
+                0u64..300,
+                1u64..400,
+                0u32..3,
+                0.0f64..8.0,
+                0.0f64..16.0,
+                0.0f64..64.0,
+            ),
+            1..4,
+        ),
+        1..8,
+    )
+    .prop_map(|jobs| {
+        let n = jobs.len();
+        let mut out = Vec::new();
+        for (i, group) in jobs.into_iter().enumerate() {
+            let base = i as u64 * 1000;
+            let id = (n - i) as u64 * 10 + 3;
+            for (off, len, task, cpu, mem, sto) in group {
+                out.push(TaskRecord {
+                    start_secs: base + off,
+                    end_secs: base + off + len,
+                    job_id: id,
+                    task_index: task,
+                    cpu,
+                    memory: mem,
+                    storage: sto,
+                });
+            }
+        }
+        out
+    })
+}
+
+/// The batch (all-in-RAM) ingest pipeline.
+fn batch_jobs(records: &[TaskRecord], cfg: &IngestConfig) -> Vec<JobSpec> {
+    let filtered = match cfg.max_lifetime_secs {
+        Some(max) => filter_short_lived(records, max),
+        None => records.to_vec(),
+    };
+    records_to_jobs(&resample_trace(&filtered, cfg.slot_secs), cfg)
+}
+
 proptest! {
+    #[test]
+    fn streaming_reader_matches_parse_csv(
+        records in prop::collection::vec(arb_record(), 0..32),
+        cap in 1usize..48,
+    ) {
+        // Tiny BufReader capacities force line reads across chunk
+        // boundaries.
+        let csv = to_csv(&records);
+        let streamed: Vec<TaskRecord> =
+            GoogleCsvReader::new(BufReader::with_capacity(cap, csv.as_bytes()))
+                .collect::<Result<_, _>>()
+                .unwrap();
+        let batch = parse_csv(&csv).unwrap();
+        prop_assert_eq!(
+            serde::json::to_string(&streamed),
+            serde::json::to_string(&batch),
+            "streaming reader must be byte-identical to parse_csv"
+        );
+    }
+
+    #[test]
+    fn streaming_ingest_matches_batch_pipeline(
+        records in arb_contiguous_trace(),
+        slot in 1u64..25,
+        cutoff in 100u64..2_000,
+        cap in 1usize..48,
+    ) {
+        let cfg = IngestConfig {
+            slot_secs: slot,
+            max_lifetime_secs: Some(cutoff),
+            ..IngestConfig::default()
+        };
+        let csv = to_csv(&records);
+        let reader = GoogleCsvReader::new(BufReader::with_capacity(cap, csv.as_bytes()));
+        let streamed: Vec<JobSpec> = TraceJobSource::new(reader, cfg.clone())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let batch = batch_jobs(&records, &cfg);
+        prop_assert_eq!(
+            serde::json::to_string(&streamed),
+            serde::json::to_string(&batch),
+            "streaming ingest must be byte-identical to the batch pipeline"
+        );
+    }
+
+    #[test]
+    fn malformed_rows_error_identically(
+        records in arb_contiguous_trace(),
+        at in 0usize..24,
+        kind in 0usize..3,
+        cap in 1usize..48,
+    ) {
+        let bad_row = match kind {
+            0 => "1,2",                 // wrong field count
+            1 => "0,10,zz,0,1,1,1",     // non-numeric field
+            _ => "5,5,1,0,1,1,1",       // empty interval (end == start)
+        };
+        let mut lines: Vec<String> = to_csv(&records).lines().map(str::to_owned).collect();
+        let at = at.min(lines.len());
+        lines.insert(at, bad_row.to_owned());
+        let csv = lines.join("\n") + "\n";
+
+        let expected = parse_csv(&csv).unwrap_err();
+        let streamed = GoogleCsvReader::new(BufReader::with_capacity(cap, csv.as_bytes()))
+            .collect::<Result<Vec<TaskRecord>, _>>()
+            .unwrap_err();
+        match streamed {
+            ReadError::Trace(e) => prop_assert_eq!(e, expected),
+            other => return Err(TestCaseError::fail(format!("unexpected error {other:?}"))),
+        }
+        let variant_ok = match kind {
+            0 => matches!(expected, TraceError::FieldCount { .. }),
+            1 => matches!(expected, TraceError::BadField { .. }),
+            _ => matches!(expected, TraceError::EmptyInterval { .. }),
+        };
+        prop_assert!(variant_ok, "error variant must match the injected corruption");
+    }
+
     #[test]
     fn workload_invariants_hold_for_any_seed(seed in 0u64..1_000, n in 1usize..40) {
         let mut g = WorkloadGenerator::new(

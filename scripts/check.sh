@@ -24,6 +24,13 @@
 #                                 # zero-jobs-lost conservation law, and
 #                                 # a complete breaker trip/recover cycle;
 #                                 # --bench records BENCH_serve.json
+#   scripts/check.sh scale-smoke  # streaming-soak smoke: a 5k-job synthetic
+#                                 # stream through the reclaiming arena
+#                                 # engine; --smoke asserts job conservation
+#                                 # and that the arena high-water mark stays
+#                                 # far below the trace length (memory
+#                                 # bounded by concurrent jobs); records
+#                                 # BENCH_scale.json
 #   scripts/check.sh doc          # rustdoc gate only: every public item
 #                                 # documented, no broken intra-doc links
 #   scripts/check.sh perf-regression
@@ -93,6 +100,28 @@ if [[ "${1:-}" == "resilience-smoke" ]]; then
     exit 0
 fi
 
+scale_smoke() {
+    rm -f BENCH_scale.json
+    echo "==> cargo run --release -p corp-bench --bin corp-exp -- scale --smoke"
+    cargo run --release -p corp-bench --bin corp-exp -- scale --smoke
+    if [[ ! -s BENCH_scale.json ]]; then
+        echo "scale-smoke FAILED: BENCH_scale.json missing or empty" >&2
+        exit 1
+    fi
+    if ! grep -q '"unfinished":0' BENCH_scale.json; then
+        echo "scale-smoke FAILED: BENCH_scale.json reports unfinished jobs" >&2
+        exit 1
+    fi
+    echo "Scale smoke passed ($(wc -c < BENCH_scale.json) bytes of baseline)."
+    # The smoke run rewrites the committed full-soak baseline; restore it.
+    git checkout -- BENCH_scale.json 2>/dev/null || true
+}
+
+if [[ "${1:-}" == "scale-smoke" ]]; then
+    scale_smoke
+    exit 0
+fi
+
 if [[ "${1:-}" == "perf-regression" ]]; then
     if [[ ! -s BENCH_e2e.json ]]; then
         echo "perf-regression FAILED: no committed BENCH_e2e.json to compare against" >&2
@@ -123,5 +152,7 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+scale_smoke
 
 echo "All checks passed."
