@@ -8,7 +8,8 @@
 //! corp-exp scalability    # sharded-control-plane sweep (1..8 shards)
 //! corp-exp faults         # availability under deterministic fault injection
 //! corp-exp perf           # hot-path throughput baseline (BENCH_hotpath.json)
-//! corp-exp e2e            # end-to-end pooled-vs-scoped throughput (BENCH_e2e.json)
+//! corp-exp e2e            # end-to-end throughput + shard sweep (BENCH_e2e.json)
+//! corp-exp e2e --shards 8 # pin the sharded arms to one shard count
 //! corp-exp perf --e2e     # alias for the e2e runner
 //! corp-exp --json fig6    # machine-readable output (one JSON array)
 //! ```
@@ -38,11 +39,12 @@
 //! `scale` is the streaming soak: a lazily-pulled synthetic arrival
 //! stream through the reclaiming arena engine, with throughput, arena
 //! high-water, and peak RSS recorded to `BENCH_scale.json` (`--vms N`,
-//! `--jobs N`, `--seed S`, `--smoke`):
+//! `--jobs N`, `--seed S`, `--shards K`, `--smoke`):
 //!
 //! ```text
 //! corp-exp scale --smoke        # CI configuration + invariant checks
 //! corp-exp scale                # 50k VMs, 1M jobs
+//! corp-exp scale --shards 8     # soak behind the striped-store control plane
 //! ```
 
 use corp_bench::experiments;
@@ -67,6 +69,24 @@ fn main() {
     }
     let fast = args.iter().any(|a| a == "--fast");
     let json = args.iter().any(|a| a == "--json");
+    // `--shards K` pins the e2e runner's sharded arms to one shard count
+    // instead of the default 1/2/4/8 sweep.
+    let mut args = args;
+    let mut shards: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let value = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+        match value {
+            Some(k) if k >= 1 => {
+                shards = Some(k);
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--shards needs a positive integer shard count");
+                std::process::exit(2);
+            }
+        }
+    }
+    let args = args;
     let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -95,7 +115,10 @@ fn main() {
         ("scalability", Box::new(experiments::scalability)),
         ("faults", Box::new(experiments::availability)),
         ("perf", Box::new(experiments::perf)),
-        ("e2e", Box::new(experiments::e2e)),
+        (
+            "e2e",
+            Box::new(move |fast| experiments::e2e_with_shards(fast, shards)),
+        ),
     ];
 
     let mut matched = false;

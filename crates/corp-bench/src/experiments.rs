@@ -639,6 +639,14 @@ pub struct E2eArm {
     pub slots_per_sec: f64,
     /// Completed jobs per wall-clock second.
     pub jobs_per_sec: f64,
+    /// Fraction of the placement store's admitted reservations that
+    /// committed through the optimistic fast path (single stripe
+    /// acquisition, both 2PC phases fused). Zero for monolithic arms,
+    /// which have no store.
+    pub fast_path_rate: f64,
+    /// Fast-path attempts refused by the per-VM epoch/writer check (zero
+    /// for monolithic arms).
+    pub stripe_conflicts: u64,
 }
 
 /// Machine-readable result of the end-to-end benchmark: the committed
@@ -671,15 +679,23 @@ pub const E2E_BASELINE_ENV: &str = "CORP_E2E_BASELINE";
 /// Allowed fractional slots/sec drop before the baseline compare panics.
 pub const E2E_REGRESSION_TOLERANCE: f64 = 0.20;
 
-/// Extracts the CORP pooled arm's `slots_per_sec` from a serialized
-/// [`E2eBaseline`]. A string scan, not a parser — the vendored serde has
-/// no deserializer, and the file is always written by this module, so the
-/// field order (`"scheme"`, `"arm"`, ..., `"slots_per_sec"`) is fixed.
-fn baseline_corp_pooled_slots(json: &str) -> Option<f64> {
-    let row = json.find("\"scheme\":\"CORP\",\"arm\":\"pooled\"")?;
+/// Allowed absolute fast-path-rate drop (fresh vs committed baseline)
+/// before the sharded regression compare panics.
+pub const E2E_FAST_PATH_TOLERANCE: f64 = 0.05;
+
+/// Shard counts the end-to-end benchmark sweeps when no `--shards`
+/// override is given.
+pub const E2E_SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Extracts one arm's numeric field from a serialized [`E2eBaseline`]. A
+/// string scan, not a parser — the vendored serde has no deserializer, and
+/// the file is always written by this module, so the field order
+/// (`"scheme"`, `"arm"`, ..., numeric fields) is fixed.
+fn baseline_field(json: &str, scheme: &str, arm: &str, field: &str) -> Option<f64> {
+    let row = json.find(&format!("\"scheme\":\"{scheme}\",\"arm\":\"{arm}\""))?;
     let rest = &json[row..];
-    let key = "\"slots_per_sec\":";
-    let tail = &rest[rest.find(key)? + key.len()..];
+    let key = format!("\"{field}\":");
+    let tail = &rest[rest.find(&key)? + key.len()..];
     let end = tail.find([',', '}'])?;
     tail[..end].trim().parse().ok()
 }
@@ -710,26 +726,44 @@ fn e2e_workload(jobs: usize, seed: u64) -> Vec<JobSpec> {
 }
 
 /// End-to-end throughput: every scheme driving the 1024-VM fleet, timed in
-/// three arms — the persistent worker-pool runtime (the default), the
-/// legacy scoped-thread path it replaced (fresh threads and fresh scratch
-/// every window), and the pooled runtime behind a 2-shard control plane
-/// with batched completion messaging. Arms run sequentially so each
-/// wall-clock measurement owns the machine, and the pooled and scoped arms
-/// of a scheme must produce byte-identical reports (the runtime swap is
-/// not allowed to change a single decision; the sharded arm decorrelates
-/// per-shard seeds, so only its throughput is comparable). Monolithic arms
-/// are best-of-3; the sharded arm is a single run. Writes
+/// the persistent worker-pool runtime (the default), the legacy
+/// scoped-thread path it replaced (fresh threads and fresh scratch every
+/// window), and the pooled runtime behind the striped-store control plane
+/// across the [`E2E_SHARD_SWEEP`] shard counts (`sharded-1` … `sharded-8`;
+/// `corp-exp e2e --shards K` pins the sweep to one count). Arms run
+/// sequentially so each wall-clock measurement owns the machine, and the
+/// pooled and scoped arms of a scheme must produce byte-identical reports
+/// (the runtime swap is not allowed to change a single decision). The
+/// `sharded-1` arm must reproduce the monolithic decisions exactly — every
+/// claim takes the store's fast path, and the report's decision metrics
+/// are asserted equal to the pooled arm's. Multi-shard arms decorrelate
+/// per-shard seeds, so only their throughput is comparable. Monolithic
+/// arms are best-of-3; sharded arms are single runs. Writes
 /// [`E2E_BASELINE_FILE`] next to the table it returns, and when
 /// [`E2E_BASELINE_ENV`] names a committed baseline, panics if CORP's
-/// pooled slots/sec regressed more than [`E2E_REGRESSION_TOLERANCE`]
-/// below it.
+/// pooled slots/sec regressed more than [`E2E_REGRESSION_TOLERANCE`] below
+/// it, if CORP's `sharded-8` slots/sec fell more than the same tolerance
+/// below its own committed number (or, on multi-core hosts, below the
+/// fresh pooled arm — at 1 core sharding is pure coordination overhead
+/// and that claim is unenforceable), or if its fast-path rate dropped
+/// more than [`E2E_FAST_PATH_TOLERANCE`] below the committed baseline's.
 pub fn e2e(fast: bool) -> FigureTable {
+    e2e_with_shards(fast, None)
+}
+
+/// [`e2e`] with an optional shard-count override for the sharded arms
+/// (the CLI's `--shards K`).
+pub fn e2e_with_shards(fast: bool, shards: Option<usize>) -> FigureTable {
     let jobs = if fast { 4000 } else { 8000 };
-    const SHARDS: usize = 2;
+    let shard_counts: Vec<usize> = match shards {
+        Some(k) => vec![k],
+        None => E2E_SHARD_SWEEP.to_vec(),
+    };
     let vms = e2e_fleet().vms.len();
     let mut arms: Vec<E2eArm> = Vec::new();
     for &scheme in &ALL_SCHEMES {
         let mut serialized: Vec<String> = Vec::new();
+        let mut pooled_report: Option<SimulationReport> = None;
         for (arm, scoped) in [("pooled", false), ("scoped", true)] {
             let params = SchemeParams {
                 fast_dnn: fast,
@@ -766,6 +800,9 @@ pub fn e2e(fast: bool) -> FigureTable {
             let report = report.expect("three timed runs");
             serialized.push(serde::json::to_string(&report));
             arms.push(e2e_arm(scheme, arm, pretrain_secs, run_secs, &report));
+            if !scoped {
+                pooled_report = Some(report);
+            }
         }
         assert_eq!(
             serialized[0],
@@ -773,26 +810,56 @@ pub fn e2e(fast: bool) -> FigureTable {
             "{}: pooled and scoped arms produced different reports",
             scheme.name()
         );
-        let params = SchemeParams {
-            fast_dnn: fast,
-            ..Default::default()
-        };
-        let building = std::time::Instant::now();
-        let mut provisioner =
-            build_sharded_provisioner(scheme, Environment::Cluster, &params, SHARDS);
-        let pretrain_secs = building.elapsed().as_secs_f64();
-        let mut sim = Simulation::new(
-            e2e_fleet(),
-            e2e_workload(jobs, params.seed.wrapping_add(jobs as u64)),
-            SimulationOptions {
-                measure_decision_time: false,
+        for &k in &shard_counts {
+            let params = SchemeParams {
+                fast_dnn: fast,
                 ..Default::default()
-            },
-        );
-        let running = std::time::Instant::now();
-        let report = sim.run(&mut provisioner);
-        let run_secs = running.elapsed().as_secs_f64();
-        arms.push(e2e_arm(scheme, "sharded", pretrain_secs, run_secs, &report));
+            };
+            let building = std::time::Instant::now();
+            let mut provisioner =
+                build_sharded_provisioner(scheme, Environment::Cluster, &params, k);
+            let pretrain_secs = building.elapsed().as_secs_f64();
+            let mut sim = Simulation::new(
+                e2e_fleet(),
+                e2e_workload(jobs, params.seed.wrapping_add(jobs as u64)),
+                SimulationOptions {
+                    measure_decision_time: false,
+                    ..Default::default()
+                },
+            );
+            let running = std::time::Instant::now();
+            let report = sim.run(&mut provisioner);
+            let run_secs = running.elapsed().as_secs_f64();
+            if k == 1 {
+                // One shard must reproduce the monolithic scheduler's
+                // decisions exactly (the only report fields allowed to
+                // differ are the provisioner name and the control-plane
+                // block, which monolithic runs don't have).
+                let mono = pooled_report
+                    .as_ref()
+                    .expect("pooled arm ran before the shard sweep");
+                assert_eq!(report.utilization, mono.utilization, "{scheme:?}");
+                assert_eq!(
+                    report.overall_utilization, mono.overall_utilization,
+                    "{scheme:?}"
+                );
+                assert_eq!(
+                    report.slo_violation_rate, mono.slo_violation_rate,
+                    "{scheme:?}"
+                );
+                assert_eq!(report.completed, mono.completed, "{scheme:?}");
+                assert_eq!(report.violated, mono.violated, "{scheme:?}");
+                assert_eq!(report.rejected, mono.rejected, "{scheme:?}");
+                assert_eq!(report.slots_run, mono.slots_run, "{scheme:?}");
+            }
+            arms.push(e2e_arm(
+                scheme,
+                &format!("sharded-{k}"),
+                pretrain_secs,
+                run_secs,
+                &report,
+            ));
+        }
     }
     let slots = |scheme: &str, arm: &str| {
         arms.iter()
@@ -804,7 +871,7 @@ pub fn e2e(fast: bool) -> FigureTable {
     if let Ok(path) = std::env::var(E2E_BASELINE_ENV) {
         let committed = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{E2E_BASELINE_ENV}={path}: unreadable baseline: {e}"));
-        let committed_slots = baseline_corp_pooled_slots(&committed)
+        let committed_slots = baseline_field(&committed, "CORP", "pooled", "slots_per_sec")
             .unwrap_or_else(|| panic!("{path}: no CORP pooled slots_per_sec row"));
         let fresh = slots("CORP", "pooled");
         let floor = committed_slots * (1.0 - E2E_REGRESSION_TOLERANCE);
@@ -814,6 +881,59 @@ pub fn e2e(fast: bool) -> FigureTable {
              {:.0}% below the committed baseline {committed_slots:.0} (floor {floor:.0})",
             E2E_REGRESSION_TOLERANCE * 100.0
         );
+        if let Some(sharded8) = arms
+            .iter()
+            .find(|a| a.scheme == "CORP" && a.arm == "sharded-8")
+        {
+            // Self-regression: sharded-8 must hold its own committed
+            // throughput (baselines predating the shard sweep have no
+            // such row; skip them).
+            if let Some(committed_s8) =
+                baseline_field(&committed, "CORP", "sharded-8", "slots_per_sec")
+            {
+                let s8_floor = committed_s8 * (1.0 - E2E_REGRESSION_TOLERANCE);
+                assert!(
+                    sharded8.slots_per_sec >= s8_floor,
+                    "perf regression: CORP sharded-8 {:.0} slots/s is more than {:.0}% below \
+                     its committed baseline {committed_s8:.0} (floor {s8_floor:.0})",
+                    sharded8.slots_per_sec,
+                    E2E_REGRESSION_TOLERANCE * 100.0
+                );
+            }
+            // The striped store's headline claim: at 8 shards the control
+            // plane keeps up with the monolithic pooled runtime (same
+            // noise tolerance as the pooled-vs-baseline gate). Only
+            // enforceable where shards can actually run in parallel — on
+            // a single-core host the sharded arm is pure coordination
+            // overhead with nothing to win back (the same 1-core
+            // inversion EXPERIMENTS.md documents for the worker pool).
+            let cores = std::thread::available_parallelism().map_or(1, usize::from);
+            if cores > 1 {
+                let sharded_floor = fresh * (1.0 - E2E_REGRESSION_TOLERANCE);
+                assert!(
+                    sharded8.slots_per_sec >= sharded_floor,
+                    "perf regression: CORP sharded-8 {:.0} slots/s fell below the pooled \
+                     arm's {fresh:.0} by more than {:.0}% (floor {sharded_floor:.0}) on a \
+                     {cores}-core host",
+                    sharded8.slots_per_sec,
+                    E2E_REGRESSION_TOLERANCE * 100.0
+                );
+            }
+            // Fast-path-rate regression: a contention or protocol change
+            // that silently pushes claims off the fast path shows up here
+            // even while throughput noise hides it. Baselines predating
+            // the striped store have no such row; skip them.
+            if let Some(committed_rate) =
+                baseline_field(&committed, "CORP", "sharded-8", "fast_path_rate")
+            {
+                assert!(
+                    sharded8.fast_path_rate >= committed_rate - E2E_FAST_PATH_TOLERANCE,
+                    "fast-path regression: CORP sharded-8 rate {:.3} dropped more than \
+                     {E2E_FAST_PATH_TOLERANCE} below the committed baseline {committed_rate:.3}",
+                    sharded8.fast_path_rate
+                );
+            }
+        }
     }
     let baseline = E2eBaseline {
         vms,
@@ -827,7 +947,7 @@ pub fn e2e(fast: bool) -> FigureTable {
     let mut table = TextTable::new(
         format!(
             "E2E — end-to-end throughput, pooled (persistent workers) vs scoped (legacy) vs \
-             sharded ({vms} VMs, {jobs} jobs)"
+             striped-store shard sweep ({vms} VMs, {jobs} jobs)"
         ),
         &[
             "scheme",
@@ -836,6 +956,8 @@ pub fn e2e(fast: bool) -> FigureTable {
             "sim wall (s)",
             "slots/s",
             "jobs/s",
+            "fast-path",
+            "stripe conflicts",
         ],
     );
     for a in &arms {
@@ -846,6 +968,16 @@ pub fn e2e(fast: bool) -> FigureTable {
             three(a.run_secs),
             format!("{:.0}", a.slots_per_sec),
             format!("{:.1}", a.jobs_per_sec),
+            if a.arm.starts_with("sharded") {
+                pct(a.fast_path_rate)
+            } else {
+                "-".into()
+            },
+            if a.arm.starts_with("sharded") {
+                a.stripe_conflicts.to_string()
+            } else {
+                "-".into()
+            },
         ]);
     }
     FigureTable {
@@ -855,8 +987,13 @@ pub fn e2e(fast: bool) -> FigureTable {
             format!("machine-readable baseline written to {E2E_BASELINE_FILE}"),
             format!("CORP pooled/scoped slots-per-sec speedup: {corp_pool_speedup:.2}x"),
             "per-scheme reports verified byte-identical between the pooled and scoped arms \
-             before timing was recorded; the sharded arm decorrelates per-shard seeds, so \
-             only its throughput is comparable"
+             before timing was recorded; sharded-1 verified decision-identical to pooled; \
+             multi-shard arms decorrelate per-shard seeds, so only their throughput is \
+             comparable"
+                .into(),
+            "fast-path = fraction of store reservations committed via the single-stripe \
+             optimistic path; stripe conflicts = fast-path attempts refused by the per-VM \
+             writer check"
                 .into(),
         ],
     }
@@ -872,6 +1009,16 @@ fn e2e_arm(
     report: &SimulationReport,
 ) -> E2eArm {
     let wall = run_secs.max(1e-9);
+    let (fast_path_rate, stripe_conflicts) = report
+        .control_plane
+        .as_ref()
+        .map(|cp| {
+            (
+                cp.fast_path_hits as f64 / cp.reservations.max(1) as f64,
+                cp.stripe_conflicts,
+            )
+        })
+        .unwrap_or((0.0, 0));
     let row = E2eArm {
         scheme: scheme.name().to_string(),
         arm: arm.to_string(),
@@ -879,6 +1026,8 @@ fn e2e_arm(
         run_secs,
         slots_per_sec: report.slots_run as f64 / wall,
         jobs_per_sec: report.completed as f64 / wall,
+        fast_path_rate,
+        stripe_conflicts,
     };
     assert!(
         row.pretrain_secs.is_finite() && row.run_secs.is_finite(),

@@ -14,8 +14,10 @@
 
 use crate::serve::parse_seed;
 use crate::{FigureTable, TextTable};
+use corp_cluster::{ShardConfig, ShardedProvisioner};
 use corp_sim::{
-    Cluster, EnvironmentProfile, SimulationOptions, StaticPeakProvisioner, StreamingSimulation,
+    Cluster, EnvironmentProfile, Provisioner, SimulationOptions, StaticPeakProvisioner,
+    StreamingSimulation,
 };
 use corp_trace::{JobSource, SyntheticSource, WorkloadConfig};
 use serde::Serialize;
@@ -33,6 +35,10 @@ pub struct ScaleArgs {
     pub jobs: usize,
     /// Workload seed (`--seed S`, non-zero).
     pub seed: u64,
+    /// Run the soak behind a `K`-shard striped-store control plane instead
+    /// of the direct monolithic provisioner (`--shards K`; `None` =
+    /// monolithic).
+    pub shards: Option<usize>,
     /// Small CI configuration plus invariant assertions (`--smoke`).
     pub smoke: bool,
 }
@@ -43,6 +49,7 @@ impl Default for ScaleArgs {
             vms: 50_000,
             jobs: 1_000_000,
             seed: 0x5CA1E,
+            shards: None,
             smoke: false,
         }
     }
@@ -86,6 +93,16 @@ impl ScaleArgs {
                     out.seed = parse_seed(&value(args, i, "--seed")?)?;
                     i += 2;
                 }
+                "--shards" => {
+                    let k = value(args, i, "--shards")?
+                        .parse::<usize>()
+                        .map_err(|_| "invalid --shards: expected a count".to_string())?;
+                    if k == 0 {
+                        return Err("invalid --shards: must be at least 1".to_string());
+                    }
+                    out.shards = Some(k);
+                    i += 2;
+                }
                 "--smoke" => {
                     // The CI configuration: small enough to finish in
                     // seconds, large enough that an unbounded arena would
@@ -117,6 +134,15 @@ pub struct ScaleResult {
     pub smoke: bool,
     /// Workload seed.
     pub seed: u64,
+    /// Scheduler shards the soak ran behind (0 = direct monolithic
+    /// provisioner, no control plane).
+    pub shards: usize,
+    /// Placement-store claims committed via the optimistic fast path
+    /// (0 for monolithic runs).
+    pub fast_path_hits: u64,
+    /// Fast-path attempts refused by the per-VM writer check (0 for
+    /// monolithic runs).
+    pub stripe_conflicts: u64,
     /// Wall-clock seconds of the simulation loop.
     pub run_secs: f64,
     /// Slots simulated.
@@ -196,16 +222,33 @@ pub fn run_scale(args: &ScaleArgs) -> ScaleResult {
             ..Default::default()
         },
     );
+    let mut provisioner: Box<dyn Provisioner + Send> = match args.shards {
+        Some(k) => {
+            let inners: Vec<Box<dyn Provisioner + Send>> = (0..k)
+                .map(|_| Box::new(StaticPeakProvisioner) as _)
+                .collect();
+            Box::new(ShardedProvisioner::new(
+                "static-peak",
+                inners,
+                ShardConfig::default(),
+            ))
+        }
+        None => Box::new(StaticPeakProvisioner),
+    };
     let started = std::time::Instant::now();
-    let report = sim.run(&mut StaticPeakProvisioner);
+    let report = sim.run(provisioner.as_mut());
     let run_secs = started.elapsed().as_secs_f64();
     let wall = run_secs.max(1e-9);
     let arena_slots = sim.engine().store().capacity();
+    let cp = report.control_plane.as_ref();
     ScaleResult {
         vms,
         jobs: sim.submitted(),
         smoke: args.smoke,
         seed: args.seed,
+        shards: args.shards.unwrap_or(0),
+        fast_path_hits: cp.map_or(0, |c| c.fast_path_hits),
+        stripe_conflicts: cp.map_or(0, |c| c.stripe_conflicts),
         run_secs,
         slots_run: report.slots_run,
         slots_per_sec: report.slots_run as f64 / wall,
@@ -268,12 +311,25 @@ pub fn scale_experiment(args: &ScaleArgs) -> Result<FigureTable, String> {
     let result = run_scale(args);
     std::fs::write(SCALE_BASELINE_FILE, serde::json::to_string(&result))
         .map_err(|e| format!("write {SCALE_BASELINE_FILE}: {e}"))?;
+    // Job conservation holds for every configuration, sharded or not: a
+    // control plane losing (or double-placing) jobs would show up here
+    // before any throughput number means anything.
+    if result.completed + result.rejected + result.unfinished != result.jobs {
+        return Err(format!(
+            "scale: job conservation violated ({} + {} + {} != {})",
+            result.completed, result.rejected, result.unfinished, result.jobs
+        ));
+    }
     if args.smoke {
         check_smoke(&result, args)?;
     }
+    let arm = match args.shards {
+        Some(k) => format!("{k}-shard striped store"),
+        None => "static-peak".to_string(),
+    };
     let mut table = TextTable::new(
         format!(
-            "Scale — streaming soak, {} VMs, {} jobs, reclaiming arena (static-peak)",
+            "Scale — streaming soak, {} VMs, {} jobs, reclaiming arena ({arm})",
             result.vms, result.jobs
         ),
         &["metric", "value"],
@@ -296,6 +352,11 @@ pub fn scale_experiment(args: &ScaleArgs) -> Result<FigureTable, String> {
     );
     row("arena / trace ratio", format!("{:.4}", result.arena_ratio));
     row("peak RSS (MB)", format!("{:.1}", result.peak_rss_mb));
+    if result.shards > 0 {
+        row("shards", format!("{}", result.shards));
+        row("fast-path commits", format!("{}", result.fast_path_hits));
+        row("stripe conflicts", format!("{}", result.stripe_conflicts));
+    }
     Ok(FigureTable {
         id: "scale".into(),
         table,
@@ -337,11 +398,37 @@ mod tests {
     }
 
     #[test]
+    fn parse_shards_selects_the_striped_control_plane() {
+        let args = ScaleArgs::parse(&["--shards".to_string(), "4".to_string()]).unwrap();
+        assert_eq!(args.shards, Some(4));
+        assert!(ScaleArgs::parse(&["--shards".to_string(), "0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn tiny_sharded_soak_conserves_jobs_and_uses_the_fast_path() {
+        let args = ScaleArgs {
+            vms: 32,
+            jobs: 400,
+            seed: 11,
+            shards: Some(2),
+            smoke: true,
+        };
+        let result = run_scale(&args);
+        check_smoke(&result, &args).expect("sharded smoke soak must pass the invariants");
+        assert_eq!(result.shards, 2);
+        assert!(
+            result.fast_path_hits > 0,
+            "sharded soak never took the fast path: {result:?}"
+        );
+    }
+
+    #[test]
     fn tiny_soak_drains_and_bounds_the_arena() {
         let args = ScaleArgs {
             vms: 32,
             jobs: 400,
             seed: 11,
+            shards: None,
             smoke: true,
         };
         let result = run_scale(&args);

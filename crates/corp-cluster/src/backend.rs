@@ -13,12 +13,21 @@
 //! [`Claim`] carries the conflict/retry counts for the coordinator's
 //! control-plane statistics; `claim.vm == None` means the proposal
 //! aborted and its job stays pending (the queue is the backoff).
+//!
+//! With [`TwoPhaseBackend::defer_confirms`], phase 2 is *batched*: claims
+//! still reserve at their arbitration position (so admission ordering is
+//! unchanged — a hold blocks headroom exactly like a commitment), but the
+//! confirms accumulate and land as one
+//! [`confirm_batch`](PlacementStore::confirm_batch) round per slot, one
+//! stripe acquisition per touched stripe instead of one per claim. Moving
+//! a hold from reserved to committed never changes any VM's headroom, so
+//! deferral is invisible to every admission decision in between.
 
 use corp_core::pipeline::{Claim, PlacementBackend};
 use corp_sim::ResourceVector;
 use rand::rngs::StdRng;
 
-use crate::store::{PlacementStore, ReserveError};
+use crate::store::{PlacementStore, ReservationId, ReserveError};
 
 /// A [`PlacementBackend`] whose claims are two-phase-commit reservations
 /// against a shared [`PlacementStore`].
@@ -26,6 +35,9 @@ pub struct TwoPhaseBackend<'a> {
     store: &'a PlacementStore,
     shard: usize,
     max_retries: usize,
+    /// `Some` once [`Self::defer_confirms`] has been called: admitted
+    /// reservations buffer here until [`Self::flush_confirms`].
+    deferred: Option<Vec<ReservationId>>,
 }
 
 impl<'a> TwoPhaseBackend<'a> {
@@ -36,12 +48,39 @@ impl<'a> TwoPhaseBackend<'a> {
             store,
             shard: 0,
             max_retries,
+            deferred: None,
         }
     }
 
     /// Sets the shard subsequent claims are attributed to.
     pub fn set_origin(&mut self, shard: usize) {
         self.shard = shard;
+    }
+
+    /// Switches phase 2 to batched mode: subsequent claims reserve
+    /// immediately but confirm only at [`Self::flush_confirms`].
+    pub fn defer_confirms(&mut self) {
+        self.deferred.get_or_insert_with(Vec::new);
+    }
+
+    /// Commits every deferred reservation in one batched round and returns
+    /// how many were confirmed. No-op (zero) when nothing was deferred.
+    ///
+    /// Between a deferred reserve and its flush nothing can invalidate the
+    /// hold in the coordinator's sequential arbitration (crash rebases
+    /// happen between slots), so every confirm is expected to succeed;
+    /// a hold that vanished anyway (possible only for racing external
+    /// users of the store) is simply not counted.
+    pub fn flush_confirms(&mut self) -> u64 {
+        let Some(ids) = self.deferred.as_mut() else {
+            return 0;
+        };
+        if ids.is_empty() {
+            return 0;
+        }
+        let results = self.store.confirm_batch(ids);
+        ids.clear();
+        results.iter().filter(|r| r.is_ok()).count() as u64
     }
 }
 
@@ -70,7 +109,9 @@ impl PlacementBackend for TwoPhaseBackend<'_> {
         loop {
             match self.store.reserve(self.shard, target, *fit) {
                 Ok(id) => {
-                    if self.store.confirm(id).is_err() {
+                    if let Some(deferred) = self.deferred.as_mut() {
+                        deferred.push(id);
+                    } else if self.store.confirm(id).is_err() {
                         // The hold vanished (cannot happen in sequential
                         // arbitration, but typed handling beats a panic):
                         // treat as an abort.

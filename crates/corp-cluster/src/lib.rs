@@ -44,4 +44,7 @@ pub use backend::TwoPhaseBackend;
 pub use error::ClusterError;
 pub use health::{ShardHealth, ShardSlotOutcome};
 pub use provisioner::{ProvisionerFactory, ShardConfig, ShardedProvisioner};
-pub use store::{PlacementStore, ReservationId, ReserveError, StoreCounters, TxnError};
+pub use store::{
+    FastPathMiss, PlacementStore, ReservationId, ReserveError, StoreCounters, TxnError,
+    DEFAULT_STRIPES, PARALLEL_BATCH_CUTOFF,
+};

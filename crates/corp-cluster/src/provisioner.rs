@@ -12,17 +12,30 @@
 //!    [`crate::shard`] — runs its pipeline, and ships its
 //!    [`ProvisionPlan`] back on its reply channel.
 //! 2. **Arbitrate (sequential, deterministic).** The coordinator replays
-//!    the proposals against the [`PlacementStore`] in a fixed order —
-//!    allocation adjustments first (shrinks before grows, as the engine
-//!    applies them), then placements round-robin by (proposal index,
-//!    shard). Each placement opens a reservation (2PC phase 1); on
-//!    conflict it retries against the next-best-fit VM up to the retry
-//!    budget, after which the proposal aborts and the job stays pending —
-//!    the queue itself is the bounded backoff, since the owning shard
-//!    re-proposes next slot. Admitted reservations are confirmed in
-//!    arbitration order, so the committed-capacity sequence the store
-//!    validated is exactly the sequence the engine will apply: a
-//!    store-approved plan can never trip the engine's validators.
+//!    the proposals against the striped [`PlacementStore`] in a fixed
+//!    order — allocation adjustments first (shrinks before grows, as the
+//!    engine applies them), then placements round-robin by (proposal
+//!    index, shard). Each placement first attempts the store's
+//!    **optimistic fast path**
+//!    ([`PlacementStore::try_fast_commit`]): when no other shard has
+//!    touched the proposed VM this slot, both 2PC phases fuse into one
+//!    commit under a single stripe lock. On any miss — foreign writer,
+//!    capacity conflict, unknown VM — the claim falls back to full
+//!    ordered 2PC at the same arbitration position: open a reservation
+//!    (phase 1), on conflict retry against the next-best-fit VM up to the
+//!    retry budget, after which the proposal aborts and the job stays
+//!    pending — the queue itself is the bounded backoff, since the owning
+//!    shard re-proposes next slot. Fallback confirms are deferred and land
+//!    as one batched round per slot
+//!    ([`PlacementStore::confirm_batch`], one acquisition per touched
+//!    stripe); a hold blocks headroom exactly like a commitment, so
+//!    deferral is invisible to admission. Either way the committed
+//!    sequence the store validated is exactly the sequence the engine will
+//!    apply: a store-approved plan can never trip the engine's validators.
+//!    The fast path takes claims in the same canonical order the fallback
+//!    does, so it changes per-claim cost, never outcomes — at one shard no
+//!    VM ever sees a foreign writer, every claim fast-commits, and reports
+//!    stay byte-identical to the monolithic path.
 //!
 //! ## Supervision
 //!
@@ -63,7 +76,9 @@ use std::time::Duration;
 use crate::backend::TwoPhaseBackend;
 use crate::error::ClusterError;
 use crate::health::{ShardHealth, ShardSlotOutcome};
-use crate::shard::{owner_of, shard_pending, shard_vm_views};
+use crate::shard::{
+    copy_vm_views_into, owner_of, shard_pending, shard_vm_views, shard_vm_views_into,
+};
 use crate::store::PlacementStore;
 use corp_core::pipeline::PlacementBackend;
 use rand::rngs::StdRng;
@@ -146,6 +161,11 @@ struct Worker {
     forced_inline: bool,
     /// What happened on the most recent provisioning slot.
     last_outcome: ShardSlotOutcome,
+    /// The inner pipeline's [`Provisioner::full_view_period`], captured
+    /// before the pipeline moves onto its worker thread: the coordinator
+    /// advertises the gcd of its shards' periods, so every shard still
+    /// sees deep view histories exactly on its own window boundaries.
+    view_period: u64,
 }
 
 /// Counters for the supervisor's recovery activity.
@@ -191,6 +211,10 @@ fn worker_loop(
     requests: crossbeam::channel::Receiver<ShardRequest>,
     replies: crossbeam::channel::Sender<ShardReply>,
 ) {
+    // Narrowed-view buffers persist across slots: steady state reuses every
+    // inner allocation (job vectors, history tails) instead of re-cloning
+    // the fleet each slot.
+    let mut my_vms: Vec<VmView> = Vec::new();
     while let Ok(request) = requests.recv() {
         match request {
             ShardRequest::Provision {
@@ -204,7 +228,7 @@ fn worker_loop(
                 // caught panic is terminal for this worker: report it and
                 // exit; the supervisor rebuilds from the factory.
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    let my_vms = shard_vm_views(&vms, shard, num_shards);
+                    shard_vm_views_into(&vms, shard, num_shards, &mut my_vms);
                     let my_pending = shard_pending(&pending, shard, num_shards);
                     let ctx = SlotContext {
                         slot,
@@ -269,6 +293,40 @@ pub struct ShardedProvisioner {
     errors: Vec<ClusterError>,
     /// Current brownout posture, re-applied to workers after a restart.
     service_level: u8,
+    /// Slots where at least one placement fell back from the optimistic
+    /// fast path to a full ordered 2PC round.
+    fallback_rounds: u64,
+    /// Recycled fleet-snapshot buffers: once the workers of a previous
+    /// slot drop their `Arc` clones, the coordinator regains exclusive
+    /// access and refreshes the buffer in place instead of re-cloning the
+    /// fleet (the view copy was the dominant per-slot coordination cost).
+    snap_vms: Vec<Arc<Vec<VmView>>>,
+    snap_pending: Vec<Arc<Vec<PendingJobView>>>,
+    snap_committed: Vec<Arc<Vec<ResourceVector>>>,
+    /// Per-slot scratch for the store rebase (capacity/committed columns).
+    rebase_scratch: (Vec<ResourceVector>, Vec<ResourceVector>),
+}
+
+/// Pulls a buffer with no outstanding readers from `pool`, or allocates a
+/// fresh one. Callers push the handle back after sharing it; a buffer
+/// still referenced by a slow worker simply stays in the pool until its
+/// refcount drains.
+fn checkout<T: Default>(pool: &mut Vec<Arc<T>>) -> Arc<T> {
+    for i in 0..pool.len() {
+        if Arc::get_mut(&mut pool[i]).is_some() {
+            return pool.swap_remove(i);
+        }
+    }
+    Arc::new(T::default())
+}
+
+/// Returns a shared snapshot to its pool, bounding the pool so a burst of
+/// slow slots cannot grow it without limit.
+fn check_in<T>(pool: &mut Vec<Arc<T>>, buf: Arc<T>) {
+    pool.push(buf);
+    if pool.len() > 4 {
+        pool.swap_remove(0);
+    }
 }
 
 impl ShardedProvisioner {
@@ -329,6 +387,11 @@ impl ShardedProvisioner {
             recovery: RecoveryCounters::default(),
             errors: Vec::new(),
             service_level: 0,
+            fallback_rounds: 0,
+            snap_vms: Vec::new(),
+            snap_pending: Vec::new(),
+            snap_committed: Vec::new(),
+            rebase_scratch: (Vec::new(), Vec::new()),
         }
     }
 
@@ -343,6 +406,7 @@ impl ShardedProvisioner {
             shard,
             ..Default::default()
         };
+        let view_period = inner.full_view_period().max(1);
         match spawn_worker(shard, num_shards, inner) {
             Ok((requests, replies, handle)) => self.workers.push(Worker {
                 requests: Some(requests),
@@ -354,6 +418,7 @@ impl ShardedProvisioner {
                 factory,
                 forced_inline: false,
                 last_outcome: ShardSlotOutcome::Idle,
+                view_period,
             }),
             Err(e) => {
                 // Dead on arrival: keep the slot in the shard map (job
@@ -372,6 +437,7 @@ impl ShardedProvisioner {
                     factory,
                     forced_inline: false,
                     last_outcome: ShardSlotOutcome::Idle,
+                    view_period,
                 });
             }
         }
@@ -439,9 +505,11 @@ impl ShardedProvisioner {
                 .push(ClusterError::WorkerUnrecoverable { shard });
             return;
         };
+        let view_period = inner.full_view_period().max(1);
         match spawn_worker(shard, num_shards, inner) {
             Ok((requests, replies, handle)) => {
                 let worker = &mut self.workers[shard];
+                worker.view_period = view_period;
                 worker.requests = Some(requests);
                 worker.replies = replies;
                 worker.handle = Some(handle);
@@ -516,10 +584,27 @@ impl ShardedProvisioner {
             }
         }
 
-        // Dispatch the snapshot to every serving shard.
-        let vms = Arc::new(ctx.vms.to_vec());
-        let pending = Arc::new(ctx.pending.to_vec());
-        let committed = Arc::new(ctx.committed.to_vec());
+        // Dispatch the snapshot to every serving shard, recycling a
+        // previous slot's buffers when their workers have let go: refresh
+        // in place instead of re-cloning the fleet.
+        let mut vms = checkout(&mut self.snap_vms);
+        copy_vm_views_into(
+            ctx.vms,
+            Arc::get_mut(&mut vms).expect("checked-out snapshot buffer is exclusive"),
+        );
+        let mut pending = checkout(&mut self.snap_pending);
+        {
+            let buf = Arc::get_mut(&mut pending).expect("checked-out snapshot buffer is exclusive");
+            buf.clear();
+            buf.extend_from_slice(ctx.pending);
+        }
+        let mut committed = checkout(&mut self.snap_committed);
+        {
+            let buf =
+                Arc::get_mut(&mut committed).expect("checked-out snapshot buffer is exclusive");
+            buf.clear();
+            buf.extend_from_slice(ctx.committed);
+        }
         let mut sent = vec![false; n];
         for shard in 0..n {
             // Breaker-isolated shards get no dispatch at all: the whole
@@ -623,6 +708,14 @@ impl ShardedProvisioner {
                 *plan = Some(Self::inline_plan(ctx, shard, n));
             }
         }
+
+        // Return the snapshot handles to their pools. A worker that is
+        // still holding a clone (delayed reply) just parks the buffer until
+        // its refcount drains; checkout skips shared buffers.
+        check_in(&mut self.snap_vms, vms);
+        check_in(&mut self.snap_pending, pending);
+        check_in(&mut self.snap_committed, committed);
+
         plans.into_iter().map(Option::unwrap_or_default).collect()
     }
 
@@ -636,16 +729,12 @@ impl ShardedProvisioner {
         };
         let mut merged = ProvisionPlan::default();
 
-        // Current allocations of running jobs, for adjustment rebasing.
-        let current: HashMap<JobId, (usize, ResourceVector)> = ctx
-            .vms
-            .iter()
-            .flat_map(|vm| vm.jobs.iter().map(|j| (j.id, (vm.id, j.allocation))))
-            .collect();
-
         // Adjustments: shrinks release capacity before grows claim it —
         // the same stable ordering the engine applies, so the store's
-        // committed sequence previews the engine's exactly.
+        // committed sequence previews the engine's exactly. The per-job
+        // allocation map is only built when some plan actually proposes an
+        // adjustment; pure-placement slots (the common case for
+        // non-reallocating schemes) skip the fleet walk entirely.
         let all_adjustments: Vec<(usize, JobId, ResourceVector)> = plans
             .iter()
             .enumerate()
@@ -655,44 +744,59 @@ impl ShardedProvisioner {
                     .map(move |(job, alloc)| (s, *job, *alloc))
             })
             .collect();
-        let is_shrink = |job: &JobId, new: &ResourceVector| {
-            current
-                .get(job)
-                .map(|(_, old)| new.fits_within(old))
-                .unwrap_or(false)
-        };
-        let (shrinks, grows): (Vec<_>, Vec<_>) = all_adjustments
-            .into_iter()
-            .partition(|(_, job, new)| is_shrink(job, new));
-        for (shard, job, new) in shrinks.into_iter().chain(grows) {
-            let Some(&(vm, old)) = current.get(&job) else {
-                self.workers[shard].stats.conflicts += 1;
-                continue;
+        if !all_adjustments.is_empty() {
+            // Current allocations of running jobs, for adjustment rebasing.
+            let current: HashMap<JobId, (usize, ResourceVector)> = ctx
+                .vms
+                .iter()
+                .flat_map(|vm| vm.jobs.iter().map(|j| (j.id, (vm.id, j.allocation))))
+                .collect();
+            let is_shrink = |job: &JobId, new: &ResourceVector| {
+                current
+                    .get(job)
+                    .map(|(_, old)| new.fits_within(old))
+                    .unwrap_or(false)
             };
-            if !new.is_finite() {
-                // A poisoned pipeline may propose NaN; the engine would
-                // drop it anyway, but refusing here keeps the store's
-                // committed preview authoritative.
-                self.workers[shard].stats.conflicts += 1;
-                continue;
-            }
-            if store.adjust(vm, old, new) {
-                merged.adjustments.push((job, new));
-            } else {
-                self.workers[shard].stats.conflicts += 1;
+            let (shrinks, grows): (Vec<_>, Vec<_>) = all_adjustments
+                .into_iter()
+                .partition(|(_, job, new)| is_shrink(job, new));
+            for (shard, job, new) in shrinks.into_iter().chain(grows) {
+                let Some(&(vm, old)) = current.get(&job) else {
+                    self.workers[shard].stats.conflicts += 1;
+                    continue;
+                };
+                if !new.is_finite() {
+                    // A poisoned pipeline may propose NaN; the engine would
+                    // drop it anyway, but refusing here keeps the store's
+                    // committed preview authoritative.
+                    self.workers[shard].stats.conflicts += 1;
+                    continue;
+                }
+                if store.adjust(vm, old, new) {
+                    merged.adjustments.push((job, new));
+                } else {
+                    self.workers[shard].stats.conflicts += 1;
+                }
             }
         }
 
-        // Placements: round-robin by (proposal index, shard), each claim a
-        // complete 2PC reserve/confirm with bounded best-fit retry, run
-        // through the same `PlacementBackend` stage contract the
-        // monolithic pipelines place through.
+        // Placements: round-robin by (proposal index, shard). Each claim
+        // first attempts the store's optimistic fast path on its proposed
+        // VM — one stripe acquisition fusing both 2PC phases when no other
+        // shard has written that VM this slot. Any miss falls back, at the
+        // same canonical position, to a full 2PC claim through the same
+        // `PlacementBackend` stage contract the monolithic pipelines place
+        // through, with phase 2 deferred into one batched confirm round
+        // per slot. The fast path changes per-claim cost, never outcomes:
+        // a fast commit admits exactly what reserve+confirm would have.
         let pending_ids: HashSet<JobId> = ctx.pending.iter().map(|j| j.id).collect();
         let mut placed: HashSet<JobId> = HashSet::new();
         let mut backend = TwoPhaseBackend::new(store, self.config.max_retries);
+        backend.defer_confirms();
         // The trait threads an RNG for randomized selectors; 2PC claims
         // are deterministic and never draw from it.
         let mut rng = StdRng::seed_from_u64(0);
+        let mut fell_back = false;
         let deepest = plans.iter().map(|p| p.placements.len()).max().unwrap_or(0);
         for index in 0..deepest {
             for (shard, plan) in plans.iter().enumerate() {
@@ -709,11 +813,22 @@ impl ShardedProvisioner {
                     continue;
                 }
                 let alloc = p.allocation.clamp_nonnegative();
-                backend.set_origin(shard);
-                let claim = backend.choose(&[], &alloc, Some(p.vm), &ctx.max_vm_capacity, &mut rng);
-                stats.conflicts += claim.conflicts;
-                stats.retries += claim.retries;
-                match claim.vm {
+                let committed_vm = match store.try_fast_commit(shard, p.vm, alloc) {
+                    Ok(()) => Some(p.vm),
+                    Err(_) => {
+                        // Foreign writer, capacity conflict, or unknown
+                        // VM: full ordered 2PC with bounded best-fit
+                        // retry, exactly the claim the fast path fused.
+                        fell_back = true;
+                        backend.set_origin(shard);
+                        let claim =
+                            backend.choose(&[], &alloc, Some(p.vm), &ctx.max_vm_capacity, &mut rng);
+                        stats.conflicts += claim.conflicts;
+                        stats.retries += claim.retries;
+                        claim.vm
+                    }
+                };
+                match committed_vm {
                     Some(vm) => {
                         stats.commits += 1;
                         placed.insert(p.job);
@@ -726,6 +841,10 @@ impl ShardedProvisioner {
                     None => stats.aborts += 1,
                 }
             }
+        }
+        backend.flush_confirms();
+        if fell_back {
+            self.fallback_rounds += 1;
         }
 
         for plan in plans {
@@ -741,16 +860,38 @@ impl Provisioner for ShardedProvisioner {
     }
 
     fn provision(&mut self, ctx: &SlotContext<'_>) -> ProvisionPlan {
-        let capacities: Vec<ResourceVector> = ctx.vms.iter().map(|vm| vm.capacity).collect();
-        let committed: Vec<ResourceVector> = ctx.vms.iter().map(|vm| vm.committed).collect();
+        let (capacities, committed) = &mut self.rebase_scratch;
+        capacities.clear();
+        capacities.extend(ctx.vms.iter().map(|vm| vm.capacity));
+        committed.clear();
+        committed.extend(ctx.vms.iter().map(|vm| vm.committed));
         let store = self
             .store
             .get_or_insert_with(|| PlacementStore::new(capacities.clone()));
         // Re-basing capacities every slot tracks crashed VMs (whose view
         // capacity is zero) leaving and rejoining the fleet.
-        store.begin_slot_full(&capacities, &committed);
+        store.begin_slot_full(capacities, committed);
         let plans = self.propose(ctx);
         self.arbitrate(ctx, plans)
+    }
+
+    fn full_view_period(&self) -> u64 {
+        // The gcd of the shards' periods: every shard still receives deep
+        // view histories on (at least) its own window boundaries, while
+        // off-period slots skip the engine's deep history copies — the
+        // dominant snapshot cost for window-driven pipelines.
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.workers
+            .iter()
+            .map(|w| w.view_period)
+            .fold(0, gcd)
+            .max(1)
     }
 
     fn on_job_completed(&mut self, job: JobId, unused_history: &[Vec<f64>]) {
@@ -828,6 +969,9 @@ impl Provisioner for ShardedProvisioner {
             conflicts: counters.conflicts,
             aborts: counters.aborts,
             retries: self.workers.iter().map(|s| s.stats.retries).sum(),
+            fast_path_hits: counters.fast_commits,
+            fallback_rounds: self.fallback_rounds,
+            stripe_conflicts: counters.epoch_conflicts,
             max_queue_depth: self.max_queue_depth,
             worker_kills: self.recovery.worker_kills,
             worker_panics: self.recovery.worker_panics,

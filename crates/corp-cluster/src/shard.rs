@@ -10,7 +10,7 @@
 //! owns. VM-level series (`unused_history`) stay global, so VM-granular
 //! predictors see the physical signal regardless of sharding.
 
-use corp_sim::{JobId, PendingJobView, SlotContext, VmView};
+use corp_sim::{JobId, PendingJobView, RunningJobView, SlotContext, VmView};
 
 /// The shard that owns `job` in an `num_shards`-way partition.
 pub fn owner_of(job: JobId, num_shards: usize) -> usize {
@@ -47,21 +47,107 @@ pub fn partition_pending(
 /// shard thread builds its own view from the shared fleet snapshot, so the
 /// copying cost parallelizes with the shard count.
 pub fn shard_vm_views(vms: &[VmView], shard: usize, num_shards: usize) -> Vec<VmView> {
-    vms.iter()
-        .map(|vm| VmView {
-            id: vm.id,
-            capacity: vm.capacity,
-            committed: vm.committed,
-            free: vm.free,
-            jobs: vm
+    let mut views = Vec::new();
+    shard_vm_views_into(vms, shard, num_shards, &mut views);
+    views
+}
+
+/// [`shard_vm_views`] into a caller-owned buffer, reusing every inner
+/// allocation (per-VM job vectors, per-job history tails) from the previous
+/// slot — long-lived shard workers narrow the fleet snapshot once per slot,
+/// and with buffer reuse the steady-state cost is pure copying, no
+/// allocator traffic.
+pub fn shard_vm_views_into(vms: &[VmView], shard: usize, num_shards: usize, out: &mut Vec<VmView>) {
+    out.truncate(vms.len());
+    let filled = out.len();
+    for (dst, src) in out.iter_mut().zip(vms) {
+        dst.id = src.id;
+        dst.capacity = src.capacity;
+        dst.committed = src.committed;
+        dst.free = src.free;
+        copy_owned_jobs_into(&src.jobs, shard, num_shards, &mut dst.jobs);
+        dst.unused_history.clear();
+        dst.unused_history.extend_from_slice(&src.unused_history);
+    }
+    for src in &vms[filled..] {
+        out.push(VmView {
+            id: src.id,
+            capacity: src.capacity,
+            committed: src.committed,
+            free: src.free,
+            jobs: src
                 .jobs
                 .iter()
                 .filter(|j| owner_of(j.id, num_shards) == shard)
                 .cloned()
                 .collect(),
-            unused_history: vm.unused_history.clone(),
-        })
-        .collect()
+            unused_history: src.unused_history.clone(),
+        });
+    }
+}
+
+/// Filters `src` to the shard's own jobs, cloning into `dst` while reusing
+/// its job entries' history allocations.
+fn copy_owned_jobs_into(
+    src: &[RunningJobView],
+    shard: usize,
+    num_shards: usize,
+    dst: &mut Vec<RunningJobView>,
+) {
+    let mut kept = 0usize;
+    for job in src.iter().filter(|j| owner_of(j.id, num_shards) == shard) {
+        if kept < dst.len() {
+            let slot = &mut dst[kept];
+            slot.id = job.id;
+            slot.requested = job.requested;
+            slot.allocation = job.allocation;
+            slot.recent_demand.clear();
+            slot.recent_demand.extend_from_slice(&job.recent_demand);
+            slot.recent_unused.clear();
+            slot.recent_unused.extend_from_slice(&job.recent_unused);
+        } else {
+            dst.push(job.clone());
+        }
+        kept += 1;
+    }
+    dst.truncate(kept);
+}
+
+/// Copies a whole fleet snapshot into a caller-owned buffer, reusing inner
+/// allocations — the coordinator's per-slot snapshot of the engine's views,
+/// recycled across slots instead of freshly cloned.
+pub fn copy_vm_views_into(vms: &[VmView], out: &mut Vec<VmView>) {
+    out.truncate(vms.len());
+    let filled = out.len();
+    for (dst, src) in out.iter_mut().zip(vms) {
+        dst.id = src.id;
+        dst.capacity = src.capacity;
+        dst.committed = src.committed;
+        dst.free = src.free;
+        copy_jobs_into(&src.jobs, &mut dst.jobs);
+        dst.unused_history.clear();
+        dst.unused_history.extend_from_slice(&src.unused_history);
+    }
+    for src in &vms[filled..] {
+        out.push(src.clone());
+    }
+}
+
+fn copy_jobs_into(src: &[RunningJobView], dst: &mut Vec<RunningJobView>) {
+    dst.truncate(src.len());
+    let filled = dst.len();
+    for (slot, job) in dst.iter_mut().zip(src) {
+        slot.id = job.id;
+        slot.requested = job.requested;
+        slot.allocation = job.allocation;
+        slot.recent_demand.clear();
+        slot.recent_demand.extend_from_slice(&job.recent_demand);
+        slot.recent_unused.clear();
+        slot.recent_unused.extend_from_slice(&job.recent_unused);
+    }
+    for job in &src[filled..] {
+        dst.push(job.clone());
+    }
 }
 
 /// Builds every shard's fleet view at once (tests and single-threaded
@@ -168,5 +254,36 @@ mod tests {
             assert_eq!(views[0].committed, ResourceVector::splat(3.0));
             assert_eq!(views[0].unused_history.len(), 1);
         }
+    }
+
+    #[test]
+    fn reused_buffers_match_fresh_narrowing() {
+        let fleet = |n: usize, hist: usize| -> Vec<VmView> {
+            (0..n)
+                .map(|id| VmView {
+                    id,
+                    capacity: ResourceVector::splat(8.0),
+                    committed: ResourceVector::splat(id as f64),
+                    free: ResourceVector::splat(8.0 - id as f64),
+                    jobs: (0..id as u64).map(running).collect(),
+                    unused_history: vec![ResourceVector::splat(0.5); hist],
+                })
+                .collect()
+        };
+        // Narrow a big deep fleet into the buffer, then a smaller shallow
+        // one: stale entries, jobs, and history tails must all be dropped.
+        let mut buf = Vec::new();
+        shard_vm_views_into(&fleet(6, 4), 0, 2, &mut buf);
+        let second = fleet(3, 1);
+        shard_vm_views_into(&second, 0, 2, &mut buf);
+        assert_eq!(
+            format!("{buf:?}"),
+            format!("{:?}", shard_vm_views(&second, 0, 2))
+        );
+        // Whole-snapshot copy: same reuse contract.
+        let mut snap = Vec::new();
+        copy_vm_views_into(&fleet(2, 3), &mut snap);
+        copy_vm_views_into(&second, &mut snap);
+        assert_eq!(format!("{snap:?}"), format!("{second:?}"));
     }
 }

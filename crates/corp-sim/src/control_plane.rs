@@ -84,6 +84,16 @@ pub struct ControlPlaneStats {
     pub aborts: u64,
     /// Placement retries across all shards.
     pub retries: u64,
+    /// Claims committed via the store's optimistic fast path: a single
+    /// stripe acquisition fusing both 2PC phases on an uncontended VM.
+    pub fast_path_hits: u64,
+    /// Arbitration slots where at least one claim fell back from the fast
+    /// path to a full ordered 2PC round (reserve, bounded best-fit retry,
+    /// batched confirm).
+    pub fallback_rounds: u64,
+    /// Fast-path attempts refused by the per-VM epoch/writer check because
+    /// another shard had written the VM that slot.
+    pub stripe_conflicts: u64,
     /// Deepest store-wide pending queue observed in any slot.
     pub max_queue_depth: usize,
     /// Worker threads killed by the fault schedule.

@@ -35,9 +35,16 @@
 #                                 # documented, no broken intra-doc links
 #   scripts/check.sh perf-regression
 #                                 # end-to-end throughput gate: reruns the
-#                                 # e2e experiment against the committed
-#                                 # BENCH_e2e.json and fails if CORP's
-#                                 # pooled slots/sec drops >20% below it
+#                                 # e2e experiment (shard sweep included)
+#                                 # against the committed BENCH_e2e.json and
+#                                 # fails if CORP's pooled slots/sec drops
+#                                 # >20% below it, if the striped-store
+#                                 # sharded-8 arm falls >20% below its own
+#                                 # committed number (on multi-core hosts
+#                                 # also: below the fresh pooled run), or if
+#                                 # its optimistic fast-path hit rate
+#                                 # regresses >5pp below the committed
+#                                 # baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -134,6 +141,14 @@ if [[ "${1:-}" == "perf-regression" ]]; then
     cp BENCH_e2e.json "$committed"
     echo "==> CORP_E2E_BASELINE=<committed BENCH_e2e.json> cargo run --release -p corp-bench --bin corp-exp -- --fast e2e"
     CORP_E2E_BASELINE="$committed" cargo run --release -p corp-bench --bin corp-exp -- --fast e2e
+    # The runner enforces the numeric gates (pooled regression, sharded-8
+    # vs pooled, fast-path-rate floor); here we only require that the
+    # fresh output actually carried the shard sweep it gated on.
+    if ! grep -q '"arm":"sharded-8"' BENCH_e2e.json; then
+        echo "perf-regression FAILED: fresh BENCH_e2e.json has no sharded-8 arm" >&2
+        git checkout -- BENCH_e2e.json 2>/dev/null || true
+        exit 1
+    fi
     git checkout -- BENCH_e2e.json 2>/dev/null || true
     echo "Perf regression gate passed."
     exit 0
